@@ -1,0 +1,30 @@
+"""Session-scoped databases shared by the per-figure benchmarks."""
+
+import pytest
+
+from repro.datasets import (
+    make_course_alt_database,
+    make_course_database,
+    make_course_world,
+    make_movie_database,
+)
+
+
+@pytest.fixture(scope="session")
+def movie_db():
+    return make_movie_database()
+
+
+@pytest.fixture(scope="session")
+def course_world():
+    return make_course_world()
+
+
+@pytest.fixture(scope="session")
+def course_db(course_world):
+    return make_course_database(world=course_world)
+
+
+@pytest.fixture(scope="session")
+def course_alt_db(course_world):
+    return make_course_alt_database(world=course_world)

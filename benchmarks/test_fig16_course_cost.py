@@ -1,0 +1,39 @@
+"""Figure 16: information-unit costs over the 48 course queries.
+
+Regenerates the paper's bar chart as the per-query (SF-SQL, GUI, SQL)
+cost series and asserts its summary: "Schema-free SQLs only specify 33
+(resp. 62) percent as many information units as full SQL queries (with a
+visual query builder)".
+"""
+
+from repro.experiments import run_cost_experiment
+from repro.workloads import COURSE_QUERIES
+
+
+def test_fig16_course_cost(benchmark, course_db):
+    report = benchmark.pedantic(
+        run_cost_experiment,
+        args=(course_db, COURSE_QUERIES),
+        kwargs={"check_translation": False},
+        rounds=1,
+        iterations=1,
+    )
+
+    print("\nFigure 16 — information units per course query")
+    print(f"{'query':>6} {'SF-SQL':>7} {'GUI':>5} {'SQL':>5}")
+    for row in report.rows:
+        print(f"{row.qid:>6} {row.sf:>7.0f} {row.gui:>5} {row.sql:>5}")
+    sf_ratio = report.ratio_sf_to_sql()
+    gui_ratio = report.ratio_gui_to_sql()
+    print(
+        f"SF-SQL/SQL = {sf_ratio:.2f} (paper 0.33), "
+        f"GUI/SQL = {gui_ratio:.2f} (paper 0.62)"
+    )
+    benchmark.extra_info["sf_to_sql"] = sf_ratio
+    benchmark.extra_info["gui_to_sql"] = gui_ratio
+
+    assert sf_ratio < gui_ratio < 1.0
+    # the paper's summary ratios, with generous tolerance for our
+    # synthetic workload
+    assert 0.15 < sf_ratio < 0.55
+    assert 0.4 < gui_ratio < 0.85

@@ -1,0 +1,63 @@
+"""Figure 17: top-k MTJN generation time vs number of relations involved.
+
+Regenerates the paper's log-scale line chart as a table with one row per
+join size (2-10) and one column per algorithm: the DISCOVER-style Regular
+baseline, the Rightmost baseline [12], and the paper's pruned algorithm
+at k = 1, 5 and 10.  Asserts the figure's ordering: Regular slows down
+dramatically with size, Rightmost is much better but still unpruned, and
+the paper's algorithm runs substantially faster, with a noticeable but
+modest extra cost for larger k.
+"""
+
+import statistics
+
+from repro.experiments import run_efficiency
+from repro.workloads.efficiency import EFFICIENCY_QUERIES
+
+
+def test_fig17_efficiency(benchmark, course_db):
+    report = benchmark.pedantic(
+        run_efficiency,
+        args=(course_db, EFFICIENCY_QUERIES),
+        kwargs={"repeat": 1},
+        rounds=1,
+        iterations=1,
+    )
+
+    series = {
+        "regular": report.series("regular", 1),
+        "rightmost": report.series("rightmost", 1),
+        "top1": report.series("ours", 1),
+        "top5": report.series("ours", 5),
+        "top10": report.series("ours", 10),
+    }
+    print("\nFigure 17 — seconds per query (log-scale in the paper)")
+    print(
+        f"{'size':>5} {'Regular':>10} {'Rightmost':>10} "
+        f"{'Top 1':>10} {'Top 5':>10} {'Top 10':>10}"
+    )
+    for size in sorted(series["top1"]):
+        print(
+            f"{size:>5} {series['regular'][size]:>10.4f} "
+            f"{series['rightmost'][size]:>10.4f} "
+            f"{series['top1'][size]:>10.4f} {series['top5'][size]:>10.4f} "
+            f"{series['top10'][size]:>10.4f}"
+        )
+    benchmark.extra_info["series"] = {
+        name: values for name, values in series.items()
+    }
+
+    large = [s for s in series["top1"] if s >= 6]
+    geo = lambda vals: statistics.geometric_mean(vals)  # noqa: E731
+    regular_large = geo([series["regular"][s] for s in large])
+    rightmost_large = geo([series["rightmost"][s] for s in large])
+    ours_large = geo([series["top1"][s] for s in large])
+    # the paper's log-scale separation: Regular slowest by orders of
+    # magnitude, ours substantially faster than Rightmost
+    assert regular_large > rightmost_large > ours_large
+    assert regular_large / ours_large > 50
+    assert rightmost_large / ours_large > 3
+    # "a noticeable, but modest, cost to generating multiple MTJN"
+    total1 = sum(series["top1"].values())
+    total10 = sum(series["top10"].values())
+    assert total1 < total10 < 100 * total1

@@ -1,0 +1,67 @@
+"""Movie analytics over the 43-relation database, in Schema-free SQL.
+
+Shows how a user with only partial schema knowledge explores the large
+synthetic Yahoo-Movie-style database: aggregations, grouping, ranking
+and nested queries — all without spelling out a single join path.
+
+Run with:  python examples/movie_analytics.py
+"""
+
+from repro import SchemaFreeTranslator
+from repro.datasets import make_movie_database
+
+QUERIES = [
+    (
+        "How many movies per genre?",
+        "SELECT genre?.name?, count(movie_genre?.movie_id?) "
+        "GROUP BY genre?.name? "
+        "ORDER BY count(movie_genre?.movie_id?) DESC",
+    ),
+    (
+        "Which directors made the most movies?",
+        "SELECT director?.name?, count(*) "
+        "GROUP BY director?.name? "
+        "ORDER BY count(*) DESC LIMIT 5",
+    ),
+    (
+        "Recent big-budget productions",
+        "SELECT movie?.title?, movie?.budget? "
+        "WHERE movie?.release_year? > 2005 AND movie?.budget? > 100000000 "
+        "ORDER BY movie?.budget? DESC LIMIT 5",
+    ),
+    (
+        "Companies that produced a Cameron movie",
+        "SELECT DISTINCT produce_company?.name? "
+        "WHERE director_name? = 'James Cameron'",
+    ),
+    (
+        "Movies longer than the average runtime",
+        "SELECT film?.title? "
+        "WHERE film?.runtime? > (SELECT avg(movie?.runtime?)) "
+        "ORDER BY film?.title? LIMIT 5",
+    ),
+]
+
+
+def main() -> None:
+    db = make_movie_database()
+    print(
+        f"Database: {len(db.catalog)} relations, "
+        f"{len(db.catalog.foreign_keys)} FK-PK pairs, "
+        f"{db.count('movie')} movies, {db.count('person')} people"
+    )
+    translator = SchemaFreeTranslator(db)
+    for intent, schema_free in QUERIES:
+        print(f"\n== {intent}")
+        print(f"   SF-SQL: {schema_free}")
+        best = translator.translate_best(schema_free)
+        print(f"   SQL:    {best.sql[:150]}{'...' if len(best.sql) > 150 else ''}")
+        result = db.execute(best.query)
+        for row in result.rows[:5]:
+            print(f"     {row}")
+        if len(result.rows) > 5:
+            print(f"     ... {len(result.rows) - 5} more rows")
+
+
+if __name__ == "__main__":
+    main()

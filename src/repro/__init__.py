@@ -1,0 +1,61 @@
+"""repro — a full reproduction of "Schema-free SQL" (SIGMOD 2014).
+
+Public API quick reference::
+
+    from repro import Catalog, Database, DataType, SchemaFreeTranslator
+
+    catalog = Catalog("movies")
+    catalog.create_relation("person", [("person_id", DataType.INTEGER),
+                                       ("name", DataType.TEXT)],
+                            primary_key=["person_id"])
+    ...
+    db = Database(catalog)
+    db.insert("person", [1, "James Cameron"])
+    ...
+    translator = SchemaFreeTranslator(db)
+    best = translator.translate_best(
+        "SELECT name? WHERE director_name? = 'James Cameron'")
+    print(best.sql)
+    print(db.execute(best.query).rows)
+"""
+
+from .catalog import Attribute, Catalog, DataType, ForeignKey, Relation, SchemaError
+from .core import (
+    DEFAULT_CONFIG,
+    SchemaFreeTranslator,
+    Translation,
+    TranslationError,
+    TranslatorConfig,
+    View,
+    ViewGraph,
+    ViewJoin,
+    views_from_sql,
+)
+from .engine import Database, EngineError, Result
+from .sqlkit import SqlSyntaxError, parse, render
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Attribute",
+    "Catalog",
+    "DEFAULT_CONFIG",
+    "DataType",
+    "Database",
+    "EngineError",
+    "ForeignKey",
+    "Relation",
+    "Result",
+    "SchemaError",
+    "SchemaFreeTranslator",
+    "SqlSyntaxError",
+    "Translation",
+    "TranslationError",
+    "TranslatorConfig",
+    "View",
+    "ViewGraph",
+    "ViewJoin",
+    "parse",
+    "render",
+    "views_from_sql",
+]

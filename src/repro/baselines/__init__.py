@@ -1,0 +1,5 @@
+"""Baseline join-network generators (Figure 17's Regular and Rightmost)."""
+
+from .generators import BaselineGenerator, RegularGenerator, RightmostGenerator
+
+__all__ = ["BaselineGenerator", "RegularGenerator", "RightmostGenerator"]

@@ -1,0 +1,17 @@
+"""Schema catalog: relations, typed attributes, and FK-PK relationships."""
+
+from .schema import Attribute, Catalog, ForeignKey, Relation, SchemaError, normalize
+from .types import DataType, TypeError_, coerce, infer_type
+
+__all__ = [
+    "Attribute",
+    "Catalog",
+    "DataType",
+    "ForeignKey",
+    "Relation",
+    "SchemaError",
+    "TypeError_",
+    "coerce",
+    "infer_type",
+    "normalize",
+]

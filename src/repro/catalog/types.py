@@ -1,0 +1,97 @@
+"""Column data types for the schema catalog and execution engine.
+
+The paper's translation pipeline only needs enough of a type system to
+(a) store and compare column values when checking whether a value condition
+is satisfied by the tuples of an attribute (Section 4.3 of the paper) and
+(b) evaluate the translated full SQL.  We therefore support the small set
+of scalar types that cover both experimental databases.
+"""
+
+from __future__ import annotations
+
+import datetime
+import enum
+from typing import Any
+
+
+class DataType(enum.Enum):
+    """Scalar column types supported by the catalog and engine."""
+
+    INTEGER = "integer"
+    FLOAT = "float"
+    TEXT = "text"
+    BOOLEAN = "boolean"
+    DATE = "date"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+    @property
+    def is_numeric(self) -> bool:
+        """Whether values of this type order and compare numerically."""
+        return self in (DataType.INTEGER, DataType.FLOAT)
+
+
+_PYTHON_TYPES = {
+    DataType.INTEGER: (int,),
+    DataType.FLOAT: (int, float),
+    DataType.TEXT: (str,),
+    DataType.BOOLEAN: (bool,),
+    DataType.DATE: (datetime.date, str),
+}
+
+
+class TypeError_(TypeError):
+    """Raised when a value does not conform to its declared column type."""
+
+
+def coerce(value: Any, data_type: DataType) -> Any:
+    """Validate *value* against *data_type* and return its canonical form.
+
+    ``None`` is always accepted (SQL NULL).  Integers are accepted for
+    FLOAT columns and widened; ISO-format strings are accepted for DATE
+    columns and parsed.  Anything else raises :class:`TypeError_`.
+    """
+    if value is None:
+        return None
+    if data_type is DataType.BOOLEAN:
+        if isinstance(value, bool):
+            return value
+        raise TypeError_(f"expected bool, got {type(value).__name__}: {value!r}")
+    if data_type is DataType.INTEGER:
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise TypeError_(f"expected int, got {type(value).__name__}: {value!r}")
+        return value
+    if data_type is DataType.FLOAT:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise TypeError_(f"expected number, got {type(value).__name__}: {value!r}")
+        return float(value)
+    if data_type is DataType.TEXT:
+        if not isinstance(value, str):
+            raise TypeError_(f"expected str, got {type(value).__name__}: {value!r}")
+        return value
+    if data_type is DataType.DATE:
+        if isinstance(value, datetime.date):
+            return value
+        if isinstance(value, str):
+            try:
+                return datetime.date.fromisoformat(value)
+            except ValueError as exc:
+                raise TypeError_(f"invalid ISO date: {value!r}") from exc
+        raise TypeError_(f"expected date, got {type(value).__name__}: {value!r}")
+    raise TypeError_(f"unknown data type {data_type!r}")  # pragma: no cover
+
+
+def infer_type(value: Any) -> DataType:
+    """Infer the narrowest :class:`DataType` that can hold *value*."""
+    if isinstance(value, bool):
+        return DataType.BOOLEAN
+    if isinstance(value, int):
+        return DataType.INTEGER
+    if isinstance(value, float):
+        return DataType.FLOAT
+    if isinstance(value, datetime.date):
+        return DataType.DATE
+    if isinstance(value, str):
+        return DataType.TEXT
+    raise TypeError_(f"cannot infer a column type for {value!r}")

@@ -1,0 +1,227 @@
+"""Interactive Schema-free SQL shell.
+
+Usage::
+
+    python -m repro [--dataset movies|courses|courses-alt] [--top-k N]
+
+Type Schema-free SQL (or plain SQL) at the prompt; the shell shows the
+best translation and its answer.  Dot-commands:
+
+    .tables              list relations
+    .schema <relation>   show a relation's columns and keys
+    .top <k>             show the k best translations for the next queries
+    .explain <sf-sql>    show translations without executing
+    .why <sf-sql>        explain the join network behind each translation
+    .log <sql>           record a full-SQL query into the query log
+    .views               list the views currently on the view graph
+    .help                this text
+    .quit                exit
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from .core import SchemaFreeTranslator, TranslationError
+from .datasets import (
+    make_course_alt_database,
+    make_course_database,
+    make_movie_database,
+)
+from .engine import Database, EngineError
+from .sqlkit import SqlSyntaxError
+
+DATASETS = {
+    "movies": make_movie_database,
+    "courses": make_course_database,
+    "courses-alt": make_course_alt_database,
+}
+
+class Shell:
+    """A small REPL over one database and one translator."""
+
+    def __init__(self, database: Database, top_k: int = 1) -> None:
+        self.database = database
+        self.translator = SchemaFreeTranslator(database)
+        self.top_k = top_k
+
+    # ------------------------------------------------------------------
+    def run_command(self, line: str, out=None) -> bool:
+        """Execute one input line; returns False when the shell should
+        exit."""
+        if out is None:
+            out = sys.stdout
+        line = line.strip()
+        if not line:
+            return True
+        if line.startswith("."):
+            return self._dot_command(line, out)
+        self._query(line, out, execute=True)
+        return True
+
+    # ------------------------------------------------------------------
+    def _dot_command(self, line: str, out) -> bool:
+        command, _, argument = line.partition(" ")
+        argument = argument.strip()
+        if command in (".quit", ".exit"):
+            return False
+        if command == ".help":
+            print(__doc__, file=out)
+        elif command == ".tables":
+            for relation in self.database.catalog:
+                print(
+                    f"  {relation.name} ({len(relation)} columns, "
+                    f"{self.database.count(relation.name)} rows)",
+                    file=out,
+                )
+        elif command == ".schema":
+            self._schema(argument, out)
+        elif command == ".top":
+            try:
+                self.top_k = max(1, int(argument))
+                print(f"showing top {self.top_k} translations", file=out)
+            except ValueError:
+                print("usage: .top <k>", file=out)
+        elif command == ".explain":
+            self._query(argument, out, execute=False)
+        elif command == ".why":
+            self._why(argument, out)
+        elif command == ".log":
+            try:
+                views = self.translator.record_query_log(argument)
+                print(f"mined {len(views)} view(s) from the query", file=out)
+            except (SqlSyntaxError, EngineError) as exc:
+                print(f"error: {exc}", file=out)
+        elif command == ".views":
+            views = self.translator.view_graph.views
+            if not views:
+                print("  (no views)", file=out)
+            for view in views:
+                chain = " - ".join(view.relations)
+                print(
+                    f"  [{view.source}] {view.name}: {chain} "
+                    f"(strength {view.strength:.1f})",
+                    file=out,
+                )
+        else:
+            print(f"unknown command {command!r}; try .help", file=out)
+        return True
+
+    def _why(self, text: str, out) -> None:
+        from .core import describe_translation
+
+        try:
+            translations = self.translator.translate(text, top_k=self.top_k)
+        except (TranslationError, SqlSyntaxError) as exc:
+            print(f"error: {exc}", file=out)
+            return
+        for rank, translation in enumerate(translations, 1):
+            print(f"--- interpretation {rank} ---", file=out)
+            print(describe_translation(translation), file=out)
+
+    def _schema(self, name: str, out) -> None:
+        if not name or not self.database.catalog.has_relation(name):
+            print(f"unknown relation {name!r}", file=out)
+            return
+        relation = self.database.catalog.relation(name)
+        print(f"  {relation.name}", file=out)
+        for attribute in relation.attributes:
+            marks = []
+            if attribute.name in relation.primary_key:
+                marks.append("PK")
+            for fk in self.database.catalog.foreign_keys:
+                if (
+                    fk.source_relation.lower() == relation.key
+                    and fk.source_attribute.lower() == attribute.key
+                ):
+                    marks.append(f"-> {fk.target_relation}")
+            suffix = f"  [{', '.join(marks)}]" if marks else ""
+            print(
+                f"    {attribute.name}: {attribute.data_type}{suffix}",
+                file=out,
+            )
+
+    def _query(self, text: str, out, execute: bool) -> None:
+        if not text:
+            return
+        try:
+            translations = self.translator.translate(text, top_k=self.top_k)
+        except (TranslationError, SqlSyntaxError) as exc:
+            print(f"error: {exc}", file=out)
+            return
+        for rank, translation in enumerate(translations, 1):
+            prefix = f"[{rank}] " if len(translations) > 1 else ""
+            print(f"{prefix}w={translation.weight:.4f}  {translation.sql}", file=out)
+        if not execute or not translations:
+            return
+        try:
+            result = self.database.execute(translations[0].query)
+        except EngineError as exc:
+            print(f"execution error: {exc}", file=out)
+            return
+        print("  ".join(result.columns), file=out)
+        for row in result.rows[:40]:
+            print("  ".join("NULL" if v is None else str(v) for v in row), file=out)
+        if len(result.rows) > 40:
+            print(f"... {len(result.rows) - 40} more rows", file=out)
+        print(f"({len(result.rows)} row(s))", file=out)
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Schema-free SQL interactive shell"
+    )
+    parser.add_argument(
+        "--dataset",
+        choices=sorted(DATASETS),
+        default="movies",
+        help="which synthetic database to load (default: movies)",
+    )
+    parser.add_argument(
+        "--top-k", type=int, default=1, help="translations to show per query"
+    )
+    parser.add_argument(
+        "--load",
+        metavar="DIR",
+        help="load a database saved with repro.engine.io.save_database "
+        "instead of a built-in dataset",
+    )
+    parser.add_argument(
+        "--execute",
+        metavar="SF_SQL",
+        help="translate and run one query non-interactively, then exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.load:
+        from .engine.io import load_database
+
+        database = load_database(args.load)
+        dataset_label = args.load
+    else:
+        database = DATASETS[args.dataset]()
+        dataset_label = args.dataset
+    shell = Shell(database, top_k=max(1, args.top_k))
+
+    if args.execute is not None:
+        shell.run_command(args.execute)
+        return 0
+
+    print(
+        f"Schema-free SQL shell — dataset {dataset_label!r} "
+        f"({len(database.catalog)} relations). Type .help for commands."
+    )
+    while True:
+        try:
+            line = input("sfsql> ")
+        except (EOFError, KeyboardInterrupt):
+            print()
+            return 0
+        if not shell.run_command(line):
+            return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,71 @@
+"""The paper's contribution: the Schema-free SQL translation pipeline."""
+
+from .composer import ComposedQuery, Composer, TranslationError
+from .cost import full_sql_cost, gui_cost, sfsql_cost
+from .explain import describe_network, describe_translation
+from .config import DEFAULT_CONFIG, TranslatorConfig
+from .join_network import JoinNetwork
+from .mapper import RelationMapping, RelationTreeMapper, TreeMappings
+from .mtjn import GenerationStats, MTJNGenerator
+from .query_log import QueryLog, views_from_sql
+from .relation_tree import (
+    AttributeTree,
+    RelationTree,
+    attribute_key,
+    build_relation_trees,
+    relation_key,
+)
+from .similarity import SimilarityEvaluator, qgrams, string_similarity
+from .translator import SchemaFreeTranslator, Translation
+from .triples import Condition, ExpressionTriple, JoinFragment, extract
+from .view_graph import (
+    ExtendedViewGraph,
+    View,
+    ViewGraph,
+    ViewInstance,
+    ViewJoin,
+    XEdge,
+    XNode,
+)
+
+__all__ = [
+    "AttributeTree",
+    "ComposedQuery",
+    "describe_network",
+    "describe_translation",
+    "full_sql_cost",
+    "gui_cost",
+    "sfsql_cost",
+    "Composer",
+    "Condition",
+    "DEFAULT_CONFIG",
+    "ExpressionTriple",
+    "ExtendedViewGraph",
+    "GenerationStats",
+    "JoinFragment",
+    "JoinNetwork",
+    "MTJNGenerator",
+    "QueryLog",
+    "RelationMapping",
+    "RelationTree",
+    "RelationTreeMapper",
+    "SchemaFreeTranslator",
+    "SimilarityEvaluator",
+    "Translation",
+    "TranslationError",
+    "TranslatorConfig",
+    "TreeMappings",
+    "View",
+    "ViewGraph",
+    "ViewInstance",
+    "ViewJoin",
+    "XEdge",
+    "XNode",
+    "attribute_key",
+    "build_relation_trees",
+    "extract",
+    "qgrams",
+    "relation_key",
+    "string_similarity",
+    "views_from_sql",
+]

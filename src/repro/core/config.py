@@ -1,0 +1,73 @@
+"""Tuning parameters for the Schema-free SQL translator.
+
+Defaults follow the paper's Section 7.1: ``sigma = kref = c = 0.7`` and
+``kdef = 0.3``.  The q-gram size is not stated in the paper; 3 is the
+standard choice for schema-name matching and is what we use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TranslatorConfig:
+    """All knobs of the translation pipeline in one immutable bundle."""
+
+    #: relative mapping-set threshold σ (Definition 1)
+    sigma: float = 0.7
+    #: damping constant for neighbour-relation similarity Sim' = kref * Sim
+    kref: float = 0.7
+    #: default root similarity when the relation name is unspecified (§4.2)
+    kdef: float = 0.3
+    #: default edge weight c in the view graph (§5.2)
+    c: float = 0.7
+    #: q-gram length for the Jaccard string similarity
+    qgram: int = 3
+    #: how many translations to produce (top-k MTJNs, §6)
+    top_k: int = 1
+    #: cap on mapping-set size per relation tree (keeps the extended view
+    #: graph tractable on large schemas; the paper's σ rule rarely exceeds it)
+    max_mappings: int = 6
+    #: cap on rows sampled per column when checking condition satisfaction
+    condition_sample: int = 2000
+    #: safety cap on join-network search (paper prunes by potential; this
+    #: bounds worst cases on adversarial inputs)
+    max_expansions: int = 200_000
+    #: additive smoothing for attribute-name similarity: keeps condition
+    #: evidence alive when the guessed attribute name shares no q-grams
+    #: with the true one (mirrors the paper's own +1 smoothing in the
+    #: (m+1)/(n+1) condition factor; §4 frames similarity as a framework)
+    attr_smooth: float = 0.1
+    #: multiplicative penalty per *type-incompatible* condition — a text
+    #: constant can never be satisfied by an integer column, which is
+    #: stronger evidence against the column than a merely unsatisfied
+    #: condition
+    k_incompat: float = 0.1
+    #: damping for token-level matches in the string similarity: compound
+    #: identifiers match on their best underscore-token pair (e.g.
+    #: ``produce_company`` ~ ``company``) at this fraction of a full match
+    token_damp: float = 0.85
+    #: smoothing of the condition-satisfaction factor: (m + β)/(n + β).
+    #: The paper uses β = 1; a smaller β makes satisfied conditions more
+    #: decisive, which the larger 43/53-relation schemas need
+    cond_smooth: float = 0.5
+    #: bonus when an attribute tree matches a relation's primary-key
+    #: column — matching a relation's key is evidence the user means that
+    #: relation itself rather than one of the bridges referencing it
+    pk_bonus: float = 1.1
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.sigma <= 1.0:
+            raise ValueError(f"sigma must be in (0, 1], got {self.sigma}")
+        for name in ("kref", "kdef", "c"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.qgram < 1:
+            raise ValueError(f"qgram must be >= 1, got {self.qgram}")
+        if self.top_k < 1:
+            raise ValueError(f"top_k must be >= 1, got {self.top_k}")
+
+
+DEFAULT_CONFIG = TranslatorConfig()

@@ -1,0 +1,185 @@
+"""Information-unit cost model (paper §7.1).
+
+The paper quantifies user burden by counting *information units*: every
+schema element (relation name or attribute name) the user must specify.
+Approximately or partially specified elements count as one full unit
+("we significantly overestimate the cost of our system").
+
+Three interfaces are modelled:
+
+* **SF-SQL** — the distinct schema-element names the user typed.  A
+  repeated guess (``year?`` twice in Figure 2) is one unit; ``?x``
+  placeholders carry one unit of linking information; anonymous ``?``
+  carries none.  Figure 2's query costs 6 (actor, gender, name,
+  director_name, year, produce_company) — reproduced exactly.
+* **Full SQL** — relation occurrences in FROM, plus one unit per
+  attribute occurrence in projections / conditions / grouping / ordering,
+  plus two units per FK-PK join condition (both sides must be spelled
+  out).
+* **GUI builder** (Flyspeed-style) — like full SQL, but join conditions
+  are free: the builder auto-completes them when relations are dropped
+  onto the canvas (§7.1).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from ..sqlkit import ast, parse
+
+
+def _blocks(query: ast.Node):
+    """All SELECT blocks of a query, outermost first."""
+    pending = [query]
+    while pending:
+        node = pending.pop(0)
+        if isinstance(node, ast.SetOp):
+            pending.extend((node.left, node.right))
+            continue
+        assert isinstance(node, ast.Select)
+        yield node
+        pending.extend(ast.subqueries_of(node))
+
+
+def _walk_block(node: ast.Node):
+    yield node
+    for child in node.children():
+        if isinstance(child, (ast.Select, ast.SetOp)):
+            continue
+        yield from _walk_block(child)
+
+
+def _binding_names(select: ast.Select) -> set[str]:
+    names = set()
+    stack = list(select.from_items)
+    while stack:
+        item = stack.pop()
+        if isinstance(item, ast.TableRef):
+            names.add(item.binding.lower())
+        elif isinstance(item, ast.Join):
+            stack.extend((item.left, item.right))
+    return names
+
+
+def _join_and_value_conjuncts(select: ast.Select):
+    bindings = _binding_names(select)
+    joins, values = [], []
+    stack = [select.where] if select.where is not None else []
+    for item in select.from_items:
+        stack.extend(_on_conditions(item))
+    while stack:
+        expr = stack.pop()
+        if expr is None:
+            continue
+        if isinstance(expr, ast.BinaryOp) and expr.op == "and":
+            stack.extend((expr.left, expr.right))
+            continue
+        if (
+            isinstance(expr, ast.BinaryOp)
+            and expr.op == "="
+            and isinstance(expr.left, ast.ColumnRef)
+            and isinstance(expr.right, ast.ColumnRef)
+            and expr.left.relation is not None
+            and expr.right.relation is not None
+            and expr.left.relation.text.lower() in bindings
+            and expr.right.relation.text.lower() in bindings
+            and expr.left.relation.text.lower()
+            != expr.right.relation.text.lower()
+        ):
+            joins.append(expr)
+        else:
+            values.append(expr)
+    return joins, values
+
+
+def _on_conditions(item: ast.Node):
+    if isinstance(item, ast.Join):
+        if item.condition is not None:
+            yield item.condition
+        yield from _on_conditions(item.left)
+        yield from _on_conditions(item.right)
+
+
+def _attribute_occurrences(roots) -> int:
+    count = 0
+    for root in roots:
+        for node in _walk_block(root):
+            if isinstance(node, ast.ColumnRef):
+                count += 1
+    return count
+
+
+# ---------------------------------------------------------------------------
+# public API
+# ---------------------------------------------------------------------------
+
+
+def sfsql_cost(query: Union[str, ast.Node]) -> int:
+    """Distinct schema-element names specified in a Schema-free SQL query."""
+    if isinstance(query, str):
+        query = parse(query)
+    units: set[tuple[str, str]] = set()
+    for node in query.walk():
+        if isinstance(node, ast.TableRef):
+            _add_term(units, node.name)
+        elif isinstance(node, ast.ColumnRef):
+            if node.relation is not None:
+                _add_term(units, node.relation)
+            _add_term(units, node.attribute)
+    return len(units)
+
+
+def _add_term(units: set, term: ast.NameTerm) -> None:
+    if term.certainty in (ast.Certainty.EXACT, ast.Certainty.GUESS):
+        units.add(("name", term.text.lower()))
+    elif term.certainty is ast.Certainty.VAR:
+        units.add(("var", term.text))
+    # anonymous ``?`` carries no schema information: zero units
+
+
+def full_sql_cost(query: Union[str, ast.Node]) -> int:
+    """Information units of a fully-specified SQL query."""
+    if isinstance(query, str):
+        query = parse(query)
+    total = 0
+    for select in _blocks(query):
+        total += len(list(_relation_occurrences(select)))
+        joins, values = _join_and_value_conjuncts(select)
+        total += 2 * len(joins)
+        roots = [item.expr for item in select.items]
+        roots.extend(values)
+        roots.extend(select.group_by)
+        if select.having is not None:
+            roots.append(select.having)
+        roots.extend(item.expr for item in select.order_by)
+        total += _attribute_occurrences(roots)
+    return total
+
+
+def gui_cost(query: Union[str, ast.Node]) -> int:
+    """Information units when using a visual query builder: as full SQL,
+    but FK-PK join paths are auto-completed (zero units)."""
+    if isinstance(query, str):
+        query = parse(query)
+    total = 0
+    for select in _blocks(query):
+        total += len(list(_relation_occurrences(select)))
+        _joins, values = _join_and_value_conjuncts(select)
+        roots = [item.expr for item in select.items]
+        roots.extend(values)
+        roots.extend(select.group_by)
+        if select.having is not None:
+            roots.append(select.having)
+        roots.extend(item.expr for item in select.order_by)
+        total += _attribute_occurrences(roots)
+    return total
+
+
+def _relation_occurrences(select: ast.Select):
+    stack = list(select.from_items)
+    while stack:
+        item = stack.pop()
+        if isinstance(item, ast.TableRef):
+            yield item
+        elif isinstance(item, ast.Join):
+            stack.extend((item.left, item.right))

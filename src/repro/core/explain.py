@@ -1,0 +1,51 @@
+"""Human-readable explanations of translations.
+
+The paper's architecture "also supports returning top k translations
+directly to the user before evaluating the best one" (§2.2).  For that to
+be useful the user must see *why* an interpretation was chosen; this
+module renders a translation's join network — which relation each
+relation tree mapped onto, which FK-PK edges connect them and at what
+weight, and which views contributed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .join_network import JoinNetwork
+from .translator import Translation
+
+
+def describe_network(network: JoinNetwork) -> str:
+    """Multi-line description of one MTJN."""
+    lines = ["join network:"]
+    for node in sorted(network.nodes.values(), key=lambda n: n.node_id):
+        tag = ""
+        if node.tree_key is not None:
+            kind, text = node.tree_key
+            tag = f"  <- relation tree {kind}:{text}"
+        lines.append(f"  node {node.relation}{tag}")
+    for edge in network.all_edges:
+        lines.append(
+            f"  edge {edge.left.relation}.{edge.left_attribute} = "
+            f"{edge.right.relation}.{edge.right_attribute} "
+            f"(w={edge.weight:.3f})"
+        )
+    for instance in network.views:
+        chain = " - ".join(node.relation for node in instance.nodes)
+        lines.append(
+            f"  via view {instance.view.name} [{instance.view.source}]: "
+            f"{chain} (w={instance.weight:.3f})"
+        )
+    lines.append(f"  construction weight: {network.construction_weight:.4f}")
+    return "\n".join(lines)
+
+
+def describe_translation(translation: Translation) -> str:
+    """Full explanation: the SQL, its weight, and its join network."""
+    lines = [f"sql: {translation.sql}", f"weight: {translation.weight:.4f}"]
+    if translation.network is not None:
+        lines.append(describe_network(translation.network))
+    else:
+        lines.append("join network: (none — constant or set-operation query)")
+    return "\n".join(lines)

@@ -1,0 +1,326 @@
+"""Join networks over the extended view graph (paper §5.2 and §6.1).
+
+A join network (JN) is a rooted, ordered tree of extended-graph nodes.
+Expansion follows the paper's adaptation of rightmost-path expansion:
+only nodes currently marked *rightmost* may grow, a newly added node (or
+view subtree) becomes the new rightmost branch and everything to its left
+is frozen.  A frozen unmapped leaf can never be repaired, so expansions
+that create one are rejected outright (Example 9).
+
+Weights implement Definitions 4-7:
+
+* ``w_basic(jn)``   — product of all member edge weights;
+* ``w_view(v)``     — square root of the product of the view's edges;
+* ``w_con(jn)``     — product of used view weights and loose edge weights;
+* ``w(jn)``         — the maximum construction weight over all ways of
+  tiling the network with edge-disjoint contained views.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Optional, Sequence
+
+from .relation_tree import TreeKey
+from .view_graph import ViewInstance, XEdge, XNode
+
+
+@dataclass(frozen=True)
+class JoinNetwork:
+    """An (immutable) partially- or fully-expanded join network."""
+
+    root_id: int
+    nodes: dict[int, XNode]
+    parents: dict[int, Optional[int]]
+    children: dict[int, tuple[int, ...]]
+    rightmost: frozenset[int]
+    edges: tuple[XEdge, ...]  # loose edges of this construction
+    views: tuple[ViewInstance, ...]  # views of this construction
+    #: (source node id, fk id) pairs already used — Definition 2's
+    #: one-target-per-foreign-key constraint
+    fk_used: frozenset[tuple[int, tuple[str, str, str, str]]]
+    construction_weight: float
+    tree_keys: frozenset[TreeKey]
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def single(node: XNode) -> "JoinNetwork":
+        keys = frozenset([node.tree_key]) if node.tree_key else frozenset()
+        return JoinNetwork(
+            root_id=node.node_id,
+            nodes={node.node_id: node},
+            parents={node.node_id: None},
+            children={node.node_id: ()},
+            rightmost=frozenset([node.node_id]),
+            edges=(),
+            views=(),
+            fk_used=frozenset(),
+            construction_weight=1.0,
+            tree_keys=keys,
+        )
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def contains_node(self, node: XNode) -> bool:
+        return node.node_id in self.nodes
+
+    @property
+    def all_edges(self) -> list[XEdge]:
+        collected = list(self.edges)
+        for view in self.views:
+            collected.extend(view.edges)
+        return collected
+
+    def member_edges_within(self) -> list[XEdge]:
+        """Edges realised by this network's tree structure."""
+        return self.all_edges
+
+    @property
+    def canonical(self) -> frozenset[frozenset[int]]:
+        """Identity of the network regardless of construction or root."""
+        return frozenset(edge.key for edge in self.all_edges) | frozenset(
+            frozenset([node_id]) for node_id in self.nodes
+        )
+
+    def is_total(self, required: Iterable[TreeKey]) -> bool:
+        """Total: contains a node for every relation tree (Definition 3)."""
+        return all(key in self.tree_keys for key in required)
+
+    def is_minimal(self) -> bool:
+        """Minimal: every leaf carries a relation tree (removing an
+        unmapped leaf would keep the network total, Definition 3)."""
+        return all(
+            self.nodes[node_id].is_mapped
+            for node_id, kids in self.children.items()
+            if not kids
+        )
+
+    @property
+    def max_view_label(self) -> int:
+        return max((view.label for view in self.views), default=-1)
+
+    # ------------------------------------------------------------------
+    # weights (Definitions 4, 6, 7)
+    # ------------------------------------------------------------------
+    @property
+    def basic_weight(self) -> float:
+        return math.prod(edge.weight for edge in self.all_edges)
+
+    def best_weight(self, applicable_views: Sequence[ViewInstance]) -> float:
+        """Definition 7: the maximum construction weight over all tilings
+        of the network with edge-disjoint contained views."""
+        edge_keys = frozenset(edge.key for edge in self.all_edges)
+        node_ids = set(self.nodes)
+        contained = [
+            view
+            for view in applicable_views
+            if view.edge_keys <= edge_keys
+            and all(node.node_id in node_ids for node in view.nodes)
+        ]
+        edge_weights = {edge.key: edge.weight for edge in self.all_edges}
+        best = math.prod(edge_weights.values())  # edges-only construction
+
+        def search(index: int, covered: frozenset, weight_so_far: float,
+                   uncovered_product: float) -> float:
+            nonlocal best
+            if index == len(contained):
+                total = weight_so_far * uncovered_product
+                if total > best:
+                    best = total
+                return best
+            search(index + 1, covered, weight_so_far, uncovered_product)
+            view = contained[index]
+            if view.edge_keys & covered:
+                return best
+            removed = math.prod(edge_weights[k] for k in view.edge_keys)
+            search(
+                index + 1,
+                covered | view.edge_keys,
+                weight_so_far * view.weight,
+                uncovered_product / removed if removed else 0.0,
+            )
+            return best
+
+        if contained:
+            search(0, frozenset(), 1.0, best)
+        return best
+
+    # ------------------------------------------------------------------
+    # expansion (legality test of §6.1)
+    # ------------------------------------------------------------------
+    def expand_edge(
+        self, edge: XEdge, at: XNode, legality: bool = True
+    ) -> Optional["JoinNetwork"]:
+        """Attach ``edge.other(at)`` as the new rightmost child of *at*;
+        returns None when the expansion is illegal.  ``legality=False``
+        disables the rightmost-path test (used by the DISCOVER-style
+        baseline of §7.3, which expands JNs arbitrarily)."""
+        if at.node_id not in self.nodes:
+            return None
+        if legality and at.node_id not in self.rightmost:
+            return None
+        new_node = edge.other(at)
+        if new_node.node_id in self.nodes:
+            return None
+        if new_node.tree_key is not None and new_node.tree_key in self.tree_keys:
+            return None  # one occurrence per relation tree
+        fk_key = self._fk_key(edge)
+        if fk_key in self.fk_used:
+            return None
+        demoted = self._demote_under(at.node_id)
+        if legality and self._creates_dead_leaf(demoted):
+            return None
+        nodes = dict(self.nodes)
+        nodes[new_node.node_id] = new_node
+        parents = dict(self.parents)
+        parents[new_node.node_id] = at.node_id
+        children = dict(self.children)
+        children[at.node_id] = children[at.node_id] + (new_node.node_id,)
+        children[new_node.node_id] = ()
+        rightmost = (self.rightmost - demoted) | {new_node.node_id}
+        keys = self.tree_keys
+        if new_node.tree_key is not None:
+            keys = keys | {new_node.tree_key}
+        return replace(
+            self,
+            nodes=nodes,
+            parents=parents,
+            children=children,
+            rightmost=frozenset(rightmost),
+            edges=self.edges + (edge,),
+            fk_used=self.fk_used | {fk_key},
+            construction_weight=self.construction_weight * edge.weight,
+            tree_keys=keys,
+        )
+
+    def expand_view(
+        self, instance: ViewInstance, at: XNode, legality: bool = True
+    ) -> Optional["JoinNetwork"]:
+        """Graft a view instance sharing exactly the node *at* with this
+        network (the paper's view expansion rule)."""
+        if at.node_id not in self.nodes:
+            return None
+        if legality and at.node_id not in self.rightmost:
+            return None
+        if legality and instance.label <= self.max_view_label:
+            return None  # view labels must increase
+        shared = [n for n in instance.nodes if n.node_id in self.nodes]
+        if len(shared) != 1 or shared[0].node_id != at.node_id:
+            return None
+        new_keys = set()
+        for node in instance.nodes:
+            if node.node_id == at.node_id:
+                continue
+            if node.tree_key is not None:
+                if node.tree_key in self.tree_keys or node.tree_key in new_keys:
+                    return None
+                new_keys.add(node.tree_key)
+        fk_used = set(self.fk_used)
+        for edge in instance.edges:
+            fk_key = self._fk_key(edge)
+            if fk_key in fk_used:
+                return None
+            fk_used.add(fk_key)
+        demoted = self._demote_under(at.node_id)
+        if legality and self._creates_dead_leaf(demoted):
+            return None
+        # orient the view as a tree rooted at the shared node
+        adjacency: dict[int, list[tuple[XEdge, XNode]]] = {}
+        for edge in instance.edges:
+            adjacency.setdefault(edge.left.node_id, []).append(
+                (edge, edge.right)
+            )
+            adjacency.setdefault(edge.right.node_id, []).append(
+                (edge, edge.left)
+            )
+        nodes = dict(self.nodes)
+        parents = dict(self.parents)
+        children = dict(self.children)
+        added: list[int] = []
+        visited = {at.node_id}
+        stack = [at.node_id]
+        while stack:
+            current = stack.pop()
+            kids = sorted(
+                (
+                    (edge, neighbor)
+                    for edge, neighbor in adjacency.get(current, ())
+                    if neighbor.node_id not in visited
+                ),
+                key=lambda pair: pair[1].node_id,
+            )
+            for _, neighbor in kids:
+                visited.add(neighbor.node_id)
+                nodes[neighbor.node_id] = neighbor
+                parents[neighbor.node_id] = current
+                children[current] = children.get(current, ()) + (
+                    neighbor.node_id,
+                )
+                children.setdefault(neighbor.node_id, ())
+                added.append(neighbor.node_id)
+                stack.append(neighbor.node_id)
+        if len(visited) != len(instance.nodes):
+            return None  # disconnected assignment (defensive)
+        rightmost = (self.rightmost - demoted) | set(added)
+        return replace(
+            self,
+            nodes=nodes,
+            parents=parents,
+            children=children,
+            rightmost=frozenset(rightmost),
+            views=self.views + (instance,),
+            fk_used=frozenset(fk_used),
+            construction_weight=self.construction_weight * instance.weight,
+            tree_keys=self.tree_keys | new_keys,
+        )
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _fk_key(edge: XEdge) -> tuple[int, tuple[str, str, str, str]]:
+        """A foreign key instance is identified by its source occurrence:
+        the same FK column of one occurrence may join only one target."""
+        source = (
+            edge.left
+            if edge.left.relation == edge.fk_id[0]
+            and edge.left_attribute.lower() == edge.fk_id[1]
+            else edge.right
+        )
+        return (source.node_id, edge.fk_id)
+
+    def _demote_under(self, at_id: int) -> frozenset[int]:
+        """Nodes losing rightmost status when *at_id* gains a new child:
+        the subtrees of its existing children (they are now 'left of' the
+        new branch)."""
+        demoted: set[int] = set()
+        stack = list(self.children.get(at_id, ()))
+        while stack:
+            current = stack.pop()
+            demoted.add(current)
+            stack.extend(self.children.get(current, ()))
+        return frozenset(demoted)
+
+    def _creates_dead_leaf(self, demoted: frozenset[int]) -> bool:
+        """True when demoting would freeze an unmapped leaf forever
+        (such a network can never satisfy minimality — Example 9)."""
+        for node_id in demoted:
+            if not self.children.get(node_id) and not self.nodes[node_id].is_mapped:
+                return True
+        return False
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        def fmt(node_id: int) -> str:
+            node = self.nodes[node_id]
+            kids = self.children.get(node_id, ())
+            inner = ", ".join(fmt(k) for k in kids)
+            return f"{node}({inner})" if inner else str(node)
+
+        return fmt(self.root_id)

@@ -1,0 +1,87 @@
+"""Relation Tree Mapper: mapping sets via the relative threshold σ.
+
+Definition 1 of the paper: the mapping set of a relation tree rt is
+
+    MAP(rt) = { Ri | Sim(rt, Ri) > σ * max_j Sim(rt, Rj) }.
+
+The relative threshold keeps exactly one relation in play when the user
+named it well, and several plausible candidates when the guess was poor —
+the paper's stated design intent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..catalog import Relation
+from ..engine import Database
+from .config import DEFAULT_CONFIG, TranslatorConfig
+from .relation_tree import AttrKey, RelationTree, TreeKey
+from .similarity import SimilarityEvaluator
+
+
+@dataclass
+class RelationMapping:
+    """One candidate relation for a relation tree."""
+
+    relation: Relation
+    similarity: float
+    #: attribute tree key -> argmax attribute name in ``relation`` (§4.3)
+    attribute_map: dict[AttrKey, str] = field(default_factory=dict)
+
+
+@dataclass
+class TreeMappings:
+    """All candidates of one relation tree, best first."""
+
+    tree: RelationTree
+    candidates: list[RelationMapping] = field(default_factory=list)
+
+    @property
+    def best(self) -> Optional[RelationMapping]:
+        return self.candidates[0] if self.candidates else None
+
+    def candidate_for(self, relation_name: str) -> Optional[RelationMapping]:
+        lowered = relation_name.lower()
+        for candidate in self.candidates:
+            if candidate.relation.key == lowered:
+                return candidate
+        return None
+
+    def __iter__(self):
+        return iter(self.candidates)
+
+
+class RelationTreeMapper:
+    """Maps relation trees to database relations by similarity."""
+
+    def __init__(
+        self,
+        database: Database,
+        config: TranslatorConfig = DEFAULT_CONFIG,
+        evaluator: Optional[SimilarityEvaluator] = None,
+    ) -> None:
+        self.database = database
+        self.config = config
+        self.evaluator = evaluator or SimilarityEvaluator(database, config)
+
+    def map_tree(self, tree: RelationTree) -> TreeMappings:
+        scored: list[RelationMapping] = []
+        for relation in self.database.catalog:
+            similarity, attribute_map = self.evaluator.tree_similarity(
+                tree, relation
+            )
+            if similarity > 0.0:
+                scored.append(
+                    RelationMapping(relation, similarity, attribute_map)
+                )
+        scored.sort(key=lambda m: (-m.similarity, m.relation.key))
+        if not scored:
+            return TreeMappings(tree, [])
+        threshold = self.config.sigma * scored[0].similarity
+        kept = [m for m in scored if m.similarity > threshold or m is scored[0]]
+        return TreeMappings(tree, kept[: self.config.max_mappings])
+
+    def map_trees(self, trees: list[RelationTree]) -> dict[TreeKey, TreeMappings]:
+        return {tree.key: self.map_tree(tree) for tree in trees}

@@ -1,0 +1,239 @@
+"""Top-k MTJN generation — Algorithms 1, 2 and 3 of the paper (§6.1).
+
+Algorithm 1 (InitMTJNGen) ranks the nodes mapped by the first relation
+tree by potential and expands each as a root, removing the root from the
+graph afterwards to avoid regenerating isomorphic networks from a
+different starting point.
+
+Algorithm 2 (KMTJNUpdate) best-first expands partial join networks from a
+priority queue ordered by *potential*, pushing only expansions that pass
+the legality test and whose potential still beats the current k-th MTJN.
+
+Algorithm 3 (PotentialEstimate) upper-bounds the weight of any MTJN
+reachable from a partial network: for every uncovered relation tree it
+adds the strongest path from one of the tree's mapped nodes, with view
+edges optimistically reweighted to their square roots.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from .config import DEFAULT_CONFIG, TranslatorConfig
+from .join_network import JoinNetwork
+from .relation_tree import RelationTree, TreeKey
+from .view_graph import ExtendedViewGraph, ViewInstance, XNode
+
+
+@dataclass
+class GenerationStats:
+    """Counters exposed for the efficiency experiment (Figure 17)."""
+
+    expanded: int = 0
+    pushed: int = 0
+    pruned: int = 0
+    emitted: int = 0
+
+
+@dataclass(order=True)
+class _QueueEntry:
+    negative_potential: float
+    sequence: int
+    network: JoinNetwork = field(compare=False)
+
+
+class MTJNGenerator:
+    """Generates the top-k minimal total join networks for a query."""
+
+    def __init__(
+        self,
+        graph: ExtendedViewGraph,
+        config: TranslatorConfig = DEFAULT_CONFIG,
+    ) -> None:
+        self.graph = graph
+        self.config = config
+        self.stats = GenerationStats()
+        self._required: list[TreeKey] = [tree.key for tree in graph.trees]
+        self._path_cache: dict[int, dict[int, float]] = {}
+        self._path_version = 0
+        self._instances_by_node: dict[int, list[ViewInstance]] = {}
+        for instance in graph.view_instances:
+            for node in instance.nodes:
+                self._instances_by_node.setdefault(node.node_id, []).append(
+                    instance
+                )
+
+    # ------------------------------------------------------------------
+    # Algorithm 1
+    # ------------------------------------------------------------------
+    def generate(self, k: Optional[int] = None) -> list[JoinNetwork]:
+        k = k or self.config.top_k
+        if not self._required:
+            return []
+        first_key = self._required[0]
+        roots = list(self.graph.nodes_for_tree(first_key))
+        if not roots:
+            return []
+        top: list[tuple[float, JoinNetwork]] = []
+        seen: set[frozenset] = set()
+        roots.sort(
+            key=lambda node: -self._potential(JoinNetwork.single(node), top, k)
+        )
+        removed: list[XNode] = []
+        try:
+            for root in roots:
+                self._expand_root(root, k, top, seen)
+                self.graph.remove_node(root)
+                removed.append(root)
+                self._invalidate_paths()
+        finally:
+            for node in removed:
+                self.graph.restore_node(node)
+            self._invalidate_paths()
+        top.sort(key=lambda pair: -pair[0])
+        return [network for _, network in top[:k]]
+
+    # ------------------------------------------------------------------
+    # Algorithm 2
+    # ------------------------------------------------------------------
+    def _expand_root(
+        self,
+        root: XNode,
+        k: int,
+        top: list[tuple[float, JoinNetwork]],
+        seen: set[frozenset],
+    ) -> None:
+        counter = itertools.count()
+        start = JoinNetwork.single(root)
+        queue: list[_QueueEntry] = []
+        self._consider(start, k, top, seen, queue, counter)
+        while queue:
+            if self.stats.expanded >= self.config.max_expansions:
+                break
+            entry = heapq.heappop(queue)
+            network = entry.network
+            # re-check: the k-th weight may have risen since this was pushed
+            if -entry.negative_potential <= self._kth_weight(top, k):
+                self.stats.pruned += 1
+                continue
+            for expanded in self._expansions(network):
+                self.stats.expanded += 1
+                self._consider(expanded, k, top, seen, queue, counter)
+
+    def _expansions(self, network: JoinNetwork) -> Iterable[JoinNetwork]:
+        for node_id in network.rightmost:
+            node = network.nodes[node_id]
+            if self.graph.is_removed(node):
+                continue
+            for edge in self.graph.incident_edges(node):
+                expanded = network.expand_edge(edge, node)
+                if expanded is not None:
+                    yield expanded
+            for instance in self._instances_by_node.get(node_id, ()):
+                if any(self.graph.is_removed(n) for n in instance.nodes):
+                    continue
+                expanded = network.expand_view(instance, node)
+                if expanded is not None:
+                    yield expanded
+
+    def _consider(
+        self,
+        network: JoinNetwork,
+        k: int,
+        top: list[tuple[float, JoinNetwork]],
+        seen: set[frozenset],
+        queue: list[_QueueEntry],
+        counter,
+    ) -> None:
+        canonical = network.canonical
+        if canonical in seen:
+            return
+        if network.is_total(self._required):
+            if network.is_minimal():
+                seen.add(canonical)
+                weight = network.best_weight(self.graph.view_instances)
+                top.append((weight, network))
+                top.sort(key=lambda pair: -pair[0])
+                del top[max(k, 1) :]
+                self.stats.emitted += 1
+            return
+        potential = self._potential(network, top, k)
+        if potential <= self._kth_weight(top, k):
+            self.stats.pruned += 1
+            return
+        seen.add(canonical)
+        heapq.heappush(
+            queue, _QueueEntry(-potential, next(counter), network)
+        )
+        self.stats.pushed += 1
+
+    @staticmethod
+    def _kth_weight(top: list[tuple[float, JoinNetwork]], k: int) -> float:
+        if len(top) < k:
+            return 0.0
+        return top[k - 1][0]
+
+    # ------------------------------------------------------------------
+    # Algorithm 3
+    # ------------------------------------------------------------------
+    def _potential(
+        self,
+        network: JoinNetwork,
+        top: list[tuple[float, JoinNetwork]],
+        k: int,
+    ) -> float:
+        """Algorithm 3: add, per uncovered relation tree, the strongest
+        path from one of its mapped nodes — and add the *whole* path to
+        the growing member set (``jn'.add(p)``), so that path segments
+        shared between trees are charged only once and the estimate stays
+        an upper bound."""
+        weight = network.construction_weight
+        member_ids = set(network.nodes)
+        for key in self._required:
+            if key in network.tree_keys:
+                continue
+            best_path = 0.0
+            best_candidate: Optional[int] = None
+            best_member: Optional[int] = None
+            for candidate in self.graph.nodes_for_tree(key):
+                paths, _parents = self._paths_from(candidate)
+                for node_id in member_ids:
+                    path_weight = paths.get(node_id, 0.0)
+                    if path_weight > best_path:
+                        best_path = path_weight
+                        best_candidate = candidate.node_id
+                        best_member = node_id
+            if best_path <= 0.0:
+                return 0.0  # this tree is unreachable from the network
+            weight *= best_path
+            if best_candidate is not None and best_member is not None:
+                member_ids.update(
+                    self._path_nodes(best_candidate, best_member)
+                )
+        return weight
+
+    def _path_nodes(self, source_id: int, target_id: int) -> list[int]:
+        """Node ids on the strongest path from *source* to *target*."""
+        _paths, parents = self._path_cache[source_id]
+        nodes = [target_id]
+        current = target_id
+        while current != source_id:
+            current = parents.get(current)
+            if current is None:
+                break
+            nodes.append(current)
+        return nodes
+
+    def _paths_from(self, node: XNode):
+        cached = self._path_cache.get(node.node_id)
+        if cached is None:
+            cached = self.graph.strongest_paths_from(node, with_parents=True)
+            self._path_cache[node.node_id] = cached
+        return cached
+
+    def _invalidate_paths(self) -> None:
+        self._path_cache.clear()
+        self._path_version += 1

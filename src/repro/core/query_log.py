@@ -1,0 +1,227 @@
+"""Mining views from query logs (paper §5.1, Figure 5).
+
+Each logged full-SQL query is reduced to the join structure it exercised:
+one occurrence per FROM binding, one view join per equality predicate
+between two bindings (WHERE conjuncts and explicit JOIN..ON conditions).
+Connected components with at least two occurrences become views; cyclic
+components are reduced to a spanning tree, since views are defined as
+connected trees of relations.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional, Union
+
+from ..catalog import Catalog
+from ..sqlkit import ast, parse
+from .triples import conjuncts_of
+from .view_graph import View, ViewJoin
+
+
+def views_from_sql(
+    catalog: Catalog,
+    query: Union[str, ast.Node],
+    name: str = "log",
+    source: str = "log",
+) -> list[View]:
+    """Extract the views implied by one logged full-SQL query.
+
+    Only the outermost block is mined (nested blocks describe separate
+    join structures and can be mined by calling this on them directly).
+    """
+    if isinstance(query, str):
+        query = parse(query)
+    while isinstance(query, ast.SetOp):
+        query = query.left
+    if not isinstance(query, ast.Select):
+        return []
+    bindings: dict[str, str] = {}  # binding name -> relation name
+    order: list[str] = []
+    join_conditions: list[ast.Node] = []
+
+    def visit_from(item: ast.Node) -> None:
+        if isinstance(item, ast.TableRef):
+            if not catalog.has_relation(item.name.text):
+                return
+            binding = item.binding.lower()
+            if binding not in bindings:
+                bindings[binding] = catalog.relation(item.name.text).name
+                order.append(binding)
+        elif isinstance(item, ast.Join):
+            visit_from(item.left)
+            visit_from(item.right)
+            if item.condition is not None:
+                join_conditions.extend(conjuncts_of(item.condition))
+
+    for item in query.from_items:
+        visit_from(item)
+    if len(order) < 2:
+        return []
+    join_conditions.extend(conjuncts_of(query.where))
+
+    index_of = {binding: i for i, binding in enumerate(order)}
+    edges: list[ViewJoin] = []
+    for conjunct in join_conditions:
+        resolved = _as_binding_join(conjunct, bindings, catalog)
+        if resolved is None:
+            continue
+        left_binding, left_attr, right_binding, right_attr = resolved
+        edges.append(
+            ViewJoin(
+                index_of[left_binding],
+                left_attr,
+                index_of[right_binding],
+                right_attr,
+            )
+        )
+
+    return _components_to_views(order, bindings, edges, name, source)
+
+
+def _as_binding_join(
+    conjunct: ast.Node, bindings: dict[str, str], catalog: Catalog
+) -> Optional[tuple[str, str, str, str]]:
+    if not (
+        isinstance(conjunct, ast.BinaryOp)
+        and conjunct.op == "="
+        and isinstance(conjunct.left, ast.ColumnRef)
+        and isinstance(conjunct.right, ast.ColumnRef)
+    ):
+        return None
+    left = _resolve(conjunct.left, bindings, catalog)
+    right = _resolve(conjunct.right, bindings, catalog)
+    if left is None or right is None or left[0] == right[0]:
+        return None
+    return (*left, *right)
+
+
+def _resolve(
+    column: ast.ColumnRef, bindings: dict[str, str], catalog: Catalog
+) -> Optional[tuple[str, str]]:
+    attribute = column.attribute.text
+    if column.relation is not None:
+        binding = column.relation.text.lower()
+        if binding not in bindings:
+            return None
+        relation = catalog.relation(bindings[binding])
+        if not relation.has_attribute(attribute):
+            return None
+        return binding, relation.attribute(attribute).name
+    owners = [
+        binding
+        for binding, relation_name in bindings.items()
+        if catalog.relation(relation_name).has_attribute(attribute)
+    ]
+    if len(owners) != 1:
+        return None
+    relation = catalog.relation(bindings[owners[0]])
+    return owners[0], relation.attribute(attribute).name
+
+
+def _components_to_views(
+    order: list[str],
+    bindings: dict[str, str],
+    edges: list[ViewJoin],
+    name: str,
+    source: str,
+) -> list[View]:
+    count = len(order)
+    parent = list(range(count))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    spanning: list[ViewJoin] = []
+    for edge in edges:
+        a, b = find(edge.left), find(edge.right)
+        if a == b:
+            continue  # cycle: drop (views are trees)
+        parent[a] = b
+        spanning.append(edge)
+
+    components: dict[int, list[int]] = {}
+    for index in range(count):
+        components.setdefault(find(index), []).append(index)
+
+    views: list[View] = []
+    counter = itertools.count(1)
+    for members in components.values():
+        if len(members) < 2:
+            continue
+        member_set = set(members)
+        local = {old: new for new, old in enumerate(members)}
+        joins = tuple(
+            ViewJoin(
+                local[edge.left],
+                edge.left_attribute,
+                local[edge.right],
+                edge.right_attribute,
+            )
+            for edge in spanning
+            if edge.left in member_set and edge.right in member_set
+        )
+        relations = tuple(bindings[order[index]] for index in members)
+        views.append(
+            View(
+                name=f"{name}#{next(counter)}",
+                relations=relations,
+                joins=joins,
+                source=source,
+            )
+        )
+    return views
+
+
+class QueryLog:
+    """An accumulating query log that feeds views to a ViewGraph.
+
+    Structurally identical patterns are counted rather than duplicated,
+    and a pattern's view *strength* grows with its frequency — the weight
+    management the paper sketches in §5.2 and defers to future work
+    ("query patterns mined from the query log can have different weights
+    according to their frequency").
+    """
+
+    def __init__(self, catalog: Catalog) -> None:
+        self.catalog = catalog
+        self._views: dict[tuple, View] = {}
+        self._frequency: dict[tuple, int] = {}
+        self._count = 0
+
+    @property
+    def views(self) -> list[View]:
+        return list(self._views.values())
+
+    def frequency(self, view: View) -> int:
+        return self._frequency.get(view.signature, 0)
+
+    @staticmethod
+    def _strength(frequency: int) -> float:
+        """1.0 for a once-seen pattern (Definition 5's square root),
+        growing gently and capped so weights stay meaningful."""
+        import math
+
+        return min(3.0, 1.0 + math.log2(max(frequency, 1)))
+
+    def record(self, query: Union[str, ast.Node]) -> list[View]:
+        """Mine *query*, count pattern frequencies, return fresh views."""
+        import dataclasses
+
+        self._count += 1
+        mined = views_from_sql(
+            self.catalog, query, name=f"log{self._count}", source="log"
+        )
+        recorded = []
+        for view in mined:
+            signature = view.signature
+            self._frequency[signature] = self._frequency.get(signature, 0) + 1
+            strengthened = dataclasses.replace(
+                view, strength=self._strength(self._frequency[signature])
+            )
+            self._views[signature] = strengthened
+            recorded.append(strengthened)
+        return recorded

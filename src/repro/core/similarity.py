@@ -1,0 +1,378 @@
+"""Similarity evaluation between relation trees and relations (paper §4).
+
+The framework follows the paper exactly:
+
+* string similarity ``Sim(a, b)`` is the Jaccard coefficient between the
+  q-gram sets of the two names;
+* damped similarity ``Sim'(a, b) = kref * Sim(a, b)`` is used when the
+  match is indirect (against a neighbouring relation's name);
+* root-level similarity (§4.2) takes the best of the direct match and the
+  damped neighbour matches, falling back to attribute names with default
+  ``kdef`` when the tree's root is unspecified;
+* attribute-level similarity (§4.3) multiplies the attribute-name
+  similarity by ``(m + 1) / (n + 1)``, where n counts the attribute
+  tree's value conditions and m counts those satisfied by at least one
+  tuple of the candidate column;
+* whole-tree similarity (§4.1) is the product of the root similarity and
+  all attribute similarities.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Any, Optional, Sequence
+
+from ..catalog import Attribute, Relation
+from ..engine import Database, ExecutionError, NameResolutionError
+from ..engine.evaluator import Evaluator, Scope
+from ..sqlkit import ast, render
+from .config import DEFAULT_CONFIG, TranslatorConfig
+from .relation_tree import AttributeTree, RelationTree
+from .triples import Condition
+
+# ---------------------------------------------------------------------------
+# string similarity
+# ---------------------------------------------------------------------------
+
+
+@lru_cache(maxsize=65536)
+def qgrams(text: str, q: int) -> frozenset[str]:
+    """Padded q-gram set of a lower-cased identifier."""
+    text = text.lower()
+    if not text:
+        return frozenset()
+    padded = "#" * (q - 1) + text + "#" * (q - 1)
+    return frozenset(padded[i : i + q] for i in range(len(padded) - q + 1))
+
+
+@lru_cache(maxsize=65536)
+def _qgram_jaccard(a: str, b: str, q: int) -> float:
+    grams_a, grams_b = qgrams(a, q), qgrams(b, q)
+    union = len(grams_a | grams_b)
+    if union == 0:
+        return 0.0
+    return len(grams_a & grams_b) / union
+
+
+@lru_cache(maxsize=65536)
+def string_similarity(
+    a: str, b: str, q: int = 3, token_damp: float = 0.85
+) -> float:
+    """Identifier similarity: q-gram Jaccard, token-aware.
+
+    The paper recommends the Jaccard coefficient between q-gram sets
+    (§4.2) and frames the concrete similarity as a pluggable choice.  Raw
+    q-grams underrate compound schema names (``produce_company`` shares
+    almost no 3-grams with ``company``), so we additionally compare the
+    best pair of underscore-separated tokens, damped by ``token_damp`` so
+    a whole-name match still wins.
+    """
+    if not a or not b:
+        return 0.0
+    if a.lower() == b.lower():
+        return 1.0
+    full = _word_similarity(a.lower(), b.lower(), q)
+    tokens_a = [t for t in a.lower().split("_") if t]
+    tokens_b = [t for t in b.lower().split("_") if t]
+    best_token = 0.0
+    if len(tokens_a) > 1 or len(tokens_b) > 1:
+        best_token = max(
+            (
+                _word_similarity(ta, tb, q)
+                for ta in tokens_a
+                for tb in tokens_b
+            ),
+            default=0.0,
+        )
+    return max(full, token_damp * best_token)
+
+
+def _singular(word: str) -> str:
+    """Cheap plural stripping: ``movies`` -> ``movie``, ``classes`` ->
+    ``class``; leaves short words and non-plurals alone."""
+    if word.endswith("ies") and len(word) > 4:
+        return word[:-3] + "y"
+    if word.endswith("es") and len(word) > 4 and word[-3] in "sxz":
+        return word[:-2]
+    if word.endswith("s") and not word.endswith("ss") and len(word) > 3:
+        return word[:-1]
+    return word
+
+
+@lru_cache(maxsize=65536)
+def _word_similarity(a: str, b: str, q: int) -> float:
+    """q-gram Jaccard, plural-insensitive (``actors`` matches ``actor``)."""
+    sa, sb = _singular(a), _singular(b)
+    if sa == sb:
+        return 1.0
+    return _qgram_jaccard(sa, sb, q)
+
+
+# ---------------------------------------------------------------------------
+# condition satisfaction (the (m+1)/(n+1) factor of §4.3)
+# ---------------------------------------------------------------------------
+
+_PROBE_BINDING = "__probe__"
+_PROBE_COLUMN = "__value__"
+_PROBE_REF = ast.ColumnRef(
+    ast.exact(_PROBE_COLUMN), ast.exact(_PROBE_BINDING)
+)
+
+
+class ConditionChecker:
+    """Checks whether value conditions are satisfied by database columns.
+
+    Column contents are sampled (``config.condition_sample``) and probe
+    predicates are evaluated with the subject column bound to each sample
+    value; the first satisfying value short-circuits.
+    """
+
+    def __init__(self, database: Database, config: TranslatorConfig) -> None:
+        self._database = database
+        self._config = config
+        self._evaluator = Evaluator()
+        self._samples: dict[tuple[str, str], list[Any]] = {}
+        self._memo: dict[tuple[str, str, str], str] = {}
+
+    def _sample(self, relation: str, attribute: str) -> list[Any]:
+        key = (relation.lower(), attribute.lower())
+        if key not in self._samples:
+            values = self._database.column_values(relation, attribute)
+            limit = self._config.condition_sample
+            distinct = list(dict.fromkeys(v for v in values if v is not None))
+            self._samples[key] = distinct[:limit]
+        return self._samples[key]
+
+    def status(
+        self, condition: Condition, relation: Relation, attribute: Attribute
+    ) -> str:
+        """Classify a condition against a column.
+
+        Returns ``"satisfied"`` when some tuple of ``relation.attribute``
+        satisfies the condition, ``"incompatible"`` when the condition's
+        constants can *never* be satisfied by the column's type, and
+        ``"unsatisfied"`` otherwise.
+        """
+        probe = _probe_predicate(condition)
+        memo_key = (render(probe), relation.key, attribute.key)
+        cached = self._memo.get(memo_key)
+        if cached is not None:
+            return cached
+        if not _compatible(condition.predicate, attribute.data_type):
+            result = "incompatible"
+        else:
+            result = "unsatisfied"
+            for value in self._sample(relation.name, attribute.name):
+                scope = Scope({_PROBE_BINDING: {_PROBE_COLUMN: value}})
+                try:
+                    if self._evaluator.is_true(probe, scope):
+                        result = "satisfied"
+                        break
+                except (ExecutionError, NameResolutionError):
+                    result = "incompatible"
+                    break
+        self._memo[memo_key] = result
+        return result
+
+    def satisfied(
+        self, condition: Condition, relation: Relation, attribute: Attribute
+    ) -> bool:
+        """True when some tuple of the column satisfies the condition."""
+        return self.status(condition, relation, attribute) == "satisfied"
+
+
+def _literal_family(value: Any) -> Optional[str]:
+    if isinstance(value, bool):
+        return "bool"
+    if isinstance(value, (int, float)):
+        return "number"
+    if isinstance(value, str):
+        return "text"
+    return None
+
+
+def _column_family(data_type) -> str:
+    from ..catalog import DataType
+
+    if data_type in (DataType.INTEGER, DataType.FLOAT):
+        return "number"
+    if data_type is DataType.BOOLEAN:
+        return "bool"
+    if data_type is DataType.DATE:
+        return "date"
+    return "text"
+
+
+def _compatible(predicate: ast.Node, data_type) -> bool:
+    """Whether the predicate's constants could ever be satisfied by a
+    column of *data_type* (a text constant never equals an integer)."""
+    import datetime
+
+    column = _column_family(data_type)
+    if isinstance(predicate, ast.IsNull):
+        return True
+    if isinstance(predicate, ast.Like):
+        return column in ("text", "date")
+    for node in predicate.walk():
+        if not isinstance(node, ast.Literal) or node.value is None:
+            continue
+        family = _literal_family(node.value)
+        if family is None:
+            continue
+        if family == column:
+            continue
+        if column == "date" and family == "text":
+            try:
+                datetime.date.fromisoformat(node.value)
+                continue
+            except ValueError:
+                return False
+        return False
+    return True
+
+
+def _probe_predicate(condition: Condition) -> ast.Node:
+    """The condition's predicate with its subject column replaced by the
+    canonical probe reference."""
+    subject = condition.column
+
+    def substitute(node: ast.Node) -> Optional[ast.Node]:
+        if node == subject:
+            return _PROBE_REF
+        return None
+
+    return ast.transform(condition.predicate, substitute)
+
+
+# ---------------------------------------------------------------------------
+# similarity evaluator (§4.1 - §4.3)
+# ---------------------------------------------------------------------------
+
+
+class SimilarityEvaluator:
+    """Computes Sim(rt, R) and records the per-attribute argmax mapping."""
+
+    def __init__(
+        self,
+        database: Database,
+        config: TranslatorConfig = DEFAULT_CONFIG,
+    ) -> None:
+        self.database = database
+        self.config = config
+        self.checker = ConditionChecker(database, config)
+        self._neighbors: dict[str, list[Relation]] = {}
+
+    # -- string helpers --------------------------------------------------
+    def sim(self, a: str, b: str) -> float:
+        return string_similarity(
+            a, b, self.config.qgram, self.config.token_damp
+        )
+
+    def sim_damped(self, a: str, b: str) -> float:
+        """Sim'(a, b) = kref * Sim(a, b)."""
+        return self.config.kref * self.sim(a, b)
+
+    def _neighbors_of(self, relation: Relation) -> list[Relation]:
+        cached = self._neighbors.get(relation.key)
+        if cached is None:
+            cached = self.database.catalog.neighbors(relation.name)
+            self._neighbors[relation.key] = cached
+        return cached
+
+    # -- root level (§4.2) -------------------------------------------------
+    def root_similarity(self, tree: RelationTree, relation: Relation) -> float:
+        name = tree.known_name
+        if name is not None:
+            # floor at kdef: a guessed name with no lexical overlap (a
+            # synonym like ``film`` for ``movie``) degrades to the
+            # unspecified-root case instead of zeroing the product
+            return max(self._root_for_name(name, relation), self.config.kdef)
+        # unspecified root: start at kdef, then try each attribute name in
+        # place of the relation name and keep the best (§4.2, last para.)
+        best = self.config.kdef
+        for attribute_tree in tree.attribute_trees:
+            attr_name = attribute_tree.known_name
+            if attr_name is None:
+                continue
+            best = max(best, self._root_for_name(attr_name, relation))
+        return best
+
+    def _root_for_name(self, name: str, relation: Relation) -> float:
+        direct = self.sim(name, relation.name)
+        damped = max(
+            (
+                self.sim_damped(name, neighbor.name)
+                for neighbor in self._neighbors_of(relation)
+            ),
+            default=0.0,
+        )
+        return max(direct, damped)
+
+    # -- attribute level (§4.3) ---------------------------------------------
+    def attribute_similarity(
+        self, attribute_tree: AttributeTree, relation: Relation
+    ) -> tuple[float, Optional[str]]:
+        """Best Sim(at, A) over the relation's attributes, plus the argmax
+        attribute name (used by the composer to instantiate names)."""
+        best_score = 0.0
+        best_attribute: Optional[str] = None
+        for attribute in relation.attributes:
+            score = self._attribute_pair(attribute_tree, relation, attribute)
+            if score > best_score:
+                best_score = score
+                best_attribute = attribute.name
+        return best_score, best_attribute
+
+    def _attribute_pair(
+        self,
+        attribute_tree: AttributeTree,
+        relation: Relation,
+        attribute: Attribute,
+    ) -> float:
+        name = attribute_tree.known_name
+        if name is not None:
+            raw = self.sim(name, attribute.name)
+            # additive smoothing: a zero q-gram overlap must not wipe out
+            # condition evidence (mirrors the paper's +1 smoothing)
+            alpha = self.config.attr_smooth
+            name_sim = (raw + alpha) / (1.0 + alpha)
+        else:
+            # placeholder attribute: no name evidence; neutral default so
+            # the (m+1)/(n+1) condition factor decides (paper leaves this
+            # case open; kdef keeps placeholder trees comparable)
+            name_sim = self.config.kdef
+        if attribute.name.lower() in (c.lower() for c in relation.primary_key):
+            # matching the relation's key is evidence the user means this
+            # relation itself, not a bridge that references it
+            name_sim *= self.config.pk_bonus
+        conditions = attribute_tree.conditions
+        total = len(conditions)
+        if total:
+            satisfied = 0
+            for condition in conditions:
+                status = self.checker.status(condition, relation, attribute)
+                if status == "satisfied":
+                    satisfied += 1
+                elif status == "incompatible":
+                    # type-impossible conditions are stronger negative
+                    # evidence than merely unsatisfied ones
+                    name_sim *= self.config.k_incompat
+            beta = self.config.cond_smooth
+            name_sim *= (satisfied + beta) / (total + beta)
+        return name_sim
+
+    # -- whole tree (§4.1) ------------------------------------------------------
+    def tree_similarity(
+        self, tree: RelationTree, relation: Relation
+    ) -> tuple[float, dict]:
+        """Sim(rt, R) plus the attribute-tree -> attribute-name mapping."""
+        score = self.root_similarity(tree, relation)
+        attribute_map: dict = {}
+        for attribute_tree in tree.attribute_trees:
+            attr_score, attr_name = self.attribute_similarity(
+                attribute_tree, relation
+            )
+            score *= attr_score
+            if attr_name is not None:
+                attribute_map[attribute_tree.key] = attr_name
+        return score, attribute_map

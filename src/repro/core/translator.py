@@ -1,0 +1,347 @@
+"""End-to-end Schema-free SQL translation (the paper's Figure 3 pipeline).
+
+``SchemaFreeTranslator`` wires the four architecture modules together:
+
+* Schema-free SQL Parser  — ``repro.sqlkit`` + ``repro.core.triples``
+* Relation Tree Mapper    — ``repro.core.mapper`` (+ similarity)
+* Network Builder         — ``repro.core.view_graph`` + ``repro.core.mtjn``
+* Standard SQL Composer   — ``repro.core.composer``
+
+Nested queries are processed one block at a time, outermost first, so
+correlated references resolve against already-translated outer bindings
+(paper §2.2.5).  ``translate`` returns the top-k full-SQL interpretations
+best-first; ``execute`` evaluates the best one on the database.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Optional, Union
+
+from ..engine import Database, Result
+from ..sqlkit import ast, parse, render
+from .composer import ComposedQuery, Composer, TranslationError, transform_block_select
+from .config import DEFAULT_CONFIG, TranslatorConfig
+from .join_network import JoinNetwork
+from .mapper import RelationTreeMapper, TreeMappings
+from .mtjn import GenerationStats, MTJNGenerator
+from .query_log import QueryLog, views_from_sql
+from .relation_tree import RelationTree, build_relation_trees
+from .similarity import SimilarityEvaluator
+from .triples import ExtractionResult, JoinFragment, extract
+from .view_graph import ExtendedViewGraph, View, ViewGraph, ViewJoin
+
+
+@dataclass
+class Translation:
+    """One full-SQL interpretation of a schema-free query."""
+
+    query: ast.Node  # Select or SetOp, fully exact
+    weight: float
+    network: Optional[JoinNetwork] = None
+
+    @property
+    def sql(self) -> str:
+        return render(self.query)
+
+
+class SchemaFreeTranslator:
+    """Translates Schema-free SQL into full SQL over one database."""
+
+    def __init__(
+        self,
+        database: Database,
+        config: TranslatorConfig = DEFAULT_CONFIG,
+        views: Iterable[View] = (),
+    ) -> None:
+        self.database = database
+        self.config = config
+        self._static_views: list[View] = list(views)
+        self.view_graph = ViewGraph(database.catalog, self._static_views)
+        self.similarity = SimilarityEvaluator(database, config)
+        self.mapper = RelationTreeMapper(database, config, self.similarity)
+        self.composer = Composer(database.catalog)
+        self.query_log = QueryLog(database.catalog)
+        self.last_stats: Optional[GenerationStats] = None
+
+    # ------------------------------------------------------------------
+    # view management
+    # ------------------------------------------------------------------
+    def add_view(self, view: View) -> View:
+        self._static_views.append(view)
+        return self.view_graph.add_view(view)
+
+    def record_query_log(self, sql: Union[str, ast.Node]) -> list[View]:
+        """Mine a logged full-SQL query into views on the view graph.
+
+        Repeated patterns are not duplicated: their frequency (and hence
+        their view strength) increases instead.
+        """
+        views = self.query_log.record(sql)
+        # rebuild: static views plus the log's deduplicated, re-weighted set
+        rebuilt = ViewGraph(self.database.catalog, self._static_views)
+        for view in self.query_log.views:
+            rebuilt.add_view(view)
+        self.view_graph = rebuilt
+        return views
+
+    # ------------------------------------------------------------------
+    # translation
+    # ------------------------------------------------------------------
+    def translate(
+        self, query: Union[str, ast.Node], top_k: Optional[int] = None
+    ) -> list[Translation]:
+        """Translate to full SQL; returns the top-k interpretations."""
+        if isinstance(query, str):
+            query = parse(query)
+        k = top_k or self.config.top_k
+        return self._translate_query(query, {}, k)
+
+    def translate_best(self, query: Union[str, ast.Node]) -> Translation:
+        translations = self.translate(query, top_k=1)
+        if not translations:
+            raise TranslationError("no translation found")
+        return translations[0]
+
+    def execute(self, query: Union[str, ast.Node]) -> Result:
+        """Translate the best interpretation and evaluate it."""
+        return self.database.execute(self.translate_best(query).query)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _translate_query(
+        self,
+        query: ast.Node,
+        outer_bindings: dict[str, str],
+        k: int,
+    ) -> list[Translation]:
+        if isinstance(query, ast.SetOp):
+            left = self._translate_query(query.left, outer_bindings, 1)
+            right = self._translate_query(query.right, outer_bindings, 1)
+            if not left or not right:
+                raise TranslationError("could not translate UNION operand")
+            combined = ast.SetOp(
+                query.op, left[0].query, right[0].query, all=query.all
+            )
+            return [
+                Translation(combined, left[0].weight * right[0].weight)
+            ]
+        if not isinstance(query, ast.Select):
+            raise TranslationError(f"not a query: {type(query).__name__}")
+        return self._translate_block(query, outer_bindings, k)
+
+    def _translate_block(
+        self,
+        select: ast.Select,
+        outer_bindings: dict[str, str],
+        k: int,
+    ) -> list[Translation]:
+        extraction = extract(select)
+        all_trees = build_relation_trees(extraction)
+        trees = [
+            tree
+            for tree in all_trees
+            if not self._is_outer_tree(tree, extraction, outer_bindings)
+        ]
+        if not trees and all_trees:
+            # every tree matches an enclosing binding: a block must query
+            # *something*, so resolve them locally instead (e.g. the inner
+            # block of ``... = (SELECT max(movie?.gross?))`` scans movies)
+            trees = all_trees
+            outer_bindings = {}
+        if not trees:
+            # constant block: nothing to map, but outer references and
+            # nested sub-queries still need resolving
+            rewritten = self._rewrite_outer_only(select, outer_bindings)
+            rewritten = self._translate_subqueries(
+                rewritten, outer_bindings, k
+            )
+            return [Translation(rewritten, 1.0)]
+
+        mappings = self.mapper.map_trees(trees)
+        for tree in trees:
+            if not mappings[tree.key].candidates:
+                raise TranslationError(
+                    f"relation tree {tree.label} "
+                    f"({tree}) matches no relation in the database"
+                )
+
+        user_views = self._fragment_views(extraction.fragments, trees, mappings, extraction)
+        session_graph = ViewGraph(
+            self.database.catalog, self.view_graph.views + user_views
+        )
+        xgraph = ExtendedViewGraph(
+            session_graph, trees, mappings, self.similarity, self.config
+        )
+        generator = MTJNGenerator(xgraph, self.config)
+        networks = generator.generate(k)
+        self.last_stats = generator.stats
+        if not networks:
+            raise TranslationError(
+                "no join network connects all relation trees"
+            )
+        translations: list[Translation] = []
+        for network in networks:
+            weight = network.best_weight(xgraph.view_instances)
+            composed = self.composer.compose(
+                select,
+                trees,
+                mappings,
+                network,
+                extraction.from_bindings,
+                outer_bindings,
+                weight=weight,
+            )
+            inner_context = dict(outer_bindings)
+            inner_context.update(composed.bindings)
+            final = self._translate_subqueries(
+                composed.select, inner_context, 1
+            )
+            translations.append(Translation(final, weight, network))
+        translations.sort(key=lambda t: -t.weight)
+        return translations
+
+    def _is_outer_tree(
+        self,
+        tree: RelationTree,
+        extraction: ExtractionResult,
+        outer_bindings: dict[str, str],
+    ) -> bool:
+        """A tree whose occurrences are correlated references into an
+        enclosing (already-translated) block is not mapped here."""
+        kind, text = tree.key
+        return (
+            kind == "name"
+            and text in outer_bindings
+            and text not in extraction.from_bindings
+        )
+
+    def _rewrite_outer_only(
+        self, select: ast.Select, outer_bindings: dict[str, str]
+    ) -> ast.Select:
+        """Resolve correlated references in a block with no local trees."""
+        if not outer_bindings:
+            return select
+
+        def rewrite(node: ast.Node) -> Optional[ast.Node]:
+            if (
+                isinstance(node, ast.ColumnRef)
+                and node.relation is not None
+                and node.relation.is_known
+                and node.relation.text.lower() in outer_bindings
+            ):
+                return self.composer._rewrite_outer_ref(node, outer_bindings)
+            return None
+
+        return transform_block_select(select, rewrite)
+
+    def _translate_subqueries(
+        self,
+        select: ast.Select,
+        context: dict[str, str],
+        k: int,
+    ) -> ast.Select:
+        """Replace each first-level sub-query with its best translation."""
+
+        def rewrite(node: ast.Node) -> Optional[ast.Node]:
+            if isinstance(node, ast.SUBQUERY_NODES):
+                translated = self._translate_query(node.query, context, 1)
+                if not translated:
+                    raise TranslationError("could not translate sub-query")
+                return dataclasses.replace(node, query=translated[0].query)
+            return None
+
+        return transform_block_select(select, rewrite)
+
+    def _fragment_views(
+        self,
+        fragments: list[JoinFragment],
+        trees: list[RelationTree],
+        mappings: dict,
+        extraction: ExtractionResult,
+    ) -> list[View]:
+        """Turn user-specified join-path fragments into views (§5.1).
+
+        Each connected set of fragments becomes one view over the best
+        mapped relations of the trees it touches; join attributes are the
+        mapper's argmax attribute names.
+        """
+        from .relation_tree import attribute_key, relation_key
+
+        tree_by_key = {tree.key: tree for tree in trees}
+        resolved: list[tuple] = []
+        for fragment in fragments:
+            endpoints = []
+            for column in (fragment.left, fragment.right):
+                key = relation_key(
+                    column.relation, column.attribute, extraction.from_bindings
+                )
+                tree = tree_by_key.get(key)
+                if tree is None or not mappings[key].candidates:
+                    endpoints = []
+                    break
+                mapping = mappings[key].best
+                attr_name = mapping.attribute_map.get(
+                    attribute_key(column.attribute)
+                )
+                if attr_name is None:
+                    endpoints = []
+                    break
+                endpoints.append((key, mapping.relation.name, attr_name))
+            if len(endpoints) == 2 and endpoints[0][0] != endpoints[1][0]:
+                resolved.append(tuple(endpoints))
+        if not resolved:
+            return []
+        # group fragments into connected components over tree keys
+        keys = sorted({e[0] for pair in resolved for e in pair})
+        parent = {key: key for key in keys}
+
+        def find(x):
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        for (left, right) in resolved:
+            a, b = find(left[0]), find(right[0])
+            if a != b:
+                parent[a] = b
+        components: dict = {}
+        for key in keys:
+            components.setdefault(find(key), []).append(key)
+        views = []
+        counter = itertools.count(1)
+        for members in components.values():
+            member_set = set(members)
+            local = {key: i for i, key in enumerate(members)}
+            joins = []
+            seen_pairs = set()
+            for (left, right) in resolved:
+                if left[0] in member_set and right[0] in member_set:
+                    pair = frozenset((left[0], right[0]))
+                    if pair in seen_pairs:
+                        continue
+                    seen_pairs.add(pair)
+                    joins.append(
+                        ViewJoin(local[left[0]], left[2], local[right[0]], right[2])
+                    )
+            if len(joins) != len(members) - 1:
+                continue  # cyclic or redundant fragments: skip (views are trees)
+            relations = tuple(
+                mappings[key].best.relation.name for key in members
+            )
+            views.append(
+                View(
+                    name=f"user#{next(counter)}",
+                    relations=relations,
+                    joins=tuple(joins),
+                    source="user",
+                    # "views transformed from partial join path specified
+                    # by the user should have very high weight" (§5.2)
+                    strength=2.0,
+                )
+            )
+        return views

@@ -1,0 +1,480 @@
+"""View graph and extended view graph (paper Section 5).
+
+The *schema graph* has one node per relation and one edge per FK-PK pair.
+The *view graph* adds a set of views — join-path fragments specified by
+the user in the query, plus query patterns mined from the query log —
+each a connected tree of relation occurrences (Figure 5).
+
+Given an l-relation-trees query and its mapping sets, the *extended view
+graph* GX materialises one node ``R^(rt)`` per (relation, mapped tree)
+pair plus one plain node ``R^()`` per relation, lifts every schema edge
+to all combinations of endpoint nodes, and instantiates every view under
+every consistent assignment of relation trees to its occurrences
+(Example 6).
+
+Edge weights follow §5.2:
+
+    w(e) = 1 - (1 - c) * (1 - max(Sim'(n(rt1), n(R2)), Sim'(n(rt2), n(R1))))
+
+so an edge strengthens when one endpoint's user-specified name resembles
+the *other* endpoint's relation.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from ..catalog import Catalog, ForeignKey, normalize
+from .config import DEFAULT_CONFIG, TranslatorConfig
+from .mapper import TreeMappings
+from .relation_tree import RelationTree, TreeKey
+from .similarity import SimilarityEvaluator
+
+# ---------------------------------------------------------------------------
+# views
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ViewJoin:
+    """One join inside a view, between two occurrence indexes."""
+
+    left: int
+    left_attribute: str
+    right: int
+    right_attribute: str
+
+
+@dataclass(frozen=True)
+class View:
+    """A connected tree of relation occurrences with join attributes.
+
+    ``relations[i]`` is the relation name of occurrence ``i``; the same
+    relation may occur more than once (Figure 5's Person–Actor–Movie–
+    Director–Person view has two Person occurrences).
+
+    ``strength`` implements the weight management the paper defers to
+    future work ("views transformed from partial join path specified by
+    the user should have very high weight; query patterns mined from the
+    query log can have different weights according to their frequency",
+    §5.2): a view instance is weighted ``(∏ w(e)) ** (1 / (1 + strength))``,
+    so strength 1 reproduces Definition 5's square root exactly, and
+    stronger views approach weight 1.
+    """
+
+    name: str
+    relations: tuple[str, ...]
+    joins: tuple[ViewJoin, ...]
+    source: str = "log"  # "user" | "log"
+    strength: float = 1.0
+
+    @property
+    def signature(self) -> tuple:
+        """Structural identity, ignoring the name (used for frequency
+        counting in the query log)."""
+        return (
+            tuple(r.lower() for r in self.relations),
+            tuple(
+                (j.left, j.left_attribute.lower(), j.right, j.right_attribute.lower())
+                for j in self.joins
+            ),
+        )
+
+    def __post_init__(self) -> None:
+        count = len(self.relations)
+        if count == 0:
+            raise ValueError("view must contain at least one relation")
+        if len(self.joins) != count - 1:
+            raise ValueError(
+                f"view {self.name!r}: {count} occurrences need exactly "
+                f"{count - 1} joins to form a tree, got {len(self.joins)}"
+            )
+        # connectivity check (tree with n-1 edges is connected iff acyclic)
+        parent = list(range(count))
+
+        def find(x: int) -> int:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        for join in self.joins:
+            if not (0 <= join.left < count and 0 <= join.right < count):
+                raise ValueError(f"view {self.name!r}: join index out of range")
+            a, b = find(join.left), find(join.right)
+            if a == b:
+                raise ValueError(f"view {self.name!r}: joins form a cycle")
+            parent[a] = b
+
+    @property
+    def size(self) -> int:
+        return len(self.relations)
+
+
+class ViewGraph:
+    """Schema graph plus a managed set of views."""
+
+    def __init__(self, catalog: Catalog, views: Iterable[View] = ()) -> None:
+        self.catalog = catalog
+        self._views: list[View] = []
+        for view in views:
+            self.add_view(view)
+
+    @property
+    def views(self) -> list[View]:
+        return list(self._views)
+
+    def add_view(self, view: View) -> View:
+        for name in view.relations:
+            self.catalog.relation(name)  # validates existence
+        self._views.append(view)
+        return view
+
+    def clear_views(self) -> None:
+        self._views.clear()
+
+
+# ---------------------------------------------------------------------------
+# extended view graph
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class XNode:
+    """One node of the extended view graph: a relation occurrence tagged
+    with the relation tree mapped onto it (or None for ``R^()``)."""
+
+    node_id: int
+    relation: str  # canonical (lower-case) relation key
+    tree_key: Optional[TreeKey]
+
+    @property
+    def is_mapped(self) -> bool:
+        return self.tree_key is not None
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        tag = "" if self.tree_key is None else str(self.tree_key)
+        return f"{self.relation}^({tag})#{self.node_id}"
+
+
+@dataclass(frozen=True)
+class XEdge:
+    """One extended edge, carrying its originating FK and its weight."""
+
+    left: XNode
+    right: XNode
+    left_attribute: str
+    right_attribute: str
+    weight: float
+    #: identity of the underlying FK-PK pair; Definition 2 forbids the same
+    #: foreign key of one node joining two different target occurrences
+    fk_id: tuple[str, str, str, str]
+
+    def other(self, node: XNode) -> XNode:
+        return self.right if node == self.left else self.left
+
+    def attribute_of(self, node: XNode) -> str:
+        return self.left_attribute if node == self.left else self.right_attribute
+
+    @property
+    def key(self) -> frozenset[int]:
+        return frozenset((self.left.node_id, self.right.node_id))
+
+
+@dataclass(frozen=True)
+class ViewInstance:
+    """A view with each occurrence assigned to an extended node."""
+
+    view: View
+    nodes: tuple[XNode, ...]
+    edges: tuple[XEdge, ...]
+    label: int  # numeric label for the legality test (§6.1)
+    weight: float  # w(view) = sqrt(product of member edge weights), Def. 5
+
+    @property
+    def edge_keys(self) -> frozenset[frozenset[int]]:
+        return frozenset(edge.key for edge in self.edges)
+
+
+class ExtendedViewGraph:
+    """GX(VX, EX, VIEWX) for one l-relation-trees query."""
+
+    def __init__(
+        self,
+        view_graph: ViewGraph,
+        trees: Sequence[RelationTree],
+        mappings: dict[TreeKey, TreeMappings],
+        evaluator: SimilarityEvaluator,
+        config: TranslatorConfig = DEFAULT_CONFIG,
+    ) -> None:
+        self.view_graph = view_graph
+        self.catalog = view_graph.catalog
+        self.trees = list(trees)
+        self.mappings = mappings
+        self.config = config
+        self._evaluator = evaluator
+        self.nodes: list[XNode] = []
+        self._nodes_by_relation: dict[str, list[XNode]] = {}
+        self._nodes_by_tree: dict[TreeKey, list[XNode]] = {}
+        self.edges: list[XEdge] = []
+        self._adjacency: dict[int, list[XEdge]] = {}
+        self.view_instances: list[ViewInstance] = []
+        self._removed: set[int] = set()
+        self._build_nodes()
+        self._build_edges()
+        self._build_view_instances()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _add_node(self, relation: str, tree_key: Optional[TreeKey]) -> XNode:
+        node = XNode(len(self.nodes), relation, tree_key)
+        self.nodes.append(node)
+        self._nodes_by_relation.setdefault(relation, []).append(node)
+        if tree_key is not None:
+            self._nodes_by_tree.setdefault(tree_key, []).append(node)
+        return node
+
+    def _build_nodes(self) -> None:
+        # mapped nodes first so their numeric labels are small and stable
+        for tree in self.trees:
+            mapping = self.mappings.get(tree.key)
+            if mapping is None:
+                continue
+            for candidate in mapping.candidates:
+                self._add_node(candidate.relation.key, tree.key)
+        for relation in self.catalog:
+            self._add_node(relation.key, None)
+
+    def _tree_by_key(self, tree_key: Optional[TreeKey]) -> Optional[RelationTree]:
+        if tree_key is None:
+            return None
+        for tree in self.trees:
+            if tree.key == tree_key:
+                return tree
+        return None
+
+    @staticmethod
+    def _name_evidence(tree: Optional[RelationTree]) -> list[str]:
+        """Names the user attached to a tree: its root name, or — when the
+        root is unspecified — its attribute names (the same fallback §4.2
+        uses for root-level similarity)."""
+        if tree is None:
+            return []
+        if tree.known_name:
+            return [tree.known_name]
+        return [
+            attribute.known_name
+            for attribute in tree.attribute_trees
+            if attribute.known_name
+        ]
+
+    def edge_weight(self, left: XNode, right: XNode) -> float:
+        """§5.2 weight: the default c enhanced by cross-name similarity
+        (``w(e) = 1 - (1-c)(1 - max Sim'(...))``, Example 7)."""
+        c = self.config.c
+        best = 0.0
+        left_tree = self._tree_by_key(left.tree_key)
+        right_tree = self._tree_by_key(right.tree_key)
+        right_relation = self.catalog.relation(right.relation)
+        left_relation = self.catalog.relation(left.relation)
+        for name in self._name_evidence(left_tree):
+            best = max(
+                best, self._evaluator.sim_damped(name, right_relation.name)
+            )
+        for name in self._name_evidence(right_tree):
+            best = max(
+                best, self._evaluator.sim_damped(name, left_relation.name)
+            )
+        return 1.0 - (1.0 - c) * (1.0 - best)
+
+    def _build_edges(self) -> None:
+        for fk in self.catalog.foreign_keys:
+            source_key = normalize(fk.source_relation)
+            target_key = normalize(fk.target_relation)
+            for left in self._nodes_by_relation.get(source_key, ()):
+                for right in self._nodes_by_relation.get(target_key, ()):
+                    if left.node_id == right.node_id:
+                        continue  # self-referencing FK to the same occurrence
+                    edge = XEdge(
+                        left=left,
+                        right=right,
+                        left_attribute=fk.source_attribute,
+                        right_attribute=fk.target_attribute,
+                        weight=self.edge_weight(left, right),
+                        fk_id=fk.key,
+                    )
+                    self.edges.append(edge)
+                    self._adjacency.setdefault(left.node_id, []).append(edge)
+                    self._adjacency.setdefault(right.node_id, []).append(edge)
+
+    def _build_view_instances(self) -> None:
+        label = 0
+        for view in self.view_graph.views:
+            for assignment in self._assignments(view):
+                edges = self._instance_edges(view, assignment)
+                if edges is None:
+                    continue
+                # Definition 5 generalised by view strength: strength 1
+                # is exactly the paper's square root
+                exponent = 1.0 / (1.0 + max(view.strength, 0.0))
+                product = math.prod(edge.weight for edge in edges)
+                weight = product**exponent if edges else 1.0
+                self.view_instances.append(
+                    ViewInstance(
+                        view=view,
+                        nodes=tuple(assignment),
+                        edges=tuple(edges),
+                        label=label,
+                        weight=weight,
+                    )
+                )
+                label += 1
+
+    def _assignments(self, view: View) -> Iterable[list[XNode]]:
+        """All consistent assignments of extended nodes to the view's
+        occurrences: same relation, distinct nodes for distinct occurrences,
+        and no relation tree used twice (Example 6)."""
+        options: list[list[XNode]] = []
+        for name in view.relations:
+            nodes = self._nodes_by_relation.get(normalize(name))
+            if not nodes:
+                return
+            options.append(nodes)
+        seen_cap = 0
+        for combo in itertools.product(*options):
+            ids = {node.node_id for node in combo}
+            if len(ids) != len(combo):
+                continue
+            tree_keys = [n.tree_key for n in combo if n.tree_key is not None]
+            if len(tree_keys) != len(set(tree_keys)):
+                continue
+            yield list(combo)
+            seen_cap += 1
+            if seen_cap >= 256:  # safety cap for pathological view/mapping mixes
+                return
+
+    def _instance_edges(
+        self, view: View, assignment: list[XNode]
+    ) -> Optional[list[XEdge]]:
+        edges = []
+        for join in view.joins:
+            left = assignment[join.left]
+            right = assignment[join.right]
+            edge = self._find_edge(
+                left, join.left_attribute, right, join.right_attribute
+            )
+            if edge is None:
+                # the view joins on a non-FK pair: synthesise an edge so the
+                # view can still be used (weights use the same formula)
+                edge = XEdge(
+                    left=left,
+                    right=right,
+                    left_attribute=join.left_attribute,
+                    right_attribute=join.right_attribute,
+                    weight=self.edge_weight(left, right),
+                    fk_id=(
+                        left.relation,
+                        join.left_attribute.lower(),
+                        right.relation,
+                        join.right_attribute.lower(),
+                    ),
+                )
+            edges.append(edge)
+        return edges
+
+    def _find_edge(
+        self, left: XNode, left_attribute: str, right: XNode, right_attribute: str
+    ) -> Optional[XEdge]:
+        for edge in self._adjacency.get(left.node_id, ()):
+            if edge.other(left).node_id != right.node_id:
+                continue
+            if (
+                edge.attribute_of(left).lower() == left_attribute.lower()
+                and edge.attribute_of(right).lower() == right_attribute.lower()
+            ):
+                return edge
+        return None
+
+    # ------------------------------------------------------------------
+    # queries used by the MTJN generator
+    # ------------------------------------------------------------------
+    def remove_node(self, node: XNode) -> None:
+        """Mask a node out of the graph (Algorithm 1, line 5)."""
+        self._removed.add(node.node_id)
+
+    def restore_node(self, node: XNode) -> None:
+        self._removed.discard(node.node_id)
+
+    def restore_all(self) -> None:
+        self._removed.clear()
+
+    def is_removed(self, node: XNode) -> bool:
+        return node.node_id in self._removed
+
+    def incident_edges(self, node: XNode) -> list[XEdge]:
+        return [
+            edge
+            for edge in self._adjacency.get(node.node_id, ())
+            if not self.is_removed(edge.other(node))
+        ]
+
+    def nodes_for_tree(self, tree_key: TreeKey) -> list[XNode]:
+        return [
+            node
+            for node in self._nodes_by_tree.get(tree_key, ())
+            if not self.is_removed(node)
+        ]
+
+    def active_view_instances(self) -> list[ViewInstance]:
+        return [
+            instance
+            for instance in self.view_instances
+            if not any(self.is_removed(node) for node in instance.nodes)
+        ]
+
+    # ------------------------------------------------------------------
+    # strongest paths (potential estimation, Algorithm 3)
+    # ------------------------------------------------------------------
+    def strongest_paths_from(
+        self, source: XNode, with_parents: bool = False
+    ):
+        """Max-product path weight from *source* to every node, with view
+        edges optimistically up-weighted per the strongest containing view
+        (§6.1).  With ``with_parents`` also returns the predecessor map so
+        Algorithm 3 can add the whole path to the partial network."""
+        # optimistic per-edge view discount: the strongest (highest-
+        # strength) view containing the edge determines its best exponent
+        in_view: dict[frozenset[int], float] = {}
+        for instance in self.view_instances:
+            exponent = 1.0 / (1.0 + max(instance.view.strength, 0.0))
+            for key in instance.edge_keys:
+                in_view[key] = min(in_view.get(key, 1.0), exponent)
+        best: dict[int, float] = {source.node_id: 1.0}
+        parents: dict[int, int] = {}
+        heap: list[tuple[float, int, XNode]] = [(-1.0, source.node_id, source)]
+        while heap:
+            negative_weight, _, node = heapq.heappop(heap)
+            weight = -negative_weight
+            if weight < best.get(node.node_id, 0.0):
+                continue
+            for edge in self.incident_edges(node):
+                edge_weight = edge.weight
+                exponent = in_view.get(edge.key)
+                if exponent is not None:
+                    edge_weight = edge_weight**exponent
+                neighbor = edge.other(node)
+                candidate = weight * edge_weight
+                if candidate > best.get(neighbor.node_id, 0.0):
+                    best[neighbor.node_id] = candidate
+                    parents[neighbor.node_id] = node.node_id
+                    heapq.heappush(
+                        heap, (-candidate, neighbor.node_id, neighbor)
+                    )
+        if with_parents:
+            return best, parents
+        return best

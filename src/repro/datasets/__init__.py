@@ -1,0 +1,17 @@
+"""Synthetic experimental databases mirroring the paper's published shapes."""
+
+from .course_world import CourseWorld, make_course_world
+from .courses import make_course_catalog, make_course_database
+from .courses_alt import make_course_alt_catalog, make_course_alt_database
+from .movies import make_movie_catalog, make_movie_database
+
+__all__ = [
+    "CourseWorld",
+    "make_course_alt_catalog",
+    "make_course_alt_database",
+    "make_course_catalog",
+    "make_course_database",
+    "make_course_world",
+    "make_movie_catalog",
+    "make_movie_database",
+]

@@ -1,0 +1,270 @@
+"""A deterministic university "world": schema-independent facts.
+
+The paper's Section 7.3 experiment runs the *same* Schema-free SQL
+queries over two very different schemas of the same information — the
+53-relation CourseRank-like schema and a developer's compact 21-relation
+redesign.  To judge translations on both schemas by *result equivalence*,
+both databases must describe the same facts.  This module generates those
+facts once; the two schema modules load them.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+DEPARTMENTS = [
+    ("Computer Science", "CS"),
+    ("Mathematics", "MATH"),
+    ("Physics", "PHYS"),
+    ("History", "HIST"),
+    ("Economics", "ECON"),
+    ("Biology", "BIO"),
+]
+TERMS = [
+    ("Fall 2012", 2012, "fall"),
+    ("Winter 2013", 2013, "winter"),
+    ("Spring 2013", 2013, "spring"),
+    ("Fall 2013", 2013, "fall"),
+]
+SKILLS = ["programming", "statistics", "writing", "modeling", "lab methods"]
+CAREERS = ["Software Engineer", "Data Analyst", "Researcher", "Teacher"]
+CLUBS = [
+    ("Chess Club", "games"),
+    ("Robotics Society", "engineering"),
+    ("Debate Team", "speech"),
+    ("Hiking Club", "outdoors"),
+]
+SCHOLARSHIPS = [
+    ("Dean's Merit Award", 5000.0, "Alumni Fund"),
+    ("STEM Excellence Grant", 8000.0, "Tech Foundation"),
+    ("Community Leader Prize", 3000.0, "City Trust"),
+]
+GRADES = [("A", 4.0), ("B", 3.0), ("C", 2.0), ("D", 1.0), ("F", 0.0)]
+_FIRST = [
+    "Alice", "Bob", "Carol", "Dan", "Eve", "Frank", "Grace", "Hugo",
+    "Ivy", "Jack", "Kira", "Liam", "Mona", "Nate", "Olga", "Paul",
+]
+_LAST = [
+    "Stone", "Rivera", "Chen", "Okafor", "Novak", "Silva", "Kim",
+    "Haddad", "Berg", "Costa", "Ito", "Weber", "Dubois", "Rossi",
+]
+_COURSE_TOPICS = [
+    "Databases", "Algorithms", "Calculus", "Mechanics", "World History",
+    "Microeconomics", "Genetics", "Operating Systems", "Linear Algebra",
+    "Thermodynamics", "Macroeconomics", "Ecology", "Compilers",
+    "Probability", "Quantum Physics", "Modern Europe", "Game Theory",
+    "Cell Biology", "Machine Learning", "Number Theory",
+]
+
+
+@dataclass
+class CourseWorld:
+    """Plain-fact tables; ids are 1-based and stable across schemas."""
+
+    departments: list = field(default_factory=list)   # (id, name, code)
+    programs: list = field(default_factory=list)      # (id, name, level, dept_id, tuition)
+    courses: list = field(default_factory=list)       # (id, title, code, units, level, dept_id)
+    terms: list = field(default_factory=list)         # (id, name, year, season)
+    instructors: list = field(default_factory=list)   # (id, name, rank, dept_id)
+    students: list = field(default_factory=list)      # (id, name, admit_year, program_id)
+    rooms: list = field(default_factory=list)         # (id, number, capacity, building_id)
+    buildings: list = field(default_factory=list)     # (id, name, campus_id)
+    campuses: list = field(default_factory=list)      # (id, name, city)
+    sections: list = field(default_factory=list)      # (id, course_id, term_id, number, room_id, capacity)
+    teaches: list = field(default_factory=list)       # (instructor_id, section_id)
+    enrollments: list = field(default_factory=list)   # (student_id, section_id, status)
+    completions: list = field(default_factory=list)   # (student_id, course_id, grade_idx, term_id)
+    prerequisites: list = field(default_factory=list) # (course_id, prereq_id)
+    publishers: list = field(default_factory=list)    # (id, name, city)
+    textbooks: list = field(default_factory=list)     # (id, title, publisher_id, year, price)
+    section_textbooks: list = field(default_factory=list)  # (section_id, textbook_id)
+    comments: list = field(default_factory=list)      # (id, course_id, student_id, year, text)
+    course_ratings: list = field(default_factory=list)  # (student_id, course_id, stars, year)
+    clubs: list = field(default_factory=list)          # (id, name, category)
+    student_clubs: list = field(default_factory=list)  # (student_id, club_id, join_year)
+    club_advisors: list = field(default_factory=list)  # (club_id, instructor_id)
+    scholarships: list = field(default_factory=list)   # (id, name, amount, sponsor_name)
+    student_scholarships: list = field(default_factory=list)  # (student_id, scholarship_id, year)
+    advisors: list = field(default_factory=list)       # (student_id, instructor_id)
+    tas: list = field(default_factory=list)            # (section_id, student_id)
+    skills: list = field(default_factory=list)         # (id, name)
+    course_skills: list = field(default_factory=list)  # (course_id, skill_id)
+    careers: list = field(default_factory=list)        # (id, title)
+    skill_careers: list = field(default_factory=list)  # (skill_id, career_id)
+    timeslots: list = field(default_factory=list)      # (id, day, start_hour, end_hour)
+    section_schedules: list = field(default_factory=list)  # (section_id, timeslot_id)
+    exams: list = field(default_factory=list)          # (id, section_id, kind, week)
+    assignments: list = field(default_factory=list)    # (id, section_id, title, due_week, weight)
+
+
+def make_course_world(scale: float = 1.0, seed: int = 2013) -> CourseWorld:
+    rng = random.Random(seed)
+    world = CourseWorld()
+
+    world.campuses = [(1, "Main Campus", "Ann Arbor"), (2, "North Campus", "Ann Arbor")]
+    for i in range(1, 7):
+        world.buildings.append((i, f"Hall {chr(64 + i)}", 1 + i % 2))
+    for i in range(1, 19):
+        world.rooms.append((i, f"{100 + i}", 20 + 10 * (i % 5), 1 + i % 6))
+
+    for i, (name, code) in enumerate(DEPARTMENTS, start=1):
+        world.departments.append((i, name, code))
+    levels = ["BS", "MS", "PhD"]
+    program_id = 0
+    for dept_id, (dept_name, _code) in enumerate(DEPARTMENTS, start=1):
+        for level in levels[: 2 if dept_id % 2 else 3]:
+            program_id += 1
+            world.programs.append(
+                (program_id, f"{level} in {dept_name}", level, dept_id,
+                 9000.0 + 1500.0 * dept_id + (2000.0 if level != "BS" else 0.0))
+            )
+
+    n_course = max(len(_COURSE_TOPICS), int(20 * scale))
+    for i in range(1, n_course + 1):
+        topic = _COURSE_TOPICS[(i - 1) % len(_COURSE_TOPICS)]
+        dept_id = 1 + (i - 1) % len(DEPARTMENTS)
+        suffix = "" if i <= len(_COURSE_TOPICS) else f" {i}"
+        world.courses.append(
+            (i, f"{topic}{suffix}", f"{DEPARTMENTS[dept_id - 1][1]}{100 + i}",
+             3 + i % 2, 100 * (1 + i % 4), dept_id)
+        )
+    for i, (name, year, season) in enumerate(TERMS, start=1):
+        world.terms.append((i, name, year, season))
+
+    n_instructor = max(12, int(12 * scale))
+    ranks = ["assistant professor", "associate professor", "professor", "lecturer"]
+    for i in range(1, n_instructor + 1):
+        world.instructors.append(
+            (i, f"Prof. {_FIRST[i % len(_FIRST)]} {_LAST[i % len(_LAST)]}",
+             ranks[i % len(ranks)], 1 + i % len(DEPARTMENTS))
+        )
+
+    n_student = max(40, int(60 * scale))
+    for i in range(1, n_student + 1):
+        world.students.append(
+            (i, f"{_FIRST[(i * 3) % len(_FIRST)]} {_LAST[(i * 7) % len(_LAST)]} {i}",
+             2009 + i % 5, 1 + i % len(world.programs))
+        )
+
+    # sections: each course offered in 1-2 terms
+    section_id = 0
+    for course_id, *_ in world.courses:
+        for term_id in rng.sample(range(1, len(TERMS) + 1), rng.randint(1, 2)):
+            section_id += 1
+            room_id = rng.randint(1, len(world.rooms))
+            world.sections.append(
+                (section_id, course_id, term_id, 1, room_id, 30 + 10 * (section_id % 4))
+            )
+            world.teaches.append((rng.randint(1, n_instructor), section_id))
+            world.section_schedules.append(
+                (section_id, 1 + section_id % 10)
+            )
+            if rng.random() < 0.8:
+                world.exams.append(
+                    (len(world.exams) + 1, section_id, rng.choice(["midterm", "final"]), rng.randint(5, 15))
+                )
+            world.assignments.append(
+                (len(world.assignments) + 1, section_id, f"Problem Set {section_id}", rng.randint(2, 10), 0.1)
+            )
+
+    for i in range(1, 11):
+        day = ["mon", "tue", "wed", "thu", "fri"][i % 5]
+        world.timeslots.append((i, day, 8 + i % 8, 9 + i % 8))
+
+    # enrollments + completions
+    n_section = section_id
+    for student_id, *_ in world.students:
+        for section in rng.sample(range(1, n_section + 1), min(4, n_section)):
+            world.enrollments.append((student_id, section, "enrolled"))
+        for course in rng.sample(range(1, n_course + 1), 3):
+            world.completions.append(
+                (student_id, course, rng.randint(0, len(GRADES) - 1), rng.randint(1, len(TERMS)))
+            )
+
+    # prerequisites form a DAG: higher course ids depend on lower
+    for course_id, *_ in world.courses:
+        if course_id > 3 and rng.random() < 0.5:
+            world.prerequisites.append((course_id, rng.randint(1, course_id - 1)))
+
+    world.publishers = [
+        (1, "Prentice Hall", "Boston"),
+        (2, "Springer", "Berlin"),
+        (3, "MIT Press", "Cambridge"),
+    ]
+    for i in range(1, 13):
+        world.textbooks.append(
+            (i, f"Introduction to {_COURSE_TOPICS[(i - 1) % len(_COURSE_TOPICS)]}",
+             1 + i % 3, 1995 + i, 40.0 + 5.0 * i)
+        )
+        world.section_textbooks.append((1 + (i * 5) % n_section, i))
+
+    for i in range(1, int(30 * scale) + 1):
+        course = 1 + i % n_course
+        student = 1 + (i * 3) % n_student
+        world.comments.append(
+            (i, course, student, 2012 + i % 2, f"Comment {i} on course {course}")
+        )
+        world.course_ratings.append((student, course, 1 + i % 5, 2012 + i % 2))
+
+    for i, (name, category) in enumerate(CLUBS, start=1):
+        world.clubs.append((i, name, category))
+        world.club_advisors.append((i, 1 + i % n_instructor))
+    for student_id, *_ in world.students:
+        if student_id % 3 == 0:
+            world.student_clubs.append(
+                (student_id, 1 + student_id % len(CLUBS), 2010 + student_id % 4)
+            )
+
+    for i, (name, amount, sponsor) in enumerate(SCHOLARSHIPS, start=1):
+        world.scholarships.append((i, name, amount, sponsor))
+    for student_id, *_ in world.students:
+        if student_id % 5 == 0:
+            world.student_scholarships.append(
+                (student_id, 1 + student_id % len(SCHOLARSHIPS), 2011 + student_id % 3)
+            )
+
+    for student_id, *_ in world.students:
+        world.advisors.append((student_id, 1 + student_id % n_instructor))
+    for section in range(1, n_section + 1, 4):
+        world.tas.append((section, 1 + section % n_student))
+
+    for i, name in enumerate(SKILLS, start=1):
+        world.skills.append((i, name))
+    for course_id, *_ in world.courses:
+        world.course_skills.append((course_id, 1 + course_id % len(SKILLS)))
+    for i, title in enumerate(CAREERS, start=1):
+        world.careers.append((i, title))
+    for i, _ in enumerate(SKILLS, start=1):
+        world.skill_careers.append((i, 1 + i % len(CAREERS)))
+
+    _plant_workload_facts(world)
+    return world
+
+
+def _plant_workload_facts(world: CourseWorld) -> None:
+    """Deterministic facts the 48-query workload asks about, so every
+    query has a non-trivial answer (mirrors the movie generator)."""
+    # a 'Databases' (course 1) section in every term, with textbook 1,
+    # a teacher, a TA and a few enrolled students
+    for term_id in range(1, len(TERMS) + 1):
+        section_id = len(world.sections) + 1
+        world.sections.append((section_id, 1, term_id, 2, 1, 40))
+        world.teaches.append((1 + term_id % len(world.instructors), section_id))
+        world.section_textbooks.append((section_id, 1))
+        world.tas.append((section_id, 7 + term_id))
+        for student_id in (1, 2, 3, 11 + term_id):
+            world.enrollments.append((student_id, section_id, "enrolled"))
+        world.section_schedules.append((section_id, 1 + section_id % 10))
+    # a 'Genetics' (course 7) section in Winter 2013 with textbook 7
+    genetics_section = len(world.sections) + 1
+    world.sections.append((genetics_section, 7, 2, 2, 3, 30))
+    world.teaches.append((3, genetics_section))
+    world.section_textbooks.append((genetics_section, 7))
+    world.section_schedules.append((genetics_section, 3))
+    # a 'BS in Mathematics' student (program 3 -> student 2) in a club
+    world.student_clubs.append((2, 2, 2011))
+    # a PhD student (student 9, 'PhD in History') with a scholarship
+    world.student_scholarships.append((9, 2, 2012))
+    # student 1 ('Dan Haddad 1') earned an A in 'Databases' in Fall 2013
+    world.completions.append((1, 1, 0, 4))

@@ -1,0 +1,332 @@
+"""The 53-relation CourseRank-like schema and its loader.
+
+The paper's §7.3 uses the CourseRank database "comprising 53 relations".
+CourseRank itself is not public, so this schema reproduces its shape: a
+heavily normalised university catalog — campuses down to rooms, programs
+down to sections, students with enrollments, grades, clubs, scholarships,
+textbooks, skills and careers — totalling exactly 53 relations.
+
+All contents come from a :class:`~repro.datasets.course_world.CourseWorld`
+so that the alternative 21-relation schema (``courses_alt``) describes the
+same facts and translations can be judged by result equivalence.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..catalog import Catalog, DataType
+from ..engine import Database
+from .course_world import GRADES, CourseWorld, make_course_world
+
+INTEGER = DataType.INTEGER
+TEXT = DataType.TEXT
+FLOAT = DataType.FLOAT
+BOOLEAN = DataType.BOOLEAN
+
+
+def make_course_catalog() -> Catalog:
+    """Build the 53-relation normalised course schema."""
+    c = Catalog("courserank-like")
+
+    # -- places ---------------------------------------------------------
+    c.create_relation("campus", [("campus_id", INTEGER), ("name", TEXT), ("city", TEXT)], ["campus_id"])
+    c.create_relation("building", [("building_id", INTEGER), ("name", TEXT), ("campus_id", INTEGER)], ["building_id"])
+    c.create_relation("room", [("room_id", INTEGER), ("number", TEXT), ("capacity", INTEGER), ("building_id", INTEGER)], ["room_id"])
+    c.create_relation("lab", [("lab_id", INTEGER), ("name", TEXT), ("department_id", INTEGER), ("building_id", INTEGER)], ["lab_id"])
+
+    # -- academic structure ----------------------------------------------
+    c.create_relation("department", [("department_id", INTEGER), ("name", TEXT), ("code", TEXT)], ["department_id"])
+    c.create_relation("degree", [("degree_id", INTEGER), ("name", TEXT), ("level", TEXT)], ["degree_id"])
+    c.create_relation("program", [("program_id", INTEGER), ("name", TEXT), ("level", TEXT), ("department_id", INTEGER)], ["program_id"])
+    c.create_relation("program_degree", [("program_id", INTEGER), ("degree_id", INTEGER)])
+    c.create_relation("tuition", [("program_id", INTEGER), ("year", INTEGER), ("amount", FLOAT)])
+    c.create_relation("course", [("course_id", INTEGER), ("title", TEXT), ("code", TEXT), ("units", INTEGER), ("level", INTEGER), ("department_id", INTEGER)], ["course_id"])
+    c.create_relation("prerequisite", [("course_id", INTEGER), ("prereq_course_id", INTEGER)])
+    c.create_relation("program_course", [("program_id", INTEGER), ("course_id", INTEGER), ("required", BOOLEAN)])
+    c.create_relation("term", [("term_id", INTEGER), ("name", TEXT), ("year", INTEGER), ("season", TEXT)], ["term_id"])
+    c.create_relation("section", [("section_id", INTEGER), ("course_id", INTEGER), ("term_id", INTEGER), ("section_number", INTEGER), ("room_id", INTEGER), ("capacity", INTEGER)], ["section_id"])
+    c.create_relation("timeslot", [("timeslot_id", INTEGER), ("day", TEXT), ("start_hour", INTEGER), ("end_hour", INTEGER)], ["timeslot_id"])
+    c.create_relation("section_schedule", [("section_id", INTEGER), ("timeslot_id", INTEGER)])
+
+    # -- people -------------------------------------------------------------
+    c.create_relation("instructor", [("instructor_id", INTEGER), ("name", TEXT), ("rank", TEXT), ("department_id", INTEGER)], ["instructor_id"])
+    c.create_relation("teaches", [("instructor_id", INTEGER), ("section_id", INTEGER)])
+    c.create_relation("office", [("instructor_id", INTEGER), ("room_id", INTEGER)])
+    c.create_relation("research_group", [("group_id", INTEGER), ("name", TEXT), ("department_id", INTEGER), ("lead_instructor_id", INTEGER)], ["group_id"])
+    c.create_relation("student", [("student_id", INTEGER), ("name", TEXT), ("admit_year", INTEGER), ("program_id", INTEGER)], ["student_id"])
+    c.create_relation("advisor", [("student_id", INTEGER), ("instructor_id", INTEGER)])
+    c.create_relation("major", [("student_id", INTEGER), ("department_id", INTEGER)])
+    c.create_relation("minor", [("student_id", INTEGER), ("department_id", INTEGER)])
+
+    # -- coursework ------------------------------------------------------------
+    c.create_relation("enrollment", [("student_id", INTEGER), ("section_id", INTEGER), ("status", TEXT)])
+    c.create_relation("waitlist", [("student_id", INTEGER), ("section_id", INTEGER), ("position", INTEGER)])
+    c.create_relation("grade_scale", [("grade_id", INTEGER), ("letter", TEXT), ("points", FLOAT)], ["grade_id"])
+    c.create_relation("completed", [("student_id", INTEGER), ("course_id", INTEGER), ("grade_id", INTEGER), ("term_id", INTEGER)])
+    c.create_relation("ta", [("section_id", INTEGER), ("student_id", INTEGER)])
+    c.create_relation("exam", [("exam_id", INTEGER), ("section_id", INTEGER), ("kind", TEXT), ("week", INTEGER)], ["exam_id"])
+    c.create_relation("exam_room", [("exam_id", INTEGER), ("room_id", INTEGER)])
+    c.create_relation("assignment", [("assignment_id", INTEGER), ("section_id", INTEGER), ("title", TEXT), ("due_week", INTEGER), ("weight", FLOAT)], ["assignment_id"])
+    c.create_relation("submission", [("assignment_id", INTEGER), ("student_id", INTEGER), ("score", FLOAT), ("week", INTEGER)])
+
+    # -- books -------------------------------------------------------------------
+    c.create_relation("publisher", [("publisher_id", INTEGER), ("name", TEXT), ("city", TEXT)], ["publisher_id"])
+    c.create_relation("textbook", [("textbook_id", INTEGER), ("title", TEXT), ("publisher_id", INTEGER), ("year", INTEGER), ("price", FLOAT)], ["textbook_id"])
+    c.create_relation("author", [("author_id", INTEGER), ("name", TEXT)], ["author_id"])
+    c.create_relation("textbook_author", [("textbook_id", INTEGER), ("author_id", INTEGER)])
+    c.create_relation("section_textbook", [("section_id", INTEGER), ("textbook_id", INTEGER)])
+
+    # -- community -----------------------------------------------------------------
+    c.create_relation("comment", [("comment_id", INTEGER), ("course_id", INTEGER), ("student_id", INTEGER), ("year", INTEGER), ("text", TEXT)], ["comment_id"])
+    c.create_relation("course_rating", [("student_id", INTEGER), ("course_id", INTEGER), ("stars", INTEGER), ("year", INTEGER)])
+    c.create_relation("club", [("club_id", INTEGER), ("name", TEXT), ("category", TEXT)], ["club_id"])
+    c.create_relation("student_club", [("student_id", INTEGER), ("club_id", INTEGER), ("join_year", INTEGER)])
+    c.create_relation("club_advisor", [("club_id", INTEGER), ("instructor_id", INTEGER)])
+    c.create_relation("sponsor", [("sponsor_id", INTEGER), ("name", TEXT)], ["sponsor_id"])
+    c.create_relation("scholarship", [("scholarship_id", INTEGER), ("name", TEXT), ("amount", FLOAT)], ["scholarship_id"])
+    c.create_relation("scholarship_sponsor", [("scholarship_id", INTEGER), ("sponsor_id", INTEGER)])
+    c.create_relation("student_scholarship", [("student_id", INTEGER), ("scholarship_id", INTEGER), ("year", INTEGER)])
+
+    # -- skills & careers --------------------------------------------------------------
+    c.create_relation("skill", [("skill_id", INTEGER), ("name", TEXT)], ["skill_id"])
+    c.create_relation("course_skill", [("course_id", INTEGER), ("skill_id", INTEGER)])
+    c.create_relation("career", [("career_id", INTEGER), ("title", TEXT)], ["career_id"])
+    c.create_relation("skill_career", [("skill_id", INTEGER), ("career_id", INTEGER)])
+    c.create_relation("internship", [("internship_id", INTEGER), ("title", TEXT), ("career_id", INTEGER), ("sponsor_id", INTEGER)], ["internship_id"])
+    c.create_relation("student_internship", [("student_id", INTEGER), ("internship_id", INTEGER), ("year", INTEGER)])
+
+    for source, attribute, target in [
+        ("building", "campus_id", "campus"),
+        ("room", "building_id", "building"),
+        ("lab", "department_id", "department"),
+        ("lab", "building_id", "building"),
+        ("program", "department_id", "department"),
+        ("program_degree", "program_id", "program"),
+        ("program_degree", "degree_id", "degree"),
+        ("tuition", "program_id", "program"),
+        ("course", "department_id", "department"),
+        ("prerequisite", "course_id", "course"),
+        ("prerequisite", "prereq_course_id", "course"),
+        ("program_course", "program_id", "program"),
+        ("program_course", "course_id", "course"),
+        ("section", "course_id", "course"),
+        ("section", "term_id", "term"),
+        ("section", "room_id", "room"),
+        ("section_schedule", "section_id", "section"),
+        ("section_schedule", "timeslot_id", "timeslot"),
+        ("instructor", "department_id", "department"),
+        ("teaches", "instructor_id", "instructor"),
+        ("teaches", "section_id", "section"),
+        ("office", "instructor_id", "instructor"),
+        ("office", "room_id", "room"),
+        ("research_group", "department_id", "department"),
+        ("research_group", "lead_instructor_id", "instructor"),
+        ("student", "program_id", "program"),
+        ("advisor", "student_id", "student"),
+        ("advisor", "instructor_id", "instructor"),
+        ("major", "student_id", "student"),
+        ("major", "department_id", "department"),
+        ("minor", "student_id", "student"),
+        ("minor", "department_id", "department"),
+        ("enrollment", "student_id", "student"),
+        ("enrollment", "section_id", "section"),
+        ("waitlist", "student_id", "student"),
+        ("waitlist", "section_id", "section"),
+        ("completed", "student_id", "student"),
+        ("completed", "course_id", "course"),
+        ("completed", "grade_id", "grade_scale"),
+        ("completed", "term_id", "term"),
+        ("ta", "section_id", "section"),
+        ("ta", "student_id", "student"),
+        ("exam", "section_id", "section"),
+        ("exam_room", "exam_id", "exam"),
+        ("exam_room", "room_id", "room"),
+        ("assignment", "section_id", "section"),
+        ("submission", "assignment_id", "assignment"),
+        ("submission", "student_id", "student"),
+        ("textbook", "publisher_id", "publisher"),
+        ("textbook_author", "textbook_id", "textbook"),
+        ("textbook_author", "author_id", "author"),
+        ("section_textbook", "section_id", "section"),
+        ("section_textbook", "textbook_id", "textbook"),
+        ("comment", "course_id", "course"),
+        ("comment", "student_id", "student"),
+        ("course_rating", "student_id", "student"),
+        ("course_rating", "course_id", "course"),
+        ("student_club", "student_id", "student"),
+        ("student_club", "club_id", "club"),
+        ("club_advisor", "club_id", "club"),
+        ("club_advisor", "instructor_id", "instructor"),
+        ("scholarship_sponsor", "scholarship_id", "scholarship"),
+        ("scholarship_sponsor", "sponsor_id", "sponsor"),
+        ("student_scholarship", "student_id", "student"),
+        ("student_scholarship", "scholarship_id", "scholarship"),
+        ("course_skill", "course_id", "course"),
+        ("course_skill", "skill_id", "skill"),
+        ("skill_career", "skill_id", "skill"),
+        ("skill_career", "career_id", "career"),
+        ("internship", "career_id", "career"),
+        ("internship", "sponsor_id", "sponsor"),
+        ("student_internship", "student_id", "student"),
+        ("student_internship", "internship_id", "internship"),
+    ]:
+        c.add_foreign_key(source, attribute, target)
+    return c
+
+
+def make_course_database(
+    scale: float = 1.0,
+    seed: int = 2013,
+    world: Optional[CourseWorld] = None,
+) -> Database:
+    """Load a course world into the 53-relation schema."""
+    world = world or make_course_world(scale=scale, seed=seed)
+    db = Database(make_course_catalog(), enforce_foreign_keys=False)
+
+    db.insert_many("campus", world.campuses)
+    db.insert_many("building", world.buildings)
+    db.insert_many("room", [(i, n, cap, b) for i, n, cap, b in world.rooms])
+    db.insert_many("department", world.departments)
+    db.insert_many(
+        "program", [(i, name, level, dept) for i, name, level, dept, _ in world.programs]
+    )
+    db.insert_many(
+        "tuition", [(i, 2013, tuition) for i, _, _, _, tuition in world.programs]
+    )
+    db.insert_many("course", world.courses)
+    db.insert_many("term", world.terms)
+    db.insert_many("section", world.sections)
+    db.insert_many("timeslot", world.timeslots)
+    db.insert_many("section_schedule", world.section_schedules)
+    db.insert_many("instructor", world.instructors)
+    db.insert_many("teaches", world.teaches)
+    db.insert_many("student", world.students)
+    db.insert_many("advisor", world.advisors)
+    db.insert_many("enrollment", world.enrollments)
+    db.insert_many(
+        "grade_scale",
+        [(i, letter, points) for i, (letter, points) in enumerate(GRADES, start=1)],
+    )
+    db.insert_many(
+        "completed",
+        [(s, c, g + 1, t) for s, c, g, t in world.completions],
+    )
+    db.insert_many("prerequisite", world.prerequisites)
+    db.insert_many("ta", world.tas)
+    db.insert_many("exam", world.exams)
+    db.insert_many("assignment", world.assignments)
+    db.insert_many("publisher", world.publishers)
+    db.insert_many("textbook", world.textbooks)
+    db.insert_many("section_textbook", world.section_textbooks)
+    db.insert_many("comment", world.comments)
+    db.insert_many("course_rating", world.course_ratings)
+    db.insert_many("club", world.clubs)
+    db.insert_many("student_club", world.student_clubs)
+    db.insert_many("club_advisor", world.club_advisors)
+    db.insert_many(
+        "scholarship",
+        [(i, name, amount) for i, name, amount, _sponsor in world.scholarships],
+    )
+    db.insert_many("student_scholarship", world.student_scholarships)
+    db.insert_many("skill", world.skills)
+    db.insert_many("course_skill", world.course_skills)
+    db.insert_many("career", world.careers)
+    db.insert_many("skill_career", world.skill_careers)
+
+    # derived / auxiliary tables (sponsors, degrees, majors, offices, ...)
+    sponsors = sorted({sponsor for *_, sponsor in world.scholarships})
+    sponsor_id = {name: i for i, name in enumerate(sponsors, start=1)}
+    db.insert_many("sponsor", [(i, name) for name, i in sponsor_id.items()])
+    db.insert_many(
+        "scholarship_sponsor",
+        [(i, sponsor_id[sponsor]) for i, _, _, sponsor in world.scholarships],
+    )
+    levels = sorted({level for _, _, level, _, _ in world.programs})
+    degree_id = {level: i for i, level in enumerate(levels, start=1)}
+    db.insert_many(
+        "degree",
+        [(i, f"{level} degree", level) for level, i in degree_id.items()],
+    )
+    db.insert_many(
+        "program_degree",
+        [(i, degree_id[level]) for i, _, level, _, _ in world.programs],
+    )
+    program_dept = {i: dept for i, _, _, dept, _ in world.programs}
+    db.insert_many(
+        "major",
+        [(s, program_dept[p]) for s, _, _, p in world.students],
+    )
+    db.insert_many(
+        "minor",
+        [
+            (s, 1 + (s + 2) % 6)
+            for s, *_ in world.students
+            if s % 4 == 0
+        ],
+    )
+    db.insert_many(
+        "program_course",
+        [
+            (1 + c % len(world.programs), c, c % 2 == 0)
+            for c, *_ in world.courses
+        ],
+    )
+    db.insert_many(
+        "office",
+        [(i, 1 + i % len(world.rooms)) for i, *_ in world.instructors],
+    )
+    db.insert_many(
+        "waitlist",
+        [
+            (s, 1 + s % len(world.sections), s % 5)
+            for s, *_ in world.students
+            if s % 7 == 0
+        ],
+    )
+    db.insert_many(
+        "exam_room",
+        [(i, 1 + i % len(world.rooms)) for i, *_ in world.exams],
+    )
+    db.insert_many(
+        "submission",
+        [
+            (a, 1 + (a * 3) % len(world.students), 60.0 + (a * 7) % 40, w + 1)
+            for a, _, _, w, _ in world.assignments
+        ],
+    )
+    db.insert_many(
+        "author",
+        [(i, f"Author {chr(64 + i)}") for i in range(1, 7)],
+    )
+    db.insert_many(
+        "textbook_author",
+        [(t, 1 + t % 6) for t, *_ in world.textbooks],
+    )
+    db.insert_many(
+        "lab",
+        [(i, f"Lab {i}", 1 + i % 6, 1 + i % 6) for i in range(1, 7)],
+    )
+    db.insert_many(
+        "research_group",
+        [
+            (i, f"Group {i}", 1 + i % 6, 1 + i % len(world.instructors))
+            for i in range(1, 7)
+        ],
+    )
+    db.insert_many(
+        "internship",
+        [
+            (i, f"{title} Internship", i, 1 + i % len(sponsors))
+            for i, title in [(c, t) for c, t in world.careers]
+        ],
+    )
+    db.insert_many(
+        "student_internship",
+        [
+            (s, 1 + s % len(world.careers), 2012 + s % 2)
+            for s, *_ in world.students
+            if s % 6 == 0
+        ],
+    )
+    return db

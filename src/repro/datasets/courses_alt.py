@@ -1,0 +1,181 @@
+"""The alternative 21-relation course schema (paper §7.3).
+
+The paper asked "a student with experience in database application
+development" to design his own schema covering the same query intents;
+he produced one with only 21 relations, "very different from the
+CourseRank schema".  This module reproduces that setup: a denormalised
+redesign of the same university world — sections, rooms and teaching
+collapse into ``offering``; grades inline into ``enrollment``; lookup
+names (department, publisher, sponsor, term) inline as text columns.
+
+Because both schemas load the same :class:`CourseWorld`, a translation
+over this schema is *correct* exactly when its result matches the gold
+result computed on the 53-relation schema.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..catalog import Catalog, DataType
+from ..engine import Database
+from .course_world import GRADES, CourseWorld, make_course_world
+
+INTEGER = DataType.INTEGER
+TEXT = DataType.TEXT
+FLOAT = DataType.FLOAT
+
+
+def make_course_alt_catalog() -> Catalog:
+    """Build the compact 21-relation redesign."""
+    c = Catalog("course-alt")
+
+    c.create_relation("student", [("student_id", INTEGER), ("name", TEXT), ("admit_year", INTEGER), ("program_id", INTEGER)], ["student_id"])
+    c.create_relation("instructor", [("instructor_id", INTEGER), ("name", TEXT), ("rank", TEXT), ("department_name", TEXT)], ["instructor_id"])
+    c.create_relation("course", [("course_id", INTEGER), ("title", TEXT), ("code", TEXT), ("units", INTEGER), ("level", INTEGER), ("department_name", TEXT)], ["course_id"])
+    c.create_relation(
+        "offering",
+        [
+            ("offering_id", INTEGER), ("course_id", INTEGER),
+            ("term_name", TEXT), ("year", INTEGER),
+            ("instructor_id", INTEGER), ("room_number", TEXT),
+            ("building_name", TEXT), ("capacity", INTEGER),
+        ],
+        ["offering_id"],
+    )
+    c.create_relation("enrollment", [("student_id", INTEGER), ("offering_id", INTEGER), ("status", TEXT)])
+    c.create_relation("transcript", [("student_id", INTEGER), ("course_id", INTEGER), ("grade_letter", TEXT), ("points", FLOAT), ("term_name", TEXT)])
+    c.create_relation("prerequisite", [("course_id", INTEGER), ("prereq_course_id", INTEGER)])
+    c.create_relation("textbook", [("textbook_id", INTEGER), ("title", TEXT), ("publisher_name", TEXT), ("year", INTEGER), ("price", FLOAT)], ["textbook_id"])
+    c.create_relation("offering_textbook", [("offering_id", INTEGER), ("textbook_id", INTEGER)])
+    c.create_relation("comment", [("comment_id", INTEGER), ("course_id", INTEGER), ("student_id", INTEGER), ("year", INTEGER), ("text", TEXT)], ["comment_id"])
+    c.create_relation("course_rating", [("student_id", INTEGER), ("course_id", INTEGER), ("stars", INTEGER), ("year", INTEGER)])
+    c.create_relation("club", [("club_id", INTEGER), ("name", TEXT), ("category", TEXT)], ["club_id"])
+    c.create_relation("student_club", [("student_id", INTEGER), ("club_id", INTEGER), ("join_year", INTEGER)])
+    c.create_relation("scholarship", [("scholarship_id", INTEGER), ("name", TEXT), ("amount", FLOAT), ("sponsor_name", TEXT)], ["scholarship_id"])
+    c.create_relation("student_scholarship", [("student_id", INTEGER), ("scholarship_id", INTEGER), ("year", INTEGER)])
+    c.create_relation("advisor", [("student_id", INTEGER), ("instructor_id", INTEGER)])
+    c.create_relation("ta", [("offering_id", INTEGER), ("student_id", INTEGER)])
+    c.create_relation("skill", [("skill_id", INTEGER), ("name", TEXT)], ["skill_id"])
+    c.create_relation("course_skill", [("course_id", INTEGER), ("skill_id", INTEGER)])
+    c.create_relation("career", [("career_id", INTEGER), ("title", TEXT), ("skill_id", INTEGER)], ["career_id"])
+    c.create_relation("program", [("program_id", INTEGER), ("name", TEXT), ("level", TEXT), ("department_name", TEXT), ("tuition", FLOAT)], ["program_id"])
+
+    for source, attribute, target in [
+        ("student", "program_id", "program"),
+        ("offering", "course_id", "course"),
+        ("offering", "instructor_id", "instructor"),
+        ("enrollment", "student_id", "student"),
+        ("enrollment", "offering_id", "offering"),
+        ("transcript", "student_id", "student"),
+        ("transcript", "course_id", "course"),
+        ("prerequisite", "course_id", "course"),
+        ("prerequisite", "prereq_course_id", "course"),
+        ("offering_textbook", "offering_id", "offering"),
+        ("offering_textbook", "textbook_id", "textbook"),
+        ("comment", "course_id", "course"),
+        ("comment", "student_id", "student"),
+        ("course_rating", "student_id", "student"),
+        ("course_rating", "course_id", "course"),
+        ("student_club", "student_id", "student"),
+        ("student_club", "club_id", "club"),
+        ("student_scholarship", "student_id", "student"),
+        ("student_scholarship", "scholarship_id", "scholarship"),
+        ("advisor", "student_id", "student"),
+        ("advisor", "instructor_id", "instructor"),
+        ("ta", "offering_id", "offering"),
+        ("ta", "student_id", "student"),
+        ("course_skill", "course_id", "course"),
+        ("course_skill", "skill_id", "skill"),
+        ("career", "skill_id", "skill"),
+    ]:
+        c.add_foreign_key(source, attribute, target)
+    return c
+
+
+def make_course_alt_database(
+    scale: float = 1.0,
+    seed: int = 2013,
+    world: Optional[CourseWorld] = None,
+) -> Database:
+    """Load the same course world into the 21-relation redesign."""
+    world = world or make_course_world(scale=scale, seed=seed)
+    db = Database(make_course_alt_catalog(), enforce_foreign_keys=False)
+
+    dept_name = {i: name for i, name, _code in world.departments}
+    term_info = {i: (name, year) for i, name, year, _season in world.terms}
+    room_info = {i: (number, building) for i, number, _cap, building in world.rooms}
+    building_name = {i: name for i, name, _campus in world.buildings}
+    publisher_name = {i: name for i, name, _city in world.publishers}
+    teacher_of = {section: instructor for instructor, section in world.teaches}
+
+    db.insert_many(
+        "program",
+        [
+            (i, name, level, dept_name[dept], tuition)
+            for i, name, level, dept, tuition in world.programs
+        ],
+    )
+    db.insert_many("student", world.students)
+    db.insert_many(
+        "instructor",
+        [
+            (i, name, rank, dept_name[dept])
+            for i, name, rank, dept in world.instructors
+        ],
+    )
+    db.insert_many(
+        "course",
+        [
+            (i, title, code, units, level, dept_name[dept])
+            for i, title, code, units, level, dept in world.courses
+        ],
+    )
+    offerings = []
+    for section_id, course_id, term_id, _number, room_id, capacity in world.sections:
+        term, year = term_info[term_id]
+        number, building = room_info[room_id]
+        offerings.append(
+            (
+                section_id, course_id, term, year,
+                teacher_of.get(section_id), number,
+                building_name[building], capacity,
+            )
+        )
+    db.insert_many("offering", offerings)
+    db.insert_many("enrollment", world.enrollments)
+    db.insert_many(
+        "transcript",
+        [
+            (s, c, GRADES[g][0], GRADES[g][1], term_info[t][0])
+            for s, c, g, t in world.completions
+        ],
+    )
+    db.insert_many("prerequisite", world.prerequisites)
+    db.insert_many(
+        "textbook",
+        [
+            (i, title, publisher_name[p], year, price)
+            for i, title, p, year, price in world.textbooks
+        ],
+    )
+    db.insert_many("offering_textbook", world.section_textbooks)
+    db.insert_many("comment", world.comments)
+    db.insert_many("course_rating", world.course_ratings)
+    db.insert_many("club", world.clubs)
+    db.insert_many("student_club", world.student_clubs)
+    db.insert_many(
+        "scholarship",
+        [(i, name, amount, sponsor) for i, name, amount, sponsor in world.scholarships],
+    )
+    db.insert_many("student_scholarship", world.student_scholarships)
+    db.insert_many("advisor", world.advisors)
+    db.insert_many("ta", world.tas)
+    db.insert_many("skill", world.skills)
+    db.insert_many("course_skill", world.course_skills)
+    career_skill = {career: skill for skill, career in world.skill_careers}
+    db.insert_many(
+        "career",
+        [(i, title, career_skill.get(i)) for i, title in world.careers],
+    )
+    return db

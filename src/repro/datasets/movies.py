@@ -1,0 +1,470 @@
+"""Synthetic Yahoo!-Movie-style database: 43 relations, 71 FK-PK pairs.
+
+The paper evaluates on the proprietary Yahoo!-Movie database and reports
+only its shape: 43 relations and 71 FK-PK pairs (§7.2).  This module
+reproduces that shape with a realistically normalised movie schema —
+entity tables, role bridge tables, lookup tables, two self-referencing
+foreign keys — plus a deterministic data generator that plants the
+specific people, companies, and genres the Figure 14 workload queries
+mention, so every workload query has a non-trivial answer.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..catalog import Catalog, DataType
+from ..engine import Database
+
+INTEGER = DataType.INTEGER
+TEXT = DataType.TEXT
+FLOAT = DataType.FLOAT
+
+#: Values the Figure 14 queries rely on; the generator plants facts
+#: around each of them.
+NOTABLE_DIRECTORS = [
+    "James Cameron",
+    "Peter Jackson",
+    "Fahdel Jaziri",
+    "Steven Spielberg",
+    "Woody Allen",
+    "Stephen Gaghan",
+]
+NOTABLE_ACTORS = ["Tom Hanks", "Kate Winslet", "Leonardo DiCaprio"]
+NOTABLE_COMPANIES = [
+    "20th Century Fox",
+    "Carthago Films",
+    "Apollo Films",
+    "LLC",
+    "Paramount",
+    "DreamWorks",
+]
+GENRES = [
+    "Drama",
+    "Comedy",
+    "Action Adventure",
+    "Thriller",
+    "Romance",
+    "Science Fiction",
+    "Documentary",
+    "Horror",
+    "Animation",
+    "Western",
+]
+
+_FIRST_NAMES = [
+    "James", "Mary", "Robert", "Linda", "Michael", "Susan", "David",
+    "Karen", "Richard", "Nancy", "Thomas", "Lisa", "Daniel", "Sandra",
+    "Steven", "Ashley", "Kevin", "Emily", "Brian", "Michelle",
+]
+_LAST_NAMES = [
+    "Smith", "Jones", "Miller", "Davis", "Garcia", "Wilson", "Moore",
+    "Taylor", "Anderson", "Thomas", "Jackson", "White", "Harris",
+    "Martin", "Thompson", "Young", "Walker", "Allen", "King", "Wright",
+]
+_TITLE_ADJECTIVES = [
+    "Lost", "Dark", "Silent", "Golden", "Broken", "Hidden", "Eternal",
+    "Savage", "Crimson", "Frozen", "Burning", "Fallen", "Endless",
+]
+_TITLE_NOUNS = [
+    "Horizon", "Empire", "River", "Garden", "Voyage", "Kingdom",
+    "Shadow", "Promise", "Harvest", "Signal", "Passage", "Reckoning",
+]
+_COMPANY_SUFFIXES = ["Pictures", "Studios", "Entertainment", "Media", "Films"]
+_COUNTRIES = [
+    ("United States", "Americas"), ("United Kingdom", "Europe"),
+    ("France", "Europe"), ("Tunisia", "Africa"), ("New Zealand", "Oceania"),
+    ("Japan", "Asia"), ("Germany", "Europe"), ("Canada", "Americas"),
+    ("Italy", "Europe"), ("India", "Asia"),
+]
+_LANGUAGES = ["English", "French", "Arabic", "Japanese", "German", "Hindi"]
+_KEYWORDS = [
+    "heist", "space", "family", "war", "love", "betrayal", "survival",
+    "road trip", "courtroom", "conspiracy", "coming of age", "revenge",
+]
+_RATINGS = [
+    ("G", "General audiences"), ("PG", "Parental guidance"),
+    ("PG-13", "Parents strongly cautioned"), ("R", "Restricted"),
+    ("NC-17", "Adults only"),
+]
+
+
+def make_movie_catalog() -> Catalog:
+    """Build the 43-relation, 71-FK movie schema."""
+    c = Catalog("yahoo-movies-like")
+
+    # -- lookup / entity tables ----------------------------------------
+    c.create_relation("country", [("country_id", INTEGER), ("name", TEXT), ("region", TEXT)], ["country_id"])
+    c.create_relation("language", [("language_id", INTEGER), ("name", TEXT)], ["language_id"])
+    c.create_relation("rating", [("rating_id", INTEGER), ("code", TEXT), ("description", TEXT)], ["rating_id"])
+    c.create_relation("genre", [("genre_id", INTEGER), ("name", TEXT), ("parent_genre_id", INTEGER)], ["genre_id"])
+    c.create_relation("organization", [("organization_id", INTEGER), ("name", TEXT), ("country_id", INTEGER)], ["organization_id"])
+    c.create_relation("award", [("award_id", INTEGER), ("name", TEXT), ("organization_id", INTEGER)], ["award_id"])
+    c.create_relation("festival", [("festival_id", INTEGER), ("name", TEXT), ("country_id", INTEGER), ("founded_year", INTEGER), ("organization_id", INTEGER)], ["festival_id"])
+    c.create_relation("company", [("company_id", INTEGER), ("name", TEXT), ("founded_year", INTEGER)], ["company_id"])
+    c.create_relation("studio", [("studio_id", INTEGER), ("name", TEXT), ("company_id", INTEGER)], ["studio_id"])
+    c.create_relation("person", [("person_id", INTEGER), ("name", TEXT), ("gender", TEXT), ("birth_year", INTEGER)], ["person_id"])
+    c.create_relation("movie", [("movie_id", INTEGER), ("title", TEXT), ("release_year", INTEGER), ("runtime", INTEGER), ("budget", FLOAT), ("gross", FLOAT), ("rating_id", INTEGER), ("language_id", INTEGER), ("country_id", INTEGER), ("studio_id", INTEGER), ("sequel_of", INTEGER)], ["movie_id"])
+    c.create_relation("series", [("series_id", INTEGER), ("name", TEXT)], ["series_id"])
+    c.create_relation("keyword", [("keyword_id", INTEGER), ("word", TEXT)], ["keyword_id"])
+    c.create_relation("publication", [("publication_id", INTEGER), ("name", TEXT), ("country_id", INTEGER)], ["publication_id"])
+    c.create_relation("critic", [("critic_id", INTEGER), ("name", TEXT), ("publication_id", INTEGER), ("country_id", INTEGER)], ["critic_id"])
+    c.create_relation("users", [("user_id", INTEGER), ("username", TEXT), ("join_year", INTEGER), ("country_id", INTEGER), ("favorite_genre_id", INTEGER), ("favorite_movie_id", INTEGER)], ["user_id"])
+    c.create_relation("location", [("location_id", INTEGER), ("name", TEXT), ("country_id", INTEGER)], ["location_id"])
+    c.create_relation("soundtrack", [("soundtrack_id", INTEGER), ("movie_id", INTEGER), ("title", TEXT), ("composer_id", INTEGER)], ["soundtrack_id"])
+    c.create_relation("trailer", [("trailer_id", INTEGER), ("movie_id", INTEGER), ("duration", INTEGER), ("language_id", INTEGER), ("company_id", INTEGER)], ["trailer_id"])
+    c.create_relation("quote", [("quote_id", INTEGER), ("movie_id", INTEGER), ("person_id", INTEGER), ("line", TEXT)], ["quote_id"])
+    c.create_relation("alias", [("alias_id", INTEGER), ("person_id", INTEGER), ("alias_name", TEXT)], ["alias_id"])
+    c.create_relation("tagline", [("tagline_id", INTEGER), ("movie_id", INTEGER), ("language_id", INTEGER), ("text", TEXT)], ["tagline_id"])
+
+    # -- role / bridge tables ------------------------------------------
+    c.create_relation("actor", [("person_id", INTEGER), ("movie_id", INTEGER), ("character", TEXT), ("billing", INTEGER)])
+    c.create_relation("director", [("person_id", INTEGER), ("movie_id", INTEGER)])
+    c.create_relation("writer", [("person_id", INTEGER), ("movie_id", INTEGER)])
+    c.create_relation("producer", [("person_id", INTEGER), ("movie_id", INTEGER)])
+    c.create_relation("cinematographer", [("person_id", INTEGER), ("movie_id", INTEGER)])
+    c.create_relation("editor", [("person_id", INTEGER), ("movie_id", INTEGER)])
+    c.create_relation("movie_producer", [("movie_id", INTEGER), ("company_id", INTEGER)])
+    c.create_relation("movie_distributor", [("movie_id", INTEGER), ("company_id", INTEGER), ("year", INTEGER)])
+    c.create_relation("movie_financer", [("movie_id", INTEGER), ("company_id", INTEGER)])
+    c.create_relation("movie_genre", [("movie_id", INTEGER), ("genre_id", INTEGER)])
+    c.create_relation("movie_keyword", [("movie_id", INTEGER), ("keyword_id", INTEGER)])
+    c.create_relation("movie_language", [("movie_id", INTEGER), ("language_id", INTEGER)])
+    c.create_relation("movie_country", [("movie_id", INTEGER), ("country_id", INTEGER)])
+    c.create_relation("movie_series", [("movie_id", INTEGER), ("series_id", INTEGER), ("sequence_number", INTEGER)])
+    c.create_relation("movie_award", [("movie_id", INTEGER), ("award_id", INTEGER), ("year", INTEGER), ("won", DataType.BOOLEAN), ("festival_id", INTEGER)])
+    c.create_relation("person_award", [("person_id", INTEGER), ("award_id", INTEGER), ("year", INTEGER), ("won", DataType.BOOLEAN)])
+    c.create_relation("festival_entry", [("movie_id", INTEGER), ("festival_id", INTEGER), ("year", INTEGER)])
+    c.create_relation("review", [("review_id", INTEGER), ("movie_id", INTEGER), ("critic_id", INTEGER), ("score", FLOAT), ("year", INTEGER)], ["review_id"])
+    c.create_relation("user_rating", [("user_id", INTEGER), ("movie_id", INTEGER), ("stars", INTEGER), ("rated_year", INTEGER)])
+    c.create_relation("watchlist", [("user_id", INTEGER), ("movie_id", INTEGER), ("added_year", INTEGER)])
+    c.create_relation("movie_location", [("movie_id", INTEGER), ("location_id", INTEGER)])
+
+    # -- the 71 FK-PK pairs ----------------------------------------------
+    fks = [
+        ("movie", "rating_id", "rating"),
+        ("movie", "language_id", "language"),
+        ("movie", "country_id", "country"),
+        ("movie", "studio_id", "studio"),
+        ("movie", "sequel_of", "movie"),
+        ("genre", "parent_genre_id", "genre"),
+        ("award", "organization_id", "organization"),
+        ("organization", "country_id", "country"),
+        ("festival", "country_id", "country"),
+        ("festival", "organization_id", "organization"),
+        ("studio", "company_id", "company"),
+        ("users", "country_id", "country"),
+        ("users", "favorite_genre_id", "genre"),
+        ("critic", "publication_id", "publication"),
+        ("critic", "country_id", "country"),
+        ("publication", "country_id", "country"),
+        ("soundtrack", "movie_id", "movie"),
+        ("soundtrack", "composer_id", "person"),
+        ("trailer", "movie_id", "movie"),
+        ("trailer", "language_id", "language"),
+        ("trailer", "company_id", "company"),
+        ("tagline", "movie_id", "movie"),
+        ("tagline", "language_id", "language"),
+        ("users", "favorite_movie_id", "movie"),
+        ("quote", "movie_id", "movie"),
+        ("quote", "person_id", "person"),
+        ("alias", "person_id", "person"),
+        ("location", "country_id", "country"),
+        ("actor", "person_id", "person"),
+        ("actor", "movie_id", "movie"),
+        ("director", "person_id", "person"),
+        ("director", "movie_id", "movie"),
+        ("writer", "person_id", "person"),
+        ("writer", "movie_id", "movie"),
+        ("producer", "person_id", "person"),
+        ("producer", "movie_id", "movie"),
+        ("cinematographer", "person_id", "person"),
+        ("cinematographer", "movie_id", "movie"),
+        ("editor", "person_id", "person"),
+        ("editor", "movie_id", "movie"),
+        ("movie_producer", "movie_id", "movie"),
+        ("movie_producer", "company_id", "company"),
+        ("movie_distributor", "movie_id", "movie"),
+        ("movie_distributor", "company_id", "company"),
+        ("movie_financer", "movie_id", "movie"),
+        ("movie_financer", "company_id", "company"),
+        ("movie_genre", "movie_id", "movie"),
+        ("movie_genre", "genre_id", "genre"),
+        ("movie_keyword", "movie_id", "movie"),
+        ("movie_keyword", "keyword_id", "keyword"),
+        ("movie_language", "movie_id", "movie"),
+        ("movie_language", "language_id", "language"),
+        ("movie_country", "movie_id", "movie"),
+        ("movie_country", "country_id", "country"),
+        ("movie_series", "movie_id", "movie"),
+        ("movie_series", "series_id", "series"),
+        ("movie_award", "movie_id", "movie"),
+        ("movie_award", "award_id", "award"),
+        ("movie_award", "festival_id", "festival"),
+        ("person_award", "person_id", "person"),
+        ("person_award", "award_id", "award"),
+        ("festival_entry", "movie_id", "movie"),
+        ("festival_entry", "festival_id", "festival"),
+        ("review", "movie_id", "movie"),
+        ("review", "critic_id", "critic"),
+        ("user_rating", "user_id", "users"),
+        ("user_rating", "movie_id", "movie"),
+        ("watchlist", "user_id", "users"),
+        ("watchlist", "movie_id", "movie"),
+        ("movie_location", "movie_id", "movie"),
+        ("movie_location", "location_id", "location"),
+    ]
+    for source, attribute, target in fks:
+        c.add_foreign_key(source, attribute, target)
+    return c
+
+
+def make_movie_database(
+    scale: float = 1.0, seed: int = 2014, catalog: Optional[Catalog] = None
+) -> Database:
+    """Populate the movie schema deterministically.
+
+    ``scale`` multiplies the base table sizes (scale 1.0 is comfortable
+    for translation experiments; the engine's similarity checks sample
+    columns, so larger scales mainly stress execution).
+    """
+    rng = random.Random(seed)
+    db = Database(catalog or make_movie_catalog(), enforce_foreign_keys=False)
+
+    n_person = max(len(NOTABLE_DIRECTORS) + len(NOTABLE_ACTORS), int(120 * scale))
+    n_movie = max(30, int(80 * scale))
+    n_company = max(len(NOTABLE_COMPANIES), int(20 * scale))
+    n_user = max(10, int(40 * scale))
+
+    # -- lookups ----------------------------------------------------------
+    for i, (name, region) in enumerate(_COUNTRIES, start=1):
+        db.insert("country", [i, name, region])
+    for i, name in enumerate(_LANGUAGES, start=1):
+        db.insert("language", [i, name])
+    for i, (code, description) in enumerate(_RATINGS, start=1):
+        db.insert("rating", [i, code, description])
+    for i, name in enumerate(GENRES, start=1):
+        parent = 1 if name == "Action Adventure" else None
+        db.insert("genre", [i, name, parent])
+    for i, word in enumerate(_KEYWORDS, start=1):
+        db.insert("keyword", [i, word])
+
+    organizations = ["Academy of Motion Pictures", "Golden Globe Association", "Screen Guild"]
+    for i, name in enumerate(organizations, start=1):
+        db.insert("organization", [i, name, rng.randint(1, len(_COUNTRIES))])
+    awards = ["Best Picture", "Best Director", "Best Actor", "Best Screenplay", "Best Score"]
+    for i, name in enumerate(awards, start=1):
+        db.insert("award", [i, name, 1 + i % len(organizations)])
+    festivals = ["Cannes", "Venice", "Sundance", "Berlinale"]
+    for i, name in enumerate(festivals, start=1):
+        db.insert(
+            "festival",
+            [i, name, rng.randint(1, len(_COUNTRIES)), 1930 + 10 * i, 1 + i % len(organizations)],
+        )
+
+    # -- companies / studios ------------------------------------------------
+    for i in range(1, n_company + 1):
+        if i <= len(NOTABLE_COMPANIES):
+            name = NOTABLE_COMPANIES[i - 1]
+        else:
+            name = (
+                f"{rng.choice(_TITLE_ADJECTIVES)} "
+                f"{rng.choice(_COMPANY_SUFFIXES)} {i}"
+            )
+        db.insert("company", [i, name, rng.randint(1910, 1990)])
+    n_studio = max(5, n_company // 2)
+    for i in range(1, n_studio + 1):
+        db.insert("studio", [i, f"Stage {i}", rng.randint(1, n_company)])
+
+    # -- people -------------------------------------------------------------
+    notable_people = NOTABLE_DIRECTORS + NOTABLE_ACTORS
+    for i in range(1, n_person + 1):
+        if i <= len(notable_people):
+            name = notable_people[i - 1]
+            gender = "female" if name in ("Kate Winslet",) else "male"
+        else:
+            name = f"{rng.choice(_FIRST_NAMES)} {rng.choice(_LAST_NAMES)} {i}"
+            gender = rng.choice(["male", "female"])
+        db.insert("person", [i, name, gender, rng.randint(1930, 1995)])
+    director_ids = {
+        name: NOTABLE_DIRECTORS.index(name) + 1 for name in NOTABLE_DIRECTORS
+    }
+    actor_ids = {
+        name: len(NOTABLE_DIRECTORS) + NOTABLE_ACTORS.index(name) + 1
+        for name in NOTABLE_ACTORS
+    }
+    company_ids = {
+        name: NOTABLE_COMPANIES.index(name) + 1 for name in NOTABLE_COMPANIES
+    }
+    genre_ids = {name: GENRES.index(name) + 1 for name in GENRES}
+
+    # -- movies and facts -----------------------------------------------------
+    for i in range(1, n_movie + 1):
+        title = (
+            f"{rng.choice(_TITLE_ADJECTIVES)} {rng.choice(_TITLE_NOUNS)} {i}"
+        )
+        year = rng.randint(1980, 2013)
+        sequel = rng.randint(1, i - 1) if i > 4 and rng.random() < 0.1 else None
+        db.insert(
+            "movie",
+            [
+                i, title, year, rng.randint(80, 180),
+                float(rng.randint(1, 200)) * 1e6,
+                float(rng.randint(1, 800)) * 1e6,
+                rng.randint(1, len(_RATINGS)), rng.randint(1, len(_LANGUAGES)),
+                rng.randint(1, len(_COUNTRIES)), rng.randint(1, n_studio),
+                sequel,
+            ],
+        )
+        # random crew
+        db.insert("director", [rng.randint(1, n_person), i])
+        db.insert("writer", [rng.randint(1, n_person), i])
+        db.insert("producer", [rng.randint(1, n_person), i])
+        db.insert("cinematographer", [rng.randint(1, n_person), i])
+        db.insert("editor", [rng.randint(1, n_person), i])
+        for _ in range(rng.randint(2, 5)):
+            db.insert(
+                "actor",
+                [rng.randint(1, n_person), i, f"Role {i}", rng.randint(1, 10)],
+            )
+        db.insert("movie_genre", [i, rng.randint(1, len(GENRES))])
+        db.insert("movie_producer", [i, rng.randint(1, n_company)])
+        db.insert("movie_distributor", [i, rng.randint(1, n_company), year + 1])
+        if rng.random() < 0.5:
+            db.insert("movie_financer", [i, rng.randint(1, n_company)])
+        db.insert("movie_language", [i, rng.randint(1, len(_LANGUAGES))])
+        db.insert("movie_country", [i, rng.randint(1, len(_COUNTRIES))])
+        db.insert("movie_keyword", [i, rng.randint(1, len(_KEYWORDS))])
+
+    # -- planted facts for the Figure 14 workload -------------------------------
+    _plant_workload_facts(db, rng, n_movie, director_ids, actor_ids, company_ids, genre_ids)
+
+    # -- remaining satellite tables ---------------------------------------------
+    for i in range(1, n_user + 1):
+        db.insert(
+            "users",
+            [i, f"user{i}", rng.randint(2005, 2013), rng.randint(1, len(_COUNTRIES)), rng.randint(1, len(GENRES)), rng.randint(1, n_movie)],
+        )
+        for _ in range(rng.randint(1, 4)):
+            db.insert(
+                "user_rating",
+                [i, rng.randint(1, n_movie), rng.randint(1, 5), rng.randint(2005, 2013)],
+            )
+        if rng.random() < 0.6:
+            db.insert("watchlist", [i, rng.randint(1, n_movie), rng.randint(2005, 2013)])
+
+    publications = ["Daily Reel", "Cinema Weekly", "The Screen"]
+    for i, name in enumerate(publications, start=1):
+        db.insert("publication", [i, name, rng.randint(1, len(_COUNTRIES))])
+    for i in range(1, 9):
+        db.insert(
+            "critic",
+            [i, f"Critic {rng.choice(_LAST_NAMES)} {i}", 1 + i % len(publications), rng.randint(1, len(_COUNTRIES))],
+        )
+    for i in range(1, int(30 * scale) + 1):
+        db.insert(
+            "review",
+            [i, rng.randint(1, n_movie), rng.randint(1, 8), round(rng.uniform(1.0, 10.0), 1), rng.randint(2000, 2013)],
+        )
+    for i in range(1, 6):
+        db.insert("series", [i, f"{rng.choice(_TITLE_NOUNS)} Saga {i}"])
+        db.insert("movie_series", [rng.randint(1, n_movie), i, 1])
+    for i in range(1, 11):
+        db.insert("location", [i, f"{rng.choice(_TITLE_NOUNS)} Street {i}", rng.randint(1, len(_COUNTRIES))])
+        db.insert("movie_location", [rng.randint(1, n_movie), i])
+    for i in range(1, 11):
+        db.insert("soundtrack", [i, rng.randint(1, n_movie), f"Theme {i}", rng.randint(1, n_person)])
+        db.insert("trailer", [i, rng.randint(1, n_movie), rng.randint(30, 180), rng.randint(1, len(_LANGUAGES)), rng.randint(1, n_company)])
+        db.insert("tagline", [i, rng.randint(1, n_movie), rng.randint(1, len(_LANGUAGES)), f"Tagline {i}"])
+    for i in range(1, 11):
+        db.insert("quote", [i, rng.randint(1, n_movie), rng.randint(1, n_person), f"Quote line {i}"])
+    for i in range(1, 6):
+        db.insert("alias", [i, rng.randint(1, n_person), f"A.K.A. {i}"])
+        db.insert("movie_award", [rng.randint(1, n_movie), 1 + i % 5, rng.randint(1990, 2013), bool(i % 2), 1 + i % 4])
+        db.insert("person_award", [rng.randint(1, n_person), 1 + i % 5, rng.randint(1990, 2013), bool(i % 2)])
+        db.insert("festival_entry", [rng.randint(1, n_movie), 1 + i % 4, rng.randint(1990, 2013)])
+    return db
+
+
+def _plant_workload_facts(
+    db: Database,
+    rng: random.Random,
+    n_movie: int,
+    director_ids: dict[str, int],
+    actor_ids: dict[str, int],
+    company_ids: dict[str, int],
+    genre_ids: dict[str, int],
+) -> None:
+    """Insert the specific facts the Figure 14 queries ask about."""
+    next_movie = n_movie + 1
+
+    def add_movie(title: str, year: int) -> int:
+        nonlocal next_movie
+        movie_id = next_movie
+        next_movie += 1
+        db.insert(
+            "movie",
+            [movie_id, title, year, rng.randint(90, 160),
+             5e7, 2e8, 3, 1, 1, 1, None],
+        )
+        return movie_id
+
+    cameron = director_ids["James Cameron"]
+    jackson = director_ids["Peter Jackson"]
+    jaziri = director_ids["Fahdel Jaziri"]
+    spielberg = director_ids["Steven Spielberg"]
+    allen = director_ids["Woody Allen"]
+    gaghan = director_ids["Stephen Gaghan"]
+    hanks = actor_ids["Tom Hanks"]
+    winslet = actor_ids["Kate Winslet"]
+    dicaprio = actor_ids["Leonardo DiCaprio"]
+    fox = company_ids["20th Century Fox"]
+    carthago = company_ids["Carthago Films"]
+    apollo = company_ids["Apollo Films"]
+    llc = company_ids["LLC"]
+    drama = genre_ids["Drama"]
+    action = genre_ids["Action Adventure"]
+
+    # Q1: male actors with Cameron, produced by Fox, 1995-2010
+    for year in (1997, 2003, 2009):
+        movie = add_movie(f"Cameron Epic {year}", year)
+        db.insert("director", [cameron, movie])
+        db.insert("movie_producer", [movie, fox])
+        db.insert("actor", [dicaprio, movie, "Lead", 1])
+        db.insert("actor", [winslet, movie, "Lead", 2])
+
+    # Q2: Drama directed by Peter Jackson
+    for year in (2001, 2005):
+        movie = add_movie(f"Jackson Drama {year}", year)
+        db.insert("director", [jackson, movie])
+        db.insert("movie_genre", [movie, drama])
+
+    # Q3: produced by Carthago, distributed by Apollo, directed by Jaziri
+    movie = add_movie("Tunisian Dawn", 2004)
+    db.insert("director", [jaziri, movie])
+    db.insert("movie_producer", [movie, carthago])
+    db.insert("movie_distributor", [movie, apollo, 2005])
+    db.insert("actor", [winslet, movie, "Lead", 1])
+    db.insert("actor", [hanks, movie, "Support", 2])
+
+    # Q4: directed by Spielberg, acted by Hanks
+    for year in (1998, 2002, 2004):
+        movie = add_movie(f"Spielberg Hanks {year}", year)
+        db.insert("director", [spielberg, movie])
+        db.insert("actor", [hanks, movie, "Lead", 1])
+
+    # Q5: actors in >3 Action Adventure movies directed by Woody Allen
+    prolific = [dicaprio, hanks]
+    for index in range(5):
+        movie = add_movie(f"Allen Adventure {index}", 1990 + index)
+        db.insert("director", [allen, movie])
+        db.insert("movie_genre", [movie, action])
+        for person in prolific:
+            db.insert("actor", [person, movie, "Lead", 1])
+
+    # Q6: Drama financed by LLC directed by Stephen Gaghan
+    movie = add_movie("Quiet Ledger", 2006)
+    db.insert("director", [gaghan, movie])
+    db.insert("movie_genre", [movie, drama])
+    db.insert("movie_financer", [movie, llc])

@@ -1,0 +1,30 @@
+"""In-memory relational execution engine (the RDBMS substrate)."""
+
+from .database import Database
+from .errors import EngineError, ExecutionError, IntegrityError, NameResolutionError
+from .evaluator import Evaluator, Scope, compare, like_match
+from .executor import Executor, Result
+from .functions import AGGREGATE_NAMES, SCALAR_FUNCTIONS, aggregate, is_aggregate
+from .io import catalog_from_dict, catalog_to_dict, load_database, save_database
+
+__all__ = [
+    "AGGREGATE_NAMES",
+    "Database",
+    "EngineError",
+    "Evaluator",
+    "ExecutionError",
+    "Executor",
+    "IntegrityError",
+    "NameResolutionError",
+    "Result",
+    "SCALAR_FUNCTIONS",
+    "Scope",
+    "aggregate",
+    "catalog_from_dict",
+    "catalog_to_dict",
+    "load_database",
+    "save_database",
+    "compare",
+    "is_aggregate",
+    "like_match",
+]

@@ -1,0 +1,17 @@
+"""Execution-engine error types."""
+
+
+class EngineError(RuntimeError):
+    """Base class for execution errors."""
+
+
+class NameResolutionError(EngineError):
+    """An identifier could not be resolved, or was ambiguous."""
+
+
+class ExecutionError(EngineError):
+    """A query failed during evaluation (type error, bad aggregate, ...)."""
+
+
+class IntegrityError(EngineError):
+    """A tuple violated a primary-key or foreign-key constraint."""

@@ -1,0 +1,111 @@
+"""Scalar and aggregate SQL functions for the execution engine.
+
+NULL handling follows the SQL standard: scalar functions return NULL when
+any required argument is NULL (except COALESCE / IFNULL); aggregates skip
+NULL inputs, with COUNT(*) counting rows and empty-input SUM/AVG/MIN/MAX
+returning NULL while COUNT returns 0.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Iterable, Optional, Sequence
+
+from .errors import ExecutionError
+
+# ---------------------------------------------------------------------------
+# scalar functions
+# ---------------------------------------------------------------------------
+
+
+def _null_if_none(fn: Callable[..., Any]) -> Callable[..., Any]:
+    def wrapper(*args: Any) -> Any:
+        if any(arg is None for arg in args):
+            return None
+        return fn(*args)
+
+    return wrapper
+
+
+def _coalesce(*args: Any) -> Any:
+    for arg in args:
+        if arg is not None:
+            return arg
+    return None
+
+
+def _substr(value: str, start: int, length: Optional[int] = None) -> str:
+    # SQL substr is 1-based
+    begin = max(start - 1, 0)
+    if length is None:
+        return value[begin:]
+    return value[begin : begin + length]
+
+
+def _round(value: float, digits: int = 0) -> float:
+    return round(value, digits)
+
+
+SCALAR_FUNCTIONS: dict[str, Callable[..., Any]] = {
+    "upper": _null_if_none(lambda s: s.upper()),
+    "lower": _null_if_none(lambda s: s.lower()),
+    "length": _null_if_none(len),
+    "abs": _null_if_none(abs),
+    "round": _null_if_none(_round),
+    "floor": _null_if_none(math.floor),
+    "ceil": _null_if_none(math.ceil),
+    "sqrt": _null_if_none(math.sqrt),
+    "substr": _null_if_none(_substr),
+    "substring": _null_if_none(_substr),
+    "trim": _null_if_none(lambda s: s.strip()),
+    "concat": _null_if_none(lambda *parts: "".join(str(p) for p in parts)),
+    "coalesce": _coalesce,
+    "ifnull": _coalesce,
+    "nullif": _null_if_none(lambda a, b: None if a == b else a),
+}
+
+
+def call_scalar(name: str, args: Sequence[Any]) -> Any:
+    try:
+        fn = SCALAR_FUNCTIONS[name]
+    except KeyError:
+        raise ExecutionError(f"unknown function {name!r}") from None
+    try:
+        return fn(*args)
+    except (TypeError, ValueError) as exc:
+        raise ExecutionError(f"{name}() failed: {exc}") from exc
+
+
+# ---------------------------------------------------------------------------
+# aggregate functions
+# ---------------------------------------------------------------------------
+
+AGGREGATE_NAMES = frozenset({"count", "sum", "avg", "min", "max"})
+
+
+def is_aggregate(name: str) -> bool:
+    return name in AGGREGATE_NAMES
+
+
+def aggregate(name: str, values: Iterable[Any], distinct: bool = False) -> Any:
+    """Compute aggregate *name* over *values* (NULLs already included).
+
+    For ``count`` the caller passes a sentinel non-None value per row when
+    counting rows (``COUNT(*)``), or column values when counting a column.
+    """
+    present = [v for v in values if v is not None]
+    if distinct:
+        present = list(dict.fromkeys(present))
+    if name == "count":
+        return len(present)
+    if not present:
+        return None
+    if name == "sum":
+        return sum(present)
+    if name == "avg":
+        return sum(present) / len(present)
+    if name == "min":
+        return min(present)
+    if name == "max":
+        return max(present)
+    raise ExecutionError(f"unknown aggregate {name!r}")  # pragma: no cover

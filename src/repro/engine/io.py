@@ -1,0 +1,128 @@
+"""Saving and loading databases as portable JSON.
+
+A saved database is a directory with one ``schema.json`` (relations,
+attributes, keys) and one ``<relation>.jsonl`` per relation (one JSON
+array per row, in declaration order).  DATE values are stored as ISO
+strings.  This is how a downstream user points the translator at their
+own data:
+
+    from repro.engine.io import load_database, save_database
+
+    save_database(db, "my_dump/")
+    db2 = load_database("my_dump/")
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+from pathlib import Path
+from typing import Union
+
+from ..catalog import Attribute, Catalog, DataType
+from .database import Database
+
+SCHEMA_FILE = "schema.json"
+
+
+def catalog_to_dict(catalog: Catalog) -> dict:
+    """JSON-serialisable description of a catalog."""
+    return {
+        "name": catalog.name,
+        "relations": [
+            {
+                "name": relation.name,
+                "primary_key": list(relation.primary_key),
+                "attributes": [
+                    {
+                        "name": attribute.name,
+                        "type": attribute.data_type.value,
+                        "nullable": attribute.nullable,
+                    }
+                    for attribute in relation.attributes
+                ],
+            }
+            for relation in catalog
+        ],
+        "foreign_keys": [
+            {
+                "source_relation": fk.source_relation,
+                "source_attribute": fk.source_attribute,
+                "target_relation": fk.target_relation,
+                "target_attribute": fk.target_attribute,
+            }
+            for fk in catalog.foreign_keys
+        ],
+    }
+
+
+def catalog_from_dict(data: dict) -> Catalog:
+    """Rebuild a catalog from :func:`catalog_to_dict` output."""
+    catalog = Catalog(data.get("name", "db"))
+    for relation in data["relations"]:
+        attributes = [
+            Attribute(
+                attribute["name"],
+                DataType(attribute["type"]),
+                attribute.get("nullable", True),
+            )
+            for attribute in relation["attributes"]
+        ]
+        catalog.create_relation(
+            relation["name"], attributes, relation.get("primary_key", ())
+        )
+    for fk in data.get("foreign_keys", ()):
+        catalog.add_foreign_key(
+            fk["source_relation"],
+            fk["source_attribute"],
+            fk["target_relation"],
+            fk["target_attribute"],
+        )
+    return catalog
+
+
+def _encode(value):
+    if isinstance(value, datetime.date):
+        return value.isoformat()
+    return value
+
+
+def save_database(db: Database, directory: Union[str, Path]) -> Path:
+    """Write the database to *directory* (created if missing)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    with open(directory / SCHEMA_FILE, "w", encoding="utf-8") as handle:
+        json.dump(catalog_to_dict(db.catalog), handle, indent=2)
+    for relation in db.catalog:
+        path = directory / f"{relation.key}.jsonl"
+        with open(path, "w", encoding="utf-8") as handle:
+            for row in db.rows(relation.name):
+                values = [_encode(row[a.key]) for a in relation.attributes]
+                handle.write(json.dumps(values) + "\n")
+    return directory
+
+
+def load_database(
+    directory: Union[str, Path], enforce_foreign_keys: bool = False
+) -> Database:
+    """Load a database previously written by :func:`save_database`.
+
+    FK enforcement defaults to off so rows can load in any file order;
+    pass ``enforce_foreign_keys=True`` to validate after the fact via
+    re-insertion order (files are loaded in schema declaration order, so
+    dumps produced by this module with valid data always pass).
+    """
+    directory = Path(directory)
+    with open(directory / SCHEMA_FILE, encoding="utf-8") as handle:
+        catalog = catalog_from_dict(json.load(handle))
+    db = Database(catalog, enforce_foreign_keys=enforce_foreign_keys)
+    for relation in catalog:
+        path = directory / f"{relation.key}.jsonl"
+        if not path.exists():
+            continue
+        with open(path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    db.insert(relation.name, json.loads(line))
+    return db

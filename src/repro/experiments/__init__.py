@@ -1,0 +1,41 @@
+"""Experiment harness: one runner per table/figure of the paper's §7."""
+
+from .common import (
+    EffectivenessReport,
+    QueryOutcome,
+    format_fig15_row,
+    gold_rows,
+    rows_match,
+    run_effectiveness,
+)
+from .cost import (
+    CostReport,
+    CostRow,
+    Fig14Row,
+    run_cost_experiment,
+    run_fig14,
+)
+from .efficiency import (
+    EfficiencyPoint,
+    EfficiencyReport,
+    build_graph,
+    run_efficiency,
+)
+
+__all__ = [
+    "CostReport",
+    "CostRow",
+    "EffectivenessReport",
+    "EfficiencyPoint",
+    "EfficiencyReport",
+    "Fig14Row",
+    "QueryOutcome",
+    "build_graph",
+    "format_fig15_row",
+    "gold_rows",
+    "rows_match",
+    "run_cost_experiment",
+    "run_effectiveness",
+    "run_efficiency",
+    "run_fig14",
+]

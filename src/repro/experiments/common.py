@@ -1,0 +1,134 @@
+"""Shared experiment machinery: correctness judging and translation runs.
+
+A translation is judged *correct* by result equivalence against the gold
+query's answer on the reference database: equal row multisets (equal
+lists when the query orders its output).  Running the same world through
+two different schemas lets the §7.3 experiment judge translations on the
+alternative 21-relation schema against gold answers computed on the
+53-relation schema.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..core import SchemaFreeTranslator, TranslationError, TranslatorConfig
+from ..engine import Database, EngineError
+from ..sqlkit import SqlSyntaxError
+from ..workloads import WorkloadQuery
+
+
+def gold_rows(db: Database, query: WorkloadQuery):
+    """The gold answer, as a comparable (ordered or sorted) row list."""
+    result = db.execute(query.gold_sql)
+    if "ORDER BY" in query.gold_sql.upper():
+        return list(result.rows)
+    return sorted(result.rows)
+
+
+def rows_match(db: Database, translation, gold, ordered: bool) -> bool:
+    try:
+        result = db.execute(translation.query)
+    except (EngineError, SqlSyntaxError):
+        return False
+    rows = list(result.rows) if ordered else sorted(result.rows)
+    return rows == gold
+
+
+@dataclass
+class QueryOutcome:
+    qid: str
+    bucket: str
+    top1: bool
+    topk: bool
+    seconds: float
+    error: Optional[str] = None
+
+
+@dataclass
+class EffectivenessReport:
+    """Per-bucket top-1 / top-k correctness (one Figure 15 column pair)."""
+
+    outcomes: list[QueryOutcome] = field(default_factory=list)
+
+    def per_bucket(self) -> dict[str, tuple[int, int, int]]:
+        """bucket -> (top1 correct, topk correct, total)."""
+        table: dict[str, list[int]] = {}
+        for outcome in self.outcomes:
+            row = table.setdefault(outcome.bucket, [0, 0, 0])
+            row[0] += outcome.top1
+            row[1] += outcome.topk
+            row[2] += 1
+        return {k: tuple(v) for k, v in table.items()}
+
+    @property
+    def total(self) -> tuple[int, int, int]:
+        top1 = sum(o.top1 for o in self.outcomes)
+        topk = sum(o.topk for o in self.outcomes)
+        return top1, topk, len(self.outcomes)
+
+
+def run_effectiveness(
+    translation_db: Database,
+    reference_db: Database,
+    queries: Sequence[WorkloadQuery],
+    use_views: bool = False,
+    top_k: int = 10,
+    config: Optional[TranslatorConfig] = None,
+) -> EffectivenessReport:
+    """The §7.3 protocol.
+
+    Queries are processed in increasing join-size order.  With
+    ``use_views`` on, each correctly-translated query is transformed into
+    a view for the queries after it ("the construction of complex queries
+    can benefit from the previous simple queries", §7.3); without it the
+    translator sees the bare schema graph.
+
+    ``translation_db`` is the database being queried (53-relation or the
+    21-relation redesign); ``reference_db`` supplies gold answers (always
+    the 53-relation schema, which the gold SQL is written against).
+    """
+    translator = SchemaFreeTranslator(
+        translation_db, config or TranslatorConfig()
+    )
+    report = EffectivenessReport()
+    ordered_queries = sorted(queries, key=lambda q: q.relation_count)
+    for query in ordered_queries:
+        gold = gold_rows(reference_db, query)
+        ordered = "ORDER BY" in query.gold_sql.upper()
+        started = time.perf_counter()
+        error = None
+        top1 = topk = False
+        correct_translation = None
+        try:
+            translations = translator.translate(query.sf_sql, top_k=top_k)
+            for index, translation in enumerate(translations):
+                if rows_match(translation_db, translation, gold, ordered):
+                    topk = True
+                    correct_translation = translation
+                    if index == 0:
+                        top1 = True
+                    break
+        except (TranslationError, SqlSyntaxError, EngineError) as exc:
+            error = f"{type(exc).__name__}: {exc}"
+        elapsed = time.perf_counter() - started
+        report.outcomes.append(
+            QueryOutcome(query.qid, query.bucket(), top1, topk, elapsed, error)
+        )
+        if use_views and correct_translation is not None:
+            translator.record_query_log(correct_translation.query)
+    return report
+
+
+def format_fig15_row(
+    label: str, report: EffectivenessReport
+) -> str:  # pragma: no cover - formatting
+    parts = [label]
+    buckets = report.per_bucket()
+    for bucket in ("2-4", "5", "6-10"):
+        top1, topk, total = buckets.get(bucket, (0, 0, 0))
+        parts.append(f"{bucket}: {top1}/{total} (top10 {topk}/{total})")
+    return "  ".join(parts)

@@ -1,0 +1,130 @@
+"""User-burden experiments: Figures 13, 14 and 16.
+
+* Figure 13 — information-unit cost of the 17 textbook queries in SF-SQL
+  vs a GUI builder vs full SQL, plus the §7.2 claim that all 17 translate
+  correctly at top-1 without views.
+* Figure 14 — the six sophisticated movie queries: per-query average
+  SF-SQL cost over the five simulated users, GUI and SQL costs, and the
+  all-users-correct-at-top-1 claim.
+* Figure 16 — the same cost comparison over the 48 course queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..core import SchemaFreeTranslator, TranslationError, TranslatorConfig
+from ..core.cost import full_sql_cost, gui_cost, sfsql_cost
+from ..engine import Database, EngineError
+from ..sqlkit import SqlSyntaxError
+from ..workloads import WorkloadQuery
+from .common import gold_rows, rows_match
+
+
+@dataclass
+class CostRow:
+    qid: str
+    sf: float
+    gui: int
+    sql: int
+    correct_top1: Optional[bool] = None
+
+
+@dataclass
+class CostReport:
+    rows: list[CostRow] = field(default_factory=list)
+
+    def ratio_sf_to_sql(self) -> float:
+        """Overall SF-SQL cost as a fraction of full SQL (paper: ~0.33)."""
+        sf = sum(r.sf for r in self.rows)
+        sql = sum(r.sql for r in self.rows)
+        return sf / sql if sql else 0.0
+
+    def ratio_gui_to_sql(self) -> float:
+        """Overall GUI cost as a fraction of full SQL (paper: ~0.55-0.62)."""
+        gui = sum(r.gui for r in self.rows)
+        sql = sum(r.sql for r in self.rows)
+        return gui / sql if sql else 0.0
+
+    @property
+    def all_correct(self) -> bool:
+        return all(r.correct_top1 for r in self.rows if r.correct_top1 is not None)
+
+
+def run_cost_experiment(
+    db: Database,
+    queries: Sequence[WorkloadQuery],
+    check_translation: bool = True,
+    config: Optional[TranslatorConfig] = None,
+) -> CostReport:
+    """Figures 13 / 16: per-query IU costs plus top-1 correctness."""
+    translator = SchemaFreeTranslator(db, config or TranslatorConfig())
+    report = CostReport()
+    for query in queries:
+        assert query.sf_sql is not None
+        correct: Optional[bool] = None
+        if check_translation:
+            gold = gold_rows(db, query)
+            ordered = "ORDER BY" in query.gold_sql.upper()
+            try:
+                best = translator.translate_best(query.sf_sql)
+                correct = rows_match(db, best, gold, ordered)
+            except (TranslationError, SqlSyntaxError, EngineError):
+                correct = False
+        report.rows.append(
+            CostRow(
+                qid=query.qid,
+                sf=sfsql_cost(query.sf_sql),
+                gui=gui_cost(query.gold_sql),
+                sql=full_sql_cost(query.gold_sql),
+                correct_top1=correct,
+            )
+        )
+    return report
+
+
+@dataclass
+class Fig14Row:
+    qid: str
+    intent: str
+    sf_average: float
+    gui: int
+    sql: int
+    users_correct: int
+    users_total: int
+
+
+def run_fig14(
+    db: Database,
+    queries: Sequence[WorkloadQuery],
+    config: Optional[TranslatorConfig] = None,
+) -> list[Fig14Row]:
+    """Figure 14: five simulated users per sophisticated query."""
+    rows = []
+    for query in queries:
+        gold = gold_rows(db, query)
+        ordered = "ORDER BY" in query.gold_sql.upper()
+        correct = 0
+        costs = []
+        for variant in query.user_variants:
+            costs.append(sfsql_cost(variant))
+            translator = SchemaFreeTranslator(db, config or TranslatorConfig())
+            try:
+                best = translator.translate_best(variant)
+                if rows_match(db, best, gold, ordered):
+                    correct += 1
+            except (TranslationError, SqlSyntaxError, EngineError):
+                pass
+        rows.append(
+            Fig14Row(
+                qid=query.qid,
+                intent=query.intent,
+                sf_average=sum(costs) / len(costs),
+                gui=gui_cost(query.gold_sql),
+                sql=full_sql_cost(query.gold_sql),
+                users_correct=correct,
+                users_total=len(query.user_variants),
+            )
+        )
+    return rows

@@ -1,0 +1,104 @@
+"""The efficiency experiment (Figure 17): generation time vs join size.
+
+For each query of the size sweep the three generators run on the *same*
+extended view graph: the DISCOVER-style Regular baseline, the Rightmost
+baseline, and the paper's pruned algorithm at k = 1, 5 and 10.  Reported
+numbers are wall-clock seconds per query plus the expansion counters, so
+the log-scale ordering of Figure 17 (Regular >> Rightmost >> top-10 >
+top-5 > top-1) can be checked both in time and in work performed.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..core import SchemaFreeTranslator, TranslatorConfig
+from ..core.mapper import RelationTreeMapper
+from ..core.mtjn import MTJNGenerator
+from ..core.relation_tree import build_relation_trees
+from ..core.similarity import SimilarityEvaluator
+from ..core.triples import extract
+from ..core.view_graph import ExtendedViewGraph, ViewGraph
+from ..baselines import RegularGenerator, RightmostGenerator
+from ..engine import Database
+from ..sqlkit import ast, parse
+from ..workloads import WorkloadQuery
+
+
+@dataclass
+class EfficiencyPoint:
+    qid: str
+    size: int
+    algorithm: str
+    k: int
+    seconds: float
+    expanded: int
+    found: int
+
+
+@dataclass
+class EfficiencyReport:
+    points: list[EfficiencyPoint] = field(default_factory=list)
+
+    def series(self, algorithm: str, k: int) -> dict[int, float]:
+        """size -> seconds for one line of Figure 17."""
+        return {
+            p.size: p.seconds
+            for p in self.points
+            if p.algorithm == algorithm and p.k == k
+        }
+
+
+def build_graph(
+    db: Database, sf_sql: str, config: TranslatorConfig
+) -> ExtendedViewGraph:
+    """Everything up to (but excluding) join-network generation."""
+    query = parse(sf_sql)
+    assert isinstance(query, ast.Select)
+    extraction = extract(query)
+    trees = build_relation_trees(extraction)
+    evaluator = SimilarityEvaluator(db, config)
+    mapper = RelationTreeMapper(db, config, evaluator)
+    mappings = mapper.map_trees(trees)
+    return ExtendedViewGraph(
+        ViewGraph(db.catalog), trees, mappings, evaluator, config
+    )
+
+
+def run_efficiency(
+    db: Database,
+    queries: Sequence[WorkloadQuery],
+    config: Optional[TranslatorConfig] = None,
+    repeat: int = 3,
+) -> EfficiencyReport:
+    config = config or TranslatorConfig()
+    report = EfficiencyReport()
+    for query in queries:
+        graph = build_graph(db, query.sf_sql, config)
+        size = query.relation_count
+        runs = [
+            ("regular", 1, lambda: RegularGenerator(graph, config)),
+            ("rightmost", 1, lambda: RightmostGenerator(graph, config)),
+            ("ours", 1, lambda: MTJNGenerator(graph, config)),
+            ("ours", 5, lambda: MTJNGenerator(graph, config)),
+            ("ours", 10, lambda: MTJNGenerator(graph, config)),
+        ]
+        for algorithm, k, factory in runs:
+            best_seconds = float("inf")
+            expanded = found = 0
+            for _ in range(repeat):
+                generator = factory()
+                started = time.perf_counter()
+                networks = generator.generate(k)
+                elapsed = time.perf_counter() - started
+                best_seconds = min(best_seconds, elapsed)
+                expanded = generator.stats.expanded
+                found = len(networks)
+            report.points.append(
+                EfficiencyPoint(
+                    query.qid, size, algorithm, k, best_seconds, expanded, found
+                )
+            )
+    return report

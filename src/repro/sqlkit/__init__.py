@@ -1,0 +1,19 @@
+"""SQL toolkit: tokenizer, AST, parser and renderer for SQL and SF-SQL."""
+
+from . import ast
+from .parser import Parser, parse, parse_expression
+from .render import render
+from .tokenizer import tokenize
+from .tokens import SqlSyntaxError, Token, TokenType
+
+__all__ = [
+    "Parser",
+    "SqlSyntaxError",
+    "Token",
+    "TokenType",
+    "ast",
+    "parse",
+    "parse_expression",
+    "render",
+    "tokenize",
+]

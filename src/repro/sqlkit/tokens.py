@@ -1,0 +1,67 @@
+"""Token definitions for the SQL / Schema-free SQL tokenizer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "keyword"
+    IDENT = "ident"              # bare identifier, e.g. ``name``
+    GUESS = "guess"              # guessed identifier, e.g. ``name?``
+    VAR = "var"                  # named placeholder, e.g. ``?x``
+    ANON = "anon"                # anonymous placeholder, bare ``?``
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"        # = <> != < <= > >= + - * / || %
+    COMMA = "comma"
+    DOT = "dot"
+    LPAREN = "lparen"
+    RPAREN = "rparen"
+    SEMICOLON = "semicolon"
+    EOF = "eof"
+
+
+#: Reserved words recognised case-insensitively.  Everything else is an
+#: identifier.  Aggregate/scalar function names are *not* reserved so they
+#: can double as column names (the paper treats them as schema-irrelevant).
+KEYWORDS = frozenset(
+    {
+        "select", "from", "where", "group", "order", "by", "having",
+        "limit", "offset", "as", "and", "or", "not", "in", "like",
+        "between", "is", "null", "exists", "distinct", "all", "any",
+        "union", "asc", "desc", "on", "join", "inner", "left", "right",
+        "outer", "cross", "case", "when", "then", "else", "end",
+    }
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (for error messages)."""
+
+    type: TokenType
+    value: str
+    position: int
+
+    @property
+    def upper(self) -> str:
+        return self.value.upper()
+
+    def is_keyword(self, *words: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.value.lower() in words
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.type.value}:{self.value!r}@{self.position}"
+
+
+class SqlSyntaxError(SyntaxError):
+    """Raised on malformed SQL / Schema-free SQL input."""
+
+    def __init__(self, message: str, sql: str = "", position: int = -1) -> None:
+        if position >= 0 and sql:
+            prefix = sql[:position].rsplit("\n", 1)[-1]
+            message = f"{message} (at position {position}, after {prefix[-40:]!r})"
+        super().__init__(message)
+        self.position = position

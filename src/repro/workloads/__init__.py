@@ -1,0 +1,16 @@
+"""Experimental workloads: the paper's three query sets."""
+
+from .base import WorkloadQuery
+from .courses48 import COURSE_QUERIES
+from .derive import derive_course_sfsql, derive_textbook_sfsql
+from .sophisticated import SOPHISTICATED_QUERIES
+from .textbook import TEXTBOOK_QUERIES
+
+__all__ = [
+    "COURSE_QUERIES",
+    "SOPHISTICATED_QUERIES",
+    "TEXTBOOK_QUERIES",
+    "WorkloadQuery",
+    "derive_course_sfsql",
+    "derive_textbook_sfsql",
+]

@@ -1,0 +1,51 @@
+"""Workload definitions shared by the experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..sqlkit import ast, parse
+
+
+@dataclass
+class WorkloadQuery:
+    """One experimental query: intent, gold full SQL, derived SF-SQL."""
+
+    qid: str
+    intent: str
+    gold_sql: str
+    sf_sql: Optional[str] = None
+    #: SF-SQL variants from the five simulated users (Figure 14)
+    user_variants: list[str] = field(default_factory=list)
+
+    @property
+    def gold_ast(self) -> ast.Node:
+        return parse(self.gold_sql)
+
+    @property
+    def relation_count(self) -> int:
+        """Number of relation occurrences the gold query's outermost
+        block joins (the paper buckets queries by this)."""
+        query = self.gold_ast
+        while isinstance(query, ast.SetOp):
+            query = query.left
+        assert isinstance(query, ast.Select)
+        count = 0
+        stack = list(query.from_items)
+        while stack:
+            item = stack.pop()
+            if isinstance(item, ast.TableRef):
+                count += 1
+            elif isinstance(item, ast.Join):
+                stack.extend((item.left, item.right))
+        return count
+
+    def bucket(self) -> str:
+        """The paper's Figure 15 size buckets."""
+        count = self.relation_count
+        if count <= 4:
+            return "2-4"
+        if count == 5:
+            return "5"
+        return "6-10"

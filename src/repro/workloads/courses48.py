@@ -1,0 +1,338 @@
+"""The 48 complex course queries of §7.3 (Figures 15 and 16).
+
+The paper obtained 48 complex SQL queries against the CourseRank database
+and mechanically derived Schema-free SQL from them: FK-PK join paths
+deleted, FROM relations deleted except the *end relations* of each join
+path (used for selection or projection).  Queries are bucketed by the
+number of relations their join paths refer to — 11 queries with 2-4
+relations, 26 with 5, and 11 with 6-10, matching Figure 15's row sizes.
+
+Every query's intent is expressible in the alternative 21-relation schema
+(``repro.datasets.courses_alt``) — the paper's developer designed that
+schema to "cover the query intent in all the 48 queries" — so the same
+SF-SQL can be judged on both schemas by result equivalence.
+"""
+
+from __future__ import annotations
+
+from .base import WorkloadQuery
+from .derive import derive_course_sfsql
+
+_GOLD = [
+    # ------------------------------------------------------------------
+    # bucket 2-4: 11 queries
+    # ------------------------------------------------------------------
+    ("C01", "Students in the 'BS in Computer Science' program.",
+     "SELECT s.name FROM student s, program p "
+     "WHERE s.program_id = p.program_id "
+     "AND p.name = 'BS in Computer Science'"),
+    ("C02", "Courses offered by the Computer Science department.",
+     "SELECT c.title FROM course c, department d "
+     "WHERE c.department_id = d.department_id "
+     "AND d.name = 'Computer Science'"),
+    ("C03", "Instructors of the Physics department.",
+     "SELECT i.name FROM instructor i, department d "
+     "WHERE i.department_id = d.department_id AND d.name = 'Physics'"),
+    ("C04", "Capacities of 'Databases' sections in Fall 2013.",
+     "SELECT sec.capacity FROM section sec, course c, term t "
+     "WHERE sec.course_id = c.course_id AND sec.term_id = t.term_id "
+     "AND c.title = 'Databases' AND t.name = 'Fall 2013'"),
+    ("C05", "Instructors teaching large sections.",
+     "SELECT DISTINCT i.name FROM instructor i, teaches te, section sec "
+     "WHERE i.instructor_id = te.instructor_id "
+     "AND te.section_id = sec.section_id AND sec.capacity > 50"),
+    ("C06", "Grades earned by student 'Dan Haddad 1'.",
+     "SELECT g.letter FROM completed co, grade_scale g, student s "
+     "WHERE co.grade_id = g.grade_id AND co.student_id = s.student_id "
+     "AND s.name = 'Dan Haddad 1'"),
+    ("C07", "Students enrolled in 'Algorithms'.",
+     "SELECT DISTINCT s.name FROM student s, enrollment e, section sec, "
+     "course c WHERE s.student_id = e.student_id "
+     "AND e.section_id = sec.section_id AND sec.course_id = c.course_id "
+     "AND c.title = 'Algorithms'"),
+    ("C08", "Textbooks used in 'Databases' sections.",
+     "SELECT DISTINCT t.title FROM textbook t, section_textbook st, "
+     "section sec, course c WHERE t.textbook_id = st.textbook_id "
+     "AND st.section_id = sec.section_id AND sec.course_id = c.course_id "
+     "AND c.title = 'Databases'"),
+    ("C09", "Instructors who have taught 'Calculus'.",
+     "SELECT DISTINCT i.name FROM instructor i, teaches te, section sec, "
+     "course c WHERE i.instructor_id = te.instructor_id "
+     "AND te.section_id = sec.section_id AND sec.course_id = c.course_id "
+     "AND c.title = 'Calculus'"),
+    ("C10", "Clubs joined by 'BS in Mathematics' students.",
+     "SELECT DISTINCT cl.name FROM club cl, student_club sc, student s, "
+     "program p WHERE cl.club_id = sc.club_id "
+     "AND sc.student_id = s.student_id AND s.program_id = p.program_id "
+     "AND p.name = 'BS in Mathematics'"),
+    ("C11", "Comments on Computer Science courses.",
+     "SELECT cm.text FROM comment cm, course c, department d "
+     "WHERE cm.course_id = c.course_id "
+     "AND c.department_id = d.department_id "
+     "AND d.name = 'Computer Science'"),
+    # ------------------------------------------------------------------
+    # bucket 5: 26 queries
+    # ------------------------------------------------------------------
+    ("C12", "Students with an A in 'Databases' (any term).",
+     "SELECT DISTINCT s.name FROM student s, completed co, grade_scale g, "
+     "course c, term t WHERE s.student_id = co.student_id "
+     "AND co.grade_id = g.grade_id AND co.course_id = c.course_id "
+     "AND co.term_id = t.term_id AND g.letter = 'A' "
+     "AND c.title = 'Databases'"),
+    ("C13", "Students enrolled in History-department courses.",
+     "SELECT DISTINCT s.name FROM student s, enrollment e, section sec, "
+     "course c, department d WHERE s.student_id = e.student_id "
+     "AND e.section_id = sec.section_id AND sec.course_id = c.course_id "
+     "AND c.department_id = d.department_id AND d.name = 'History' "
+     "AND e.status = 'enrolled'"),
+    ("C14", "Instructors teaching Economics-department courses.",
+     "SELECT DISTINCT i.name FROM instructor i, teaches te, section sec, "
+     "course c, department d WHERE i.instructor_id = te.instructor_id "
+     "AND te.section_id = sec.section_id AND sec.course_id = c.course_id "
+     "AND c.department_id = d.department_id AND d.name = 'Economics'"),
+    ("C15", "Students enrolled in 'Databases' in Fall 2013.",
+     "SELECT DISTINCT s.name FROM student s, enrollment e, section sec, "
+     "course c, term t WHERE s.student_id = e.student_id "
+     "AND e.section_id = sec.section_id AND sec.course_id = c.course_id "
+     "AND sec.term_id = t.term_id AND c.title = 'Databases' "
+     "AND t.name = 'Fall 2013' AND e.status = 'enrolled'"),
+    ("C16", "Publishers of textbooks used in 'Genetics'.",
+     "SELECT DISTINCT p.name FROM publisher p, textbook t, "
+     "section_textbook st, section sec, course c "
+     "WHERE p.publisher_id = t.publisher_id "
+     "AND t.textbook_id = st.textbook_id "
+     "AND st.section_id = sec.section_id "
+     "AND sec.course_id = c.course_id AND c.title = 'Genetics'"),
+    ("C17", "Students with an A in Economics-department courses.",
+     "SELECT DISTINCT s.name FROM student s, completed co, grade_scale g, "
+     "course c, department d WHERE s.student_id = co.student_id "
+     "AND co.grade_id = g.grade_id AND co.course_id = c.course_id "
+     "AND c.department_id = d.department_id AND g.letter = 'A' "
+     "AND d.name = 'Economics'"),
+    ("C18", "Advisors of students in Biology-department programs.",
+     "SELECT DISTINCT i.name FROM instructor i, advisor a, student s, "
+     "program p, department d WHERE i.instructor_id = a.instructor_id "
+     "AND a.student_id = s.student_id AND s.program_id = p.program_id "
+     "AND p.department_id = d.department_id AND d.name = 'Biology'"),
+    ("C19", "Careers linked to skills taught in 'Machine Learning'.",
+     "SELECT DISTINCT ca.title FROM career ca, skill_career skc, "
+     "skill sk, course_skill cs, course c "
+     "WHERE ca.career_id = skc.career_id AND skc.skill_id = sk.skill_id "
+     "AND sk.skill_id = cs.skill_id AND cs.course_id = c.course_id "
+     "AND c.title = 'Machine Learning'"),
+    ("C20", "TAs of Computer Science courses.",
+     "SELECT DISTINCT s.name FROM student s, ta, section sec, course c, "
+     "department d WHERE s.student_id = ta.student_id "
+     "AND ta.section_id = sec.section_id AND sec.course_id = c.course_id "
+     "AND c.department_id = d.department_id "
+     "AND d.name = 'Computer Science'"),
+    ("C21", "Students holding scholarships sponsored by 'Tech Foundation'.",
+     "SELECT DISTINCT s.name FROM student s, student_scholarship ss, "
+     "scholarship sch, scholarship_sponsor scs, sponsor sp "
+     "WHERE s.student_id = ss.student_id "
+     "AND ss.scholarship_id = sch.scholarship_id "
+     "AND sch.scholarship_id = scs.scholarship_id "
+     "AND scs.sponsor_id = sp.sponsor_id "
+     "AND sp.name = 'Tech Foundation'"),
+    ("C22", "Room numbers of Computer Science sections in 'Hall A'.",
+     "SELECT DISTINCT r.number FROM room r, building b, section sec, "
+     "course c, department d WHERE sec.room_id = r.room_id "
+     "AND r.building_id = b.building_id "
+     "AND sec.course_id = c.course_id "
+     "AND c.department_id = d.department_id "
+     "AND b.name = 'Hall A' AND d.name = 'Computer Science'"),
+    ("C23", "Students taught by full professors.",
+     "SELECT DISTINCT s.name FROM student s, enrollment e, section sec, "
+     "teaches te, instructor i WHERE s.student_id = e.student_id "
+     "AND e.section_id = sec.section_id "
+     "AND te.section_id = sec.section_id "
+     "AND te.instructor_id = i.instructor_id AND i.rank = 'professor' "
+     "AND e.status = 'enrolled'"),
+    ("C24", "Textbooks used in Winter 2013 sections of 'Databases'.",
+     "SELECT DISTINCT t.title FROM textbook t, section_textbook st, "
+     "section sec, term tr, course c WHERE t.textbook_id = st.textbook_id "
+     "AND st.section_id = sec.section_id AND sec.term_id = tr.term_id "
+     "AND sec.course_id = c.course_id AND tr.name = 'Winter 2013' "
+     "AND c.title = 'Databases'"),
+    ("C25", "Comments on History courses by MS students.",
+     "SELECT cm.text FROM comment cm, course c, department d, student s, "
+     "program p WHERE cm.course_id = c.course_id "
+     "AND c.department_id = d.department_id "
+     "AND cm.student_id = s.student_id AND s.program_id = p.program_id "
+     "AND d.name = 'History' AND p.level = 'MS'"),
+    ("C26", "Ratings of Computer Science courses by BS students.",
+     "SELECT cr.stars FROM course_rating cr, course c, department d, "
+     "student s, program p WHERE cr.course_id = c.course_id "
+     "AND c.department_id = d.department_id "
+     "AND cr.student_id = s.student_id AND s.program_id = p.program_id "
+     "AND d.name = 'Computer Science' AND p.level = 'BS'"),
+    ("C27", "Clubs of students advised by 'Prof. Bob Rivera'.",
+     "SELECT DISTINCT cl.name FROM club cl, student_club sc, student s, "
+     "advisor a, instructor i WHERE cl.club_id = sc.club_id "
+     "AND sc.student_id = s.student_id AND a.student_id = s.student_id "
+     "AND a.instructor_id = i.instructor_id "
+     "AND i.name = 'Prof. Bob Rivera'"),
+    ("C28", "Skills taught in courses offered in Winter 2013.",
+     "SELECT DISTINCT sk.name FROM skill sk, course_skill cs, course c, "
+     "section sec, term t WHERE sk.skill_id = cs.skill_id "
+     "AND cs.course_id = c.course_id AND sec.course_id = c.course_id "
+     "AND sec.term_id = t.term_id AND t.name = 'Winter 2013'"),
+    ("C29", "Grade letters earned in Computer Science programs.",
+     "SELECT DISTINCT g.letter FROM grade_scale g, completed co, "
+     "student s, program p, department d "
+     "WHERE g.grade_id = co.grade_id AND co.student_id = s.student_id "
+     "AND s.program_id = p.program_id "
+     "AND p.department_id = d.department_id "
+     "AND d.name = 'Computer Science'"),
+    ("C30", "Sponsors of scholarships held by student 'Paul Haddad 5'.",
+     "SELECT DISTINCT sp.name FROM sponsor sp, scholarship_sponsor scs, "
+     "scholarship sch, student_scholarship ss, student s "
+     "WHERE sp.sponsor_id = scs.sponsor_id "
+     "AND scs.scholarship_id = sch.scholarship_id "
+     "AND sch.scholarship_id = ss.scholarship_id "
+     "AND ss.student_id = s.student_id AND s.name = 'Paul Haddad 5'"),
+    ("C31", "Instructors whose sections use 'Introduction to Databases'.",
+     "SELECT DISTINCT i.name FROM instructor i, teaches te, section sec, "
+     "section_textbook st, textbook t "
+     "WHERE i.instructor_id = te.instructor_id "
+     "AND te.section_id = sec.section_id "
+     "AND st.section_id = sec.section_id "
+     "AND st.textbook_id = t.textbook_id "
+     "AND t.title = 'Introduction to Databases'"),
+    ("C32", "Enrollment counts per department.",
+     "SELECT d.name, count(e.student_id) FROM department d, course c, "
+     "section sec, enrollment e, student s "
+     "WHERE c.department_id = d.department_id "
+     "AND sec.course_id = c.course_id AND e.section_id = sec.section_id "
+     "AND e.student_id = s.student_id GROUP BY d.name"),
+    ("C33", "Terms in which 'PhD in Mathematics' students enrolled.",
+     "SELECT DISTINCT t.name FROM term t, section sec, enrollment e, "
+     "student s, program p WHERE sec.term_id = t.term_id "
+     "AND e.section_id = sec.section_id AND e.student_id = s.student_id "
+     "AND s.program_id = p.program_id AND p.name = 'PhD in Mathematics' "
+     "AND e.status = 'enrolled'"),
+    ("C34", "Publishers of textbooks used in Fall 2012 sections.",
+     "SELECT DISTINCT p.name FROM publisher p, textbook t, "
+     "section_textbook st, section sec, term tr "
+     "WHERE p.publisher_id = t.publisher_id "
+     "AND t.textbook_id = st.textbook_id "
+     "AND st.section_id = sec.section_id AND sec.term_id = tr.term_id "
+     "AND tr.name = 'Fall 2012'"),
+    ("C35", "Careers reachable from 400-level courses.",
+     "SELECT DISTINCT ca.title FROM career ca, skill_career skc, skill sk, "
+     "course_skill cs, course c WHERE ca.career_id = skc.career_id "
+     "AND skc.skill_id = sk.skill_id AND sk.skill_id = cs.skill_id "
+     "AND cs.course_id = c.course_id AND c.level = 400"),
+    ("C36", "Students in sections held in building 'Hall B'.",
+     "SELECT DISTINCT s.name FROM student s, enrollment e, section sec, "
+     "room r, building b WHERE s.student_id = e.student_id "
+     "AND e.section_id = sec.section_id AND sec.room_id = r.room_id "
+     "AND r.building_id = b.building_id AND b.name = 'Hall B' "
+     "AND e.status = 'enrolled'"),
+    ("C37", "Instructors who taught student 'Dan Haddad 1'.",
+     "SELECT DISTINCT i.name FROM instructor i, teaches te, section sec, "
+     "enrollment e, student s WHERE i.instructor_id = te.instructor_id "
+     "AND te.section_id = sec.section_id "
+     "AND e.section_id = sec.section_id AND e.student_id = s.student_id "
+     "AND s.name = 'Dan Haddad 1' AND e.status = 'enrolled'"),
+    # ------------------------------------------------------------------
+    # bucket 6-10: 11 queries
+    # ------------------------------------------------------------------
+    ("C38", "Students enrolled in CS courses in Fall 2013.",
+     "SELECT DISTINCT s.name FROM student s, enrollment e, section sec, "
+     "course c, department d, term t WHERE s.student_id = e.student_id "
+     "AND e.section_id = sec.section_id AND sec.course_id = c.course_id "
+     "AND c.department_id = d.department_id AND sec.term_id = t.term_id "
+     "AND d.name = 'Computer Science' AND t.name = 'Fall 2013' "
+     "AND e.status = 'enrolled'"),
+    ("C39", "Instructors teaching Mathematics courses in Winter 2013.",
+     "SELECT DISTINCT i.name FROM instructor i, teaches te, section sec, "
+     "course c, department d, term t "
+     "WHERE i.instructor_id = te.instructor_id "
+     "AND te.section_id = sec.section_id AND sec.course_id = c.course_id "
+     "AND c.department_id = d.department_id AND sec.term_id = t.term_id "
+     "AND d.name = 'Mathematics' AND t.name = 'Winter 2013'"),
+    ("C40", "Students taught by History-department instructors.",
+     "SELECT DISTINCT s.name FROM student s, enrollment e, section sec, "
+     "teaches te, instructor i, department d "
+     "WHERE s.student_id = e.student_id "
+     "AND e.section_id = sec.section_id "
+     "AND te.section_id = sec.section_id "
+     "AND te.instructor_id = i.instructor_id "
+     "AND i.department_id = d.department_id AND d.name = 'History' "
+     "AND e.status = 'enrolled'"),
+    ("C41", "Publishers of textbooks used in Biology courses.",
+     "SELECT DISTINCT p.name FROM publisher p, textbook t, "
+     "section_textbook st, section sec, course c, department d "
+     "WHERE p.publisher_id = t.publisher_id "
+     "AND t.textbook_id = st.textbook_id "
+     "AND st.section_id = sec.section_id "
+     "AND sec.course_id = c.course_id "
+     "AND c.department_id = d.department_id AND d.name = 'Biology'"),
+    ("C42", "'BS in Physics' students enrolled in CS courses in Fall 2012.",
+     "SELECT DISTINCT s.name FROM student s, program p, enrollment e, "
+     "section sec, course c, department d, term t "
+     "WHERE s.program_id = p.program_id AND s.student_id = e.student_id "
+     "AND e.section_id = sec.section_id AND sec.course_id = c.course_id "
+     "AND c.department_id = d.department_id AND sec.term_id = t.term_id "
+     "AND p.name = 'BS in Physics' AND d.name = 'Computer Science' "
+     "AND t.name = 'Fall 2012' AND e.status = 'enrolled'"),
+    ("C43", "Careers tied to skills of courses offered in Fall 2013.",
+     "SELECT DISTINCT ca.title FROM career ca, skill_career skc, skill sk, "
+     "course_skill cs, course c, section sec, term t "
+     "WHERE ca.career_id = skc.career_id AND skc.skill_id = sk.skill_id "
+     "AND sk.skill_id = cs.skill_id AND cs.course_id = c.course_id "
+     "AND sec.course_id = c.course_id AND sec.term_id = t.term_id "
+     "AND t.name = 'Fall 2013'"),
+    ("C44", "Advisors whose advisees enrolled in CS courses.",
+     "SELECT DISTINCT i.name FROM instructor i, advisor a, student s, "
+     "enrollment e, section sec, course c, department d "
+     "WHERE i.instructor_id = a.instructor_id "
+     "AND a.student_id = s.student_id AND s.student_id = e.student_id "
+     "AND e.section_id = sec.section_id AND sec.course_id = c.course_id "
+     "AND c.department_id = d.department_id "
+     "AND d.name = 'Computer Science'"),
+    ("C45", "'Robotics Society' members in CS courses in Fall 2013.",
+     "SELECT DISTINCT s.name FROM student s, student_club scb, club cl, "
+     "enrollment e, section sec, course c, department d, term t "
+     "WHERE s.student_id = scb.student_id AND scb.club_id = cl.club_id "
+     "AND s.student_id = e.student_id "
+     "AND e.section_id = sec.section_id AND sec.course_id = c.course_id "
+     "AND c.department_id = d.department_id AND sec.term_id = t.term_id "
+     "AND cl.name = 'Robotics Society' AND d.name = 'Computer Science' "
+     "AND t.name = 'Fall 2013' AND e.status = 'enrolled'"),
+    ("C46", "Sponsors funding PhD students.",
+     "SELECT DISTINCT sp.name FROM sponsor sp, scholarship_sponsor scs, "
+     "scholarship sch, student_scholarship ss, student s, program p "
+     "WHERE sp.sponsor_id = scs.sponsor_id "
+     "AND scs.scholarship_id = sch.scholarship_id "
+     "AND sch.scholarship_id = ss.scholarship_id "
+     "AND ss.student_id = s.student_id AND s.program_id = p.program_id "
+     "AND p.level = 'PhD'"),
+    ("C47", "Careers aligned with A-graded courses of 'Dan Haddad 1'.",
+     "SELECT DISTINCT ca.title FROM career ca, skill_career skc, skill sk, "
+     "course_skill cs, course c, completed co, grade_scale g, student s "
+     "WHERE ca.career_id = skc.career_id AND skc.skill_id = sk.skill_id "
+     "AND sk.skill_id = cs.skill_id AND cs.course_id = c.course_id "
+     "AND co.course_id = c.course_id AND co.grade_id = g.grade_id "
+     "AND co.student_id = s.student_id AND g.letter = 'A' "
+     "AND s.name = 'Dan Haddad 1'"),
+    ("C48", "Classmates of 'Dan Haddad 1' in 'Databases' sections.",
+     "SELECT DISTINCT s2.name FROM student s1, enrollment e1, section sec, "
+     "enrollment e2, student s2, course c "
+     "WHERE s1.student_id = e1.student_id "
+     "AND e1.section_id = sec.section_id "
+     "AND e2.section_id = sec.section_id "
+     "AND e2.student_id = s2.student_id AND sec.course_id = c.course_id "
+     "AND s1.name = 'Dan Haddad 1' AND c.title = 'Databases'"),
+]
+
+COURSE_QUERIES: list[WorkloadQuery] = [
+    WorkloadQuery(
+        qid=qid,
+        intent=intent,
+        gold_sql=gold,
+        sf_sql=derive_course_sfsql(gold),
+    )
+    for qid, intent, gold in _GOLD
+]

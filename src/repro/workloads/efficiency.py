@@ -1,0 +1,94 @@
+"""Join-size sweep for the efficiency experiment (Figure 17).
+
+Figure 17 plots average top-k generation time against the number of
+relations involved, from 2 to 10.  The 48-query workload tops out below
+10, so this module defines one natural chain query per size over the
+course schema; each is derived to SF-SQL with the §7.3 rule and drives
+all three generators (Regular, Rightmost, ours).
+"""
+
+from __future__ import annotations
+
+from .base import WorkloadQuery
+from .derive import derive_course_sfsql
+
+_CHAINS = [
+    ("E02", 2,
+     "SELECT c.title FROM course c, department d "
+     "WHERE c.department_id = d.department_id "
+     "AND d.name = 'Computer Science'"),
+    ("E03", 3,
+     "SELECT sec.capacity FROM section sec, course c, department d "
+     "WHERE sec.course_id = c.course_id "
+     "AND c.department_id = d.department_id "
+     "AND d.name = 'Computer Science' AND sec.capacity > 30"),
+    ("E04", 4,
+     "SELECT DISTINCT s.name FROM student s, enrollment e, section sec, "
+     "course c WHERE s.student_id = e.student_id "
+     "AND e.section_id = sec.section_id AND sec.course_id = c.course_id "
+     "AND c.title = 'Databases' AND e.status = 'enrolled'"),
+    ("E05", 5,
+     "SELECT DISTINCT s.name FROM student s, enrollment e, section sec, "
+     "course c, department d WHERE s.student_id = e.student_id "
+     "AND e.section_id = sec.section_id AND sec.course_id = c.course_id "
+     "AND c.department_id = d.department_id "
+     "AND d.name = 'Computer Science' AND e.status = 'enrolled'"),
+    ("E06", 6,
+     "SELECT DISTINCT s.name FROM student s, enrollment e, section sec, "
+     "course c, department d, term t WHERE s.student_id = e.student_id "
+     "AND e.section_id = sec.section_id AND sec.course_id = c.course_id "
+     "AND c.department_id = d.department_id AND sec.term_id = t.term_id "
+     "AND d.name = 'Computer Science' AND t.name = 'Fall 2013' "
+     "AND e.status = 'enrolled'"),
+    ("E07", 7,
+     "SELECT DISTINCT p.name FROM publisher p, textbook t, "
+     "section_textbook st, section sec, course c, department d, term tr "
+     "WHERE p.publisher_id = t.publisher_id "
+     "AND t.textbook_id = st.textbook_id "
+     "AND st.section_id = sec.section_id AND sec.course_id = c.course_id "
+     "AND c.department_id = d.department_id AND sec.term_id = tr.term_id "
+     "AND d.name = 'Computer Science' AND tr.name = 'Fall 2013' "
+     "AND t.price > 40"),
+    ("E08", 8,
+     "SELECT DISTINCT i.name FROM instructor i, teaches te, section sec, "
+     "course c, department d, term tr, enrollment e, student s "
+     "WHERE i.instructor_id = te.instructor_id "
+     "AND te.section_id = sec.section_id AND sec.course_id = c.course_id "
+     "AND c.department_id = d.department_id AND sec.term_id = tr.term_id "
+     "AND e.section_id = sec.section_id AND e.student_id = s.student_id "
+     "AND d.name = 'Computer Science' AND tr.name = 'Fall 2013' "
+     "AND s.admit_year > 2009 AND i.rank = 'professor' "
+     "AND e.status = 'enrolled'"),
+    ("E09", 9,
+     "SELECT DISTINCT ca.title FROM career ca, skill_career skc, skill sk, "
+     "course_skill cs, course c, section sec, term tr, teaches te, "
+     "instructor i WHERE ca.career_id = skc.career_id "
+     "AND skc.skill_id = sk.skill_id AND sk.skill_id = cs.skill_id "
+     "AND cs.course_id = c.course_id AND sec.course_id = c.course_id "
+     "AND sec.term_id = tr.term_id AND te.section_id = sec.section_id "
+     "AND te.instructor_id = i.instructor_id "
+     "AND tr.name = 'Fall 2013' AND i.rank = 'professor' "
+     "AND sk.name = 'programming'"),
+    ("E10", 10,
+     "SELECT DISTINCT ca.title FROM career ca, skill_career skc, skill sk, "
+     "course_skill cs, course c, department d, section sec, term tr, "
+     "enrollment e, student s WHERE ca.career_id = skc.career_id "
+     "AND skc.skill_id = sk.skill_id AND sk.skill_id = cs.skill_id "
+     "AND cs.course_id = c.course_id "
+     "AND c.department_id = d.department_id "
+     "AND sec.course_id = c.course_id AND sec.term_id = tr.term_id "
+     "AND e.section_id = sec.section_id AND e.student_id = s.student_id "
+     "AND d.name = 'Computer Science' AND tr.name = 'Fall 2013' "
+     "AND s.admit_year > 2009 AND e.status = 'enrolled' "
+     "AND sk.name = 'programming'"),
+]
+
+EFFICIENCY_QUERIES: list[WorkloadQuery] = [
+    WorkloadQuery(
+        qid=qid,
+        intent=f"efficiency sweep chain of {size} relations",
+        gold_sql=gold,
+        sf_sql=derive_course_sfsql(gold),
+    )
+    for qid, size, gold in _CHAINS
+]

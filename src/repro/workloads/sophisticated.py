@@ -1,0 +1,219 @@
+"""The six sophisticated movie queries of Figure 14.
+
+The paper recruited five information-science students — familiar with SQL
+but not with the Yahoo-Movie schema — and asked them to express six
+complex intents (join paths over 5+ relations) in Schema-free SQL.  We
+simulate those five users with five hand-written SF-SQL variants per
+query, each exhibiting the error modes the paper describes: wrong or
+missing relation names, compound attribute guesses (``director_name``),
+synonyms (film, studio), and fully anonymous placeholders.
+
+Every variant translates and evaluates against the gold answer in the
+Figure 14 experiment (`repro.experiments.fig14`).
+"""
+
+from __future__ import annotations
+
+from .base import WorkloadQuery
+
+SOPHISTICATED_QUERIES: list[WorkloadQuery] = [
+    WorkloadQuery(
+        qid="S1",
+        intent=(
+            "Male actors cooperated with director 'James Cameron' in the "
+            "movies produced by company '20th Century Fox' from 1995 to 2010."
+        ),
+        gold_sql=(
+            "SELECT DISTINCT pa.name FROM person pa, actor a, movie m, "
+            "director d, person pd, movie_producer mp, company c "
+            "WHERE pa.person_id = a.person_id AND a.movie_id = m.movie_id "
+            "AND m.movie_id = d.movie_id AND d.person_id = pd.person_id "
+            "AND m.movie_id = mp.movie_id AND mp.company_id = c.company_id "
+            "AND pa.gender = 'male' AND pd.name = 'James Cameron' "
+            "AND c.name = '20th Century Fox' "
+            "AND m.release_year BETWEEN 1995 AND 2010"
+        ),
+        user_variants=[
+            "SELECT DISTINCT actor?.name? WHERE actor?.gender? = 'male' "
+            "AND director_name? = 'James Cameron' "
+            "AND produce_company? = '20th Century Fox' "
+            "AND movie_year? BETWEEN 1995 AND 2010",
+            "SELECT DISTINCT actors?.name? WHERE actors?.sex? = 'male' "
+            "AND director?.name? = 'James Cameron' "
+            "AND production_company?.name? = '20th Century Fox' "
+            "AND movies?.release_year? BETWEEN 1995 AND 2010",
+            "SELECT DISTINCT actor?.fullname? WHERE actor?.gender? = 'male' "
+            "AND film_director? = 'James Cameron' "
+            "AND producer_company? = '20th Century Fox' "
+            "AND movie?.year? BETWEEN 1995 AND 2010",
+            "SELECT DISTINCT actor?.name? WHERE actor?.gender? = 'male' "
+            "AND movie_director? = 'James Cameron' "
+            "AND production_company? = '20th Century Fox' "
+            "AND film?.release_year? BETWEEN 1995 AND 2010",
+            "SELECT DISTINCT actor?.name? WHERE actor?.gender? = 'male' "
+            "AND director?.name? = 'James Cameron' "
+            "AND produced_by? = '20th Century Fox' "
+            "AND movie_year? BETWEEN 1995 AND 2010",
+        ],
+    ),
+    WorkloadQuery(
+        qid="S2",
+        intent="Movies with genre 'Drama' and director 'Peter Jackson'.",
+        gold_sql=(
+            "SELECT DISTINCT m.title FROM movie m, movie_genre mg, genre g, "
+            "director d, person p "
+            "WHERE m.movie_id = mg.movie_id AND mg.genre_id = g.genre_id "
+            "AND m.movie_id = d.movie_id AND d.person_id = p.person_id "
+            "AND g.name = 'Drama' AND p.name = 'Peter Jackson'"
+        ),
+        user_variants=[
+            "SELECT DISTINCT movie?.title? WHERE genre? = 'Drama' "
+            "AND director_name? = 'Peter Jackson'",
+            "SELECT DISTINCT film?.title? WHERE genre?.name? = 'Drama' "
+            "AND director?.name? = 'Peter Jackson'",
+            "SELECT DISTINCT movies?.title? WHERE movie_genre? = 'Drama' "
+            "AND director_name? = 'Peter Jackson'",
+            "SELECT DISTINCT movie?.title? WHERE genre_name? = 'Drama' "
+            "AND directed_by? = 'Peter Jackson'",
+            "SELECT DISTINCT movie?.title? WHERE category? = 'Drama' "
+            "AND director?.name? = 'Peter Jackson'",
+        ],
+    ),
+    WorkloadQuery(
+        qid="S3",
+        intent=(
+            "Movies produced by company 'Carthago Films', distributed by "
+            "company 'Apollo Films', and directed by director 'Fahdel "
+            "Jaziri'."
+        ),
+        gold_sql=(
+            "SELECT DISTINCT m.title FROM movie m, movie_producer mp, "
+            "company cp, movie_distributor md, company cd, director d, "
+            "person p "
+            "WHERE m.movie_id = mp.movie_id AND mp.company_id = cp.company_id "
+            "AND m.movie_id = md.movie_id AND md.company_id = cd.company_id "
+            "AND m.movie_id = d.movie_id AND d.person_id = p.person_id "
+            "AND cp.name = 'Carthago Films' AND cd.name = 'Apollo Films' "
+            "AND p.name = 'Fahdel Jaziri'"
+        ),
+        user_variants=[
+            "SELECT DISTINCT movie?.title? "
+            "WHERE produce_company? = 'Carthago Films' "
+            "AND distribute_company? = 'Apollo Films' "
+            "AND director_name? = 'Fahdel Jaziri'",
+            "SELECT DISTINCT film?.title? "
+            "WHERE producer_company? = 'Carthago Films' "
+            "AND distributor_company? = 'Apollo Films' "
+            "AND director?.name? = 'Fahdel Jaziri'",
+            "SELECT DISTINCT movie?.title? "
+            "WHERE production_company? = 'Carthago Films' "
+            "AND distribution_company? = 'Apollo Films' "
+            "AND directed_by? = 'Fahdel Jaziri'",
+            "SELECT DISTINCT movies?.title? "
+            "WHERE producer? = 'Carthago Films' "
+            "AND distributor? = 'Apollo Films' "
+            "AND director_name? = 'Fahdel Jaziri'",
+            "SELECT DISTINCT movie?.title? "
+            "WHERE produce_company? = 'Carthago Films' "
+            "AND distributor_name? = 'Apollo Films' "
+            "AND film_director? = 'Fahdel Jaziri'",
+        ],
+    ),
+    WorkloadQuery(
+        qid="S4",
+        intent=(
+            "The number of movies directed by 'Steven Spielberg' and acted "
+            "by 'Tom Hanks'."
+        ),
+        gold_sql=(
+            "SELECT count(DISTINCT m.movie_id) FROM movie m, director d, "
+            "person pd, actor a, person pa "
+            "WHERE m.movie_id = d.movie_id AND d.person_id = pd.person_id "
+            "AND m.movie_id = a.movie_id AND a.person_id = pa.person_id "
+            "AND pd.name = 'Steven Spielberg' AND pa.name = 'Tom Hanks'"
+        ),
+        user_variants=[
+            "SELECT count(DISTINCT movie?.movie_id?) "
+            "WHERE director_name? = 'Steven Spielberg' "
+            "AND actor_name? = 'Tom Hanks'",
+            "SELECT count(DISTINCT film?.movie_id?) "
+            "WHERE director?.name? = 'Steven Spielberg' "
+            "AND actor?.name? = 'Tom Hanks'",
+            "SELECT count(DISTINCT movie?.id?) "
+            "WHERE directed_by? = 'Steven Spielberg' "
+            "AND acted_by? = 'Tom Hanks'",
+            "SELECT count(DISTINCT movies?.movie_id?) "
+            "WHERE director_name? = 'Steven Spielberg' "
+            "AND actors?.name? = 'Tom Hanks'",
+            "SELECT count(DISTINCT movie?.movie_id?) "
+            "WHERE film_director? = 'Steven Spielberg' "
+            "AND actor?.name? = 'Tom Hanks'",
+        ],
+    ),
+    WorkloadQuery(
+        qid="S5",
+        intent=(
+            "Actors acted in more than 3 movies with genre 'Action "
+            "Adventure' directed by 'Woody Allen'."
+        ),
+        gold_sql=(
+            "SELECT pa.name FROM person pa, actor a, movie m, "
+            "movie_genre mg, genre g, director d, person pd "
+            "WHERE pa.person_id = a.person_id AND a.movie_id = m.movie_id "
+            "AND m.movie_id = mg.movie_id AND mg.genre_id = g.genre_id "
+            "AND m.movie_id = d.movie_id AND d.person_id = pd.person_id "
+            "AND g.name = 'Action Adventure' AND pd.name = 'Woody Allen' "
+            "GROUP BY pa.name HAVING count(DISTINCT m.movie_id) > 3"
+        ),
+        user_variants=[
+            "SELECT actor?.name? WHERE genre? = 'Action Adventure' "
+            "AND director_name? = 'Woody Allen' "
+            "GROUP BY actor?.name? HAVING count(*) > 3",
+            "SELECT actors?.name? WHERE genre?.name? = 'Action Adventure' "
+            "AND director?.name? = 'Woody Allen' "
+            "GROUP BY actors?.name? HAVING count(*) > 3",
+            "SELECT actor?.fullname? WHERE movie_genre? = 'Action Adventure' "
+            "AND directed_by? = 'Woody Allen' "
+            "GROUP BY actor?.fullname? HAVING count(*) > 3",
+            "SELECT actor?.name? WHERE genre_name? = 'Action Adventure' "
+            "AND film_director? = 'Woody Allen' "
+            "GROUP BY actor?.name? HAVING count(*) > 3",
+            "SELECT actor?.actor_name? WHERE genre? = 'Action Adventure' "
+            "AND director?.name? = 'Woody Allen' "
+            "GROUP BY actor?.actor_name? HAVING count(*) > 3",
+        ],
+    ),
+    WorkloadQuery(
+        qid="S6",
+        intent=(
+            "Movies with genre 'Drama', financed by company 'LLC', "
+            "directed by 'Stephen Gaghan'."
+        ),
+        gold_sql=(
+            "SELECT DISTINCT m.title FROM movie m, movie_genre mg, genre g, "
+            "movie_financer mf, company c, director d, person p "
+            "WHERE m.movie_id = mg.movie_id AND mg.genre_id = g.genre_id "
+            "AND m.movie_id = mf.movie_id AND mf.company_id = c.company_id "
+            "AND m.movie_id = d.movie_id AND d.person_id = p.person_id "
+            "AND g.name = 'Drama' AND c.name = 'LLC' "
+            "AND p.name = 'Stephen Gaghan'"
+        ),
+        user_variants=[
+            "SELECT DISTINCT movie?.title? WHERE genre? = 'Drama' "
+            "AND finance_company? = 'LLC' "
+            "AND director_name? = 'Stephen Gaghan'",
+            "SELECT DISTINCT film?.title? WHERE genre?.name? = 'Drama' "
+            "AND financer_company? = 'LLC' "
+            "AND director?.name? = 'Stephen Gaghan'",
+            "SELECT DISTINCT movie?.title? WHERE genre_name? = 'Drama' "
+            "AND financed_by? = 'LLC' "
+            "AND directed_by? = 'Stephen Gaghan'",
+            "SELECT DISTINCT movies?.title? WHERE category? = 'Drama' "
+            "AND financer_name? = 'LLC' "
+            "AND director_name? = 'Stephen Gaghan'",
+            "SELECT DISTINCT movie?.title? WHERE movie_genre? = 'Drama' "
+            "AND finance_company? = 'LLC' "
+            "AND film_director? = 'Stephen Gaghan'",
+        ],
+    ),
+]

@@ -1,0 +1,43 @@
+"""Shared helpers for core-layer tests."""
+
+from repro.core import TranslatorConfig, View, ViewGraph, ViewJoin
+from repro.core.mapper import RelationTreeMapper
+from repro.core.relation_tree import build_relation_trees
+from repro.core.similarity import SimilarityEvaluator
+from repro.core.triples import extract
+from repro.core.view_graph import ExtendedViewGraph
+from repro.sqlkit import parse
+
+PAPER_QUERY = (
+    "SELECT count(actor?.name?) WHERE actor?.gender? = 'male' "
+    "and director_name? = 'James Cameron' "
+    "and produce_company? = '20th Century Fox' "
+    "and year? > 1995 and year? < 2005"
+)
+
+#: Figure 5's view: Person-Actor-Movie-Director-Person
+FIG5_VIEW = View(
+    name="fig5",
+    relations=("Person", "Actor", "Movie", "Director", "Person"),
+    joins=(
+        ViewJoin(0, "person_id", 1, "person_id"),
+        ViewJoin(1, "movie_id", 2, "movie_id"),
+        ViewJoin(2, "movie_id", 3, "movie_id"),
+        ViewJoin(3, "person_id", 4, "person_id"),
+    ),
+    source="log",
+)
+
+
+def make_xgraph(db, sql=PAPER_QUERY, views=(), config=None):
+    config = config or TranslatorConfig()
+    trees = build_relation_trees(extract(parse(sql)))
+    evaluator = SimilarityEvaluator(db, config)
+    mapper = RelationTreeMapper(db, config, evaluator)
+    mappings = mapper.map_trees(trees)
+    graph = ViewGraph(db.catalog, views)
+    return (
+        ExtendedViewGraph(graph, trees, mappings, evaluator, config),
+        trees,
+        mappings,
+    )

@@ -1,0 +1,81 @@
+"""Tests for the Figure 17 baselines: Regular and Rightmost generators."""
+
+import pytest
+
+from repro.baselines import RegularGenerator, RightmostGenerator
+from repro.core import TranslatorConfig
+from repro.core.mtjn import MTJNGenerator
+
+from tests.helpers import PAPER_QUERY, make_xgraph
+
+
+def best_weight(db, generator_class, sql=PAPER_QUERY, k=1):
+    graph, trees, _ = make_xgraph(db, sql)
+    generator = generator_class(graph, TranslatorConfig())
+    networks = generator.generate(k)
+    assert networks, f"{generator_class.__name__} found nothing"
+    return (
+        networks[0].best_weight(graph.view_instances),
+        generator.stats,
+        networks,
+        trees,
+    )
+
+
+class TestAgreementWithOurs:
+    """All three algorithms solve the same optimisation problem: the
+    weight of the best network must agree."""
+
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            PAPER_QUERY,
+            "SELECT title? WHERE director?.name? = 'Steven Spielberg'",
+            "SELECT actor?.name? WHERE movie?.title? = 'Titanic'",
+        ],
+    )
+    def test_top1_weight_agreement(self, fig1_db, sql):
+        w_ours, _, _, _ = best_weight(fig1_db, MTJNGenerator, sql)
+        w_regular, _, _, _ = best_weight(fig1_db, RegularGenerator, sql)
+        w_rightmost, _, _, _ = best_weight(fig1_db, RightmostGenerator, sql)
+        assert w_ours == pytest.approx(w_regular)
+        assert w_ours == pytest.approx(w_rightmost)
+
+    def test_results_are_valid_mtjns(self, fig1_db):
+        for generator_class in (RegularGenerator, RightmostGenerator):
+            _, _, networks, trees = best_weight(
+                fig1_db, generator_class, k=3
+            )
+            required = [t.key for t in trees]
+            for network in networks:
+                assert network.is_total(required)
+                assert network.is_minimal()
+
+
+class TestEfficiencyOrdering:
+    """Figure 17's mechanism: Regular does vastly more work."""
+
+    def test_regular_expands_most(self, fig1_db):
+        _, stats_ours, _, _ = best_weight(fig1_db, MTJNGenerator)
+        _, stats_regular, _, _ = best_weight(fig1_db, RegularGenerator)
+        _, stats_rightmost, _, _ = best_weight(fig1_db, RightmostGenerator)
+        assert stats_regular.expanded > stats_rightmost.expanded
+        assert stats_regular.expanded > stats_ours.expanded
+
+    def test_pruning_reduces_work_vs_rightmost(self, fig1_db):
+        _, stats_ours, _, _ = best_weight(fig1_db, MTJNGenerator)
+        _, stats_rightmost, _, _ = best_weight(fig1_db, RightmostGenerator)
+        assert stats_ours.expanded <= stats_rightmost.expanded
+
+
+class TestTopK:
+    def test_baselines_return_k_distinct_networks(self, fig1_db):
+        _, _, networks, _ = best_weight(fig1_db, RightmostGenerator, k=5)
+        canonicals = {n.canonical for n in networks}
+        assert len(canonicals) == len(networks) >= 2
+
+    def test_weights_sorted_descending(self, fig1_db):
+        graph, _, _ = make_xgraph(fig1_db)
+        networks = RightmostGenerator(graph, TranslatorConfig()).generate(5)
+        weights = [n.best_weight(graph.view_instances) for n in networks]
+        assert weights == sorted(weights, reverse=True)

@@ -1,0 +1,125 @@
+"""Tests for the interactive shell (repro.cli)."""
+
+import io
+
+import pytest
+
+from repro.cli import DATASETS, Shell, main
+
+
+@pytest.fixture()
+def shell(fig1_db):
+    return Shell(fig1_db, top_k=1)
+
+
+def run(shell, line):
+    out = io.StringIO()
+    alive = shell.run_command(line, out=out)
+    return alive, out.getvalue()
+
+
+class TestDotCommands:
+    def test_tables(self, shell):
+        _, text = run(shell, ".tables")
+        assert "Person" in text and "Movie_Producer" in text
+
+    def test_schema_shows_keys(self, shell):
+        _, text = run(shell, ".schema Person")
+        assert "person_id" in text and "PK" in text
+
+    def test_schema_shows_fk_targets(self, shell):
+        _, text = run(shell, ".schema Actor")
+        assert "-> Person" in text and "-> Movie" in text
+
+    def test_schema_unknown_relation(self, shell):
+        _, text = run(shell, ".schema ghost")
+        assert "unknown relation" in text
+
+    def test_quit_stops(self, shell):
+        alive, _ = run(shell, ".quit")
+        assert not alive
+
+    def test_unknown_command(self, shell):
+        _, text = run(shell, ".frobnicate")
+        assert "unknown command" in text
+
+    def test_top_changes_k(self, shell):
+        run(shell, ".top 3")
+        assert shell.top_k == 3
+        _, text = run(shell, ".top oops")
+        assert "usage" in text
+
+    def test_views_empty_then_logged(self, shell):
+        _, text = run(shell, ".views")
+        assert "(no views)" in text
+        run(
+            shell,
+            ".log SELECT p.name FROM Person p, Director d "
+            "WHERE p.person_id = d.person_id",
+        )
+        _, text = run(shell, ".views")
+        assert "[log]" in text and "Person" in text
+
+    def test_help(self, shell):
+        _, text = run(shell, ".help")
+        assert ".tables" in text
+
+    def test_explain_does_not_execute(self, shell):
+        _, text = run(
+            shell, ".explain SELECT title? WHERE year? > 2000"
+        )
+        assert "w=" in text
+        assert "row(s)" not in text
+
+
+class TestQueries:
+    def test_translate_and_execute(self, shell):
+        _, text = run(
+            shell, "SELECT title? FROM movies? WHERE year? > 2000"
+        )
+        assert "SELECT" in text and "row(s)" in text
+
+    def test_plain_sql_works(self, shell):
+        _, text = run(shell, "SELECT count(*) FROM Movie")
+        assert "3" in text
+
+    def test_syntax_error_reported(self, shell):
+        _, text = run(shell, "SELECT FROM WHERE")
+        assert "error" in text.lower()
+
+    def test_untranslatable_reported(self, shell):
+        import dataclasses
+
+        from repro.core import TranslatorConfig
+
+        shell.translator.config = dataclasses.replace(
+            shell.translator.config, kdef=0.0
+        )
+        _, text = run(shell, "SELECT 1 + 1")
+        assert "2" in text  # constant queries always work
+
+    def test_empty_line_is_noop(self, shell):
+        alive, text = run(shell, "   ")
+        assert alive and text == ""
+
+    def test_top_k_shows_alternatives(self, shell):
+        run(shell, ".top 3")
+        _, text = run(
+            shell,
+            ".explain SELECT count(actor?.name?) "
+            "WHERE director_name? = 'James Cameron'",
+        )
+        assert "[1]" in text and "[2]" in text
+
+
+class TestMain:
+    def test_execute_flag(self, capsys):
+        exit_code = main(
+            ["--dataset", "movies", "--execute", "SELECT count(*) FROM movie"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "row(s)" in captured.out
+
+    def test_dataset_registry(self):
+        assert set(DATASETS) == {"movies", "courses", "courses-alt"}

@@ -1,0 +1,144 @@
+"""Unit tests for the Standard SQL Composer (paper §6.2)."""
+
+import pytest
+
+from repro.core import TranslatorConfig
+from repro.core.composer import Composer, TranslationError
+from repro.core.mapper import RelationTreeMapper
+from repro.core.mtjn import MTJNGenerator
+from repro.core.relation_tree import build_relation_trees
+from repro.core.similarity import SimilarityEvaluator
+from repro.core.triples import extract
+from repro.core.view_graph import ExtendedViewGraph, ViewGraph
+from repro.sqlkit import ast, parse
+
+from tests.helpers import PAPER_QUERY
+
+
+def compose_best(db, sql, outer_bindings=None):
+    config = TranslatorConfig()
+    query = parse(sql)
+    extraction = extract(query)
+    trees = build_relation_trees(extraction)
+    if outer_bindings:
+        # mimic the translator: correlated trees are not mapped locally
+        trees = [
+            tree
+            for tree in trees
+            if not (
+                tree.key[0] == "name"
+                and tree.key[1] in outer_bindings
+                and tree.key[1] not in extraction.from_bindings
+            )
+        ]
+    evaluator = SimilarityEvaluator(db, config)
+    mapper = RelationTreeMapper(db, config, evaluator)
+    mappings = mapper.map_trees(trees)
+    graph = ExtendedViewGraph(
+        ViewGraph(db.catalog), trees, mappings, evaluator, config
+    )
+    network = MTJNGenerator(graph, config).generate(1)[0]
+    composer = Composer(db.catalog)
+    return composer.compose(
+        query, trees, mappings, network, extraction.from_bindings,
+        outer_bindings=outer_bindings,
+    )
+
+
+class TestStep1NameInstantiation:
+    def test_all_names_exact_after_compose(self, fig1_db):
+        composed = compose_best(fig1_db, PAPER_QUERY)
+        for node in composed.select.walk():
+            if isinstance(node, ast.ColumnRef):
+                assert node.attribute.certainty is ast.Certainty.EXACT
+                if node.relation is not None:
+                    assert node.relation.certainty is ast.Certainty.EXACT
+            if isinstance(node, ast.TableRef):
+                assert node.name.certainty is ast.Certainty.EXACT
+
+    def test_guessed_attribute_replaced_by_catalog_name(self, fig1_db):
+        composed = compose_best(
+            fig1_db, "SELECT movie?.title? WHERE movie?.year? > 2000"
+        )
+        assert "release_year" in composed.sql
+
+    def test_value_literals_untouched(self, fig1_db):
+        composed = compose_best(fig1_db, PAPER_QUERY)
+        assert "'James Cameron'" in composed.sql
+        assert "1995" in composed.sql
+
+
+class TestStep2FromClause:
+    def test_repeated_relation_gets_aliases(self, fig1_db):
+        composed = compose_best(fig1_db, PAPER_QUERY)
+        assert composed.sql.count("Person AS") == 2
+
+    def test_single_occurrence_keeps_plain_name(self, fig1_db):
+        composed = compose_best(fig1_db, PAPER_QUERY)
+        assert "Movie AS" not in composed.sql
+
+    def test_user_alias_preserved(self, fig1_db):
+        composed = compose_best(
+            fig1_db, "SELECT m.title FROM Movie m WHERE m.release_year > 2000"
+        )
+        assert "Movie AS m" in composed.sql
+
+    def test_every_mtjn_node_in_from(self, fig1_db):
+        composed = compose_best(fig1_db, PAPER_QUERY)
+        assert len(composed.select.from_items) == len(composed.network.nodes)
+
+
+class TestStep3JoinConditions:
+    def test_one_condition_per_edge(self, fig1_db):
+        composed = compose_best(fig1_db, PAPER_QUERY)
+        edges = len(composed.network.all_edges)
+        join_conditions = [
+            c
+            for c in _conjuncts(composed.select.where)
+            if isinstance(c, ast.BinaryOp)
+            and c.op == "="
+            and isinstance(c.left, ast.ColumnRef)
+            and isinstance(c.right, ast.ColumnRef)
+        ]
+        assert len(join_conditions) == edges
+
+    def test_user_join_condition_not_duplicated(self, fig1_db):
+        composed = compose_best(
+            fig1_db,
+            "SELECT p.name FROM Person p, Director d "
+            "WHERE p.person_id = d.person_id AND d.movie_id = 10",
+        )
+        text = composed.sql.lower()
+        assert text.count("person_id = d.person_id") + text.count(
+            "d.person_id = p.person_id"
+        ) == 1
+
+    def test_bindings_exposed_for_nested_blocks(self, fig1_db):
+        composed = compose_best(fig1_db, PAPER_QUERY)
+        assert "movie" in composed.bindings.values() or "movie" in {
+            v.lower() for v in composed.bindings.values()
+        }
+
+
+class TestOuterReferences:
+    def test_outer_qualified_ref_resolved(self, fig1_db):
+        composed = compose_best(
+            fig1_db,
+            "SELECT count(*) FROM Director WHERE Director.person_id = outerp.person_id?",
+            outer_bindings={"outerp": "person"},
+        )
+        assert "outerp.person_id" in composed.sql
+
+    def test_outer_fuzzy_attribute_resolved_by_similarity(self, fig1_db):
+        composed = compose_best(
+            fig1_db,
+            "SELECT count(*) FROM Director WHERE Director.person_id = outerp.person_identifier?",
+            outer_bindings={"outerp": "person"},
+        )
+        assert "outerp.person_id" in composed.sql
+
+
+def _conjuncts(expr):
+    if isinstance(expr, ast.BinaryOp) and expr.op == "and":
+        return _conjuncts(expr.left) + _conjuncts(expr.right)
+    return [expr]

@@ -1,0 +1,120 @@
+"""Unit tests for the information-unit cost model (paper §7.1)."""
+
+import pytest
+
+from repro.core.cost import full_sql_cost, gui_cost, sfsql_cost
+
+FIG2 = (
+    "SELECT count(actor?.name?) WHERE actor?.gender? = 'male' "
+    "and director_name? = 'James Cameron' "
+    "and produce_company? = '20th Century Fox' "
+    "and year? > 1995 and year? < 2005"
+)
+
+
+class TestSfsqlCost:
+    def test_paper_example11_is_six(self):
+        # actor, gender, name, director_name, year, produce_company
+        assert sfsql_cost(FIG2) == 6
+
+    def test_repeated_elements_count_once(self):
+        assert sfsql_cost("SELECT a? WHERE a? > 1 AND a? < 5") == 1
+
+    def test_relation_and_attribute_both_count(self):
+        assert sfsql_cost("SELECT t?.a?") == 2
+
+    def test_var_placeholder_counts_once(self):
+        assert sfsql_cost("SELECT ?x.a? WHERE ?x.b? = 1") == 3  # x, a, b
+
+    def test_anonymous_placeholder_free(self):
+        assert sfsql_cost("SELECT title? WHERE ? = 1997") == 1
+
+    def test_from_relations_counted(self):
+        assert sfsql_cost("SELECT a? FROM t?") == 2
+
+    def test_exact_and_guess_merge(self):
+        assert sfsql_cost("SELECT actor.a?, actor?.a?") == 2
+
+    def test_subqueries_counted(self):
+        cost = sfsql_cost(
+            "SELECT a? WHERE b? IN (SELECT c? FROM t?)"
+        )
+        assert cost == 4
+
+
+class TestFullSqlCost:
+    def test_single_relation(self):
+        assert full_sql_cost("SELECT title FROM movie WHERE year > 2000") == 3
+
+    def test_join_conditions_cost_two_each(self):
+        sql = (
+            "SELECT p.name FROM person p, director d "
+            "WHERE p.person_id = d.person_id"
+        )
+        # 2 relations + 1 projection + 2 join-condition sides
+        assert full_sql_cost(sql) == 5
+
+    def test_count_star_is_free(self):
+        assert full_sql_cost("SELECT count(*) FROM movie") == 1
+
+    def test_self_join_counts_occurrences(self):
+        sql = (
+            "SELECT a.name FROM person a, person b "
+            "WHERE a.person_id = b.person_id"
+        )
+        assert full_sql_cost(sql) == 5
+
+    def test_nested_blocks_summed(self):
+        sql = (
+            "SELECT title FROM movie WHERE movie_id IN "
+            "(SELECT movie_id FROM director)"
+        )
+        # outer: movie + title + movie_id; inner: director + movie_id
+        assert full_sql_cost(sql) == 5
+
+
+class TestGuiCost:
+    def test_joins_are_free(self):
+        sql = (
+            "SELECT p.name FROM person p, director d "
+            "WHERE p.person_id = d.person_id"
+        )
+        assert gui_cost(sql) == 3  # 2 relations + 1 projection
+
+    def test_value_conditions_still_cost(self):
+        sql = (
+            "SELECT p.name FROM person p, director d "
+            "WHERE p.person_id = d.person_id AND p.gender = 'male'"
+        )
+        assert gui_cost(sql) == 4
+
+    def test_gui_between_sf_and_sql(self, fig1_db):
+        sql = (
+            "SELECT count(P1.name) FROM Person AS P1, Person AS P2, Actor, "
+            "Director, Movie, Movie_Producer, Company "
+            "WHERE P1.gender = 'male' AND P2.name = 'James Cameron' "
+            "AND Company.name = '20th Century Fox' "
+            "AND Movie.release_year > 1995 AND Movie.release_year < 2005 "
+            "AND P1.person_id = Actor.person_id "
+            "AND Actor.movie_id = Movie.movie_id "
+            "AND Movie.movie_id = Director.movie_id "
+            "AND Director.person_id = P2.person_id "
+            "AND Movie.movie_id = Movie_Producer.movie_id "
+            "AND Movie_Producer.company_id = Company.company_id"
+        )
+        assert sfsql_cost(FIG2) < gui_cost(sql) < full_sql_cost(sql)
+
+    def test_paper_figure14_q1_gui_cost(self):
+        # 7 relations + gender, name, name, 2x release_year + projection = 13
+        # (the paper reports 12, counting BETWEEN's attribute once)
+        sql = (
+            "SELECT DISTINCT pa.name FROM person pa, actor a, movie m, "
+            "director d, person pd, movie_producer mp, company c "
+            "WHERE pa.person_id = a.person_id AND a.movie_id = m.movie_id "
+            "AND m.movie_id = d.movie_id AND d.person_id = pd.person_id "
+            "AND m.movie_id = mp.movie_id AND mp.company_id = c.company_id "
+            "AND pa.gender = 'male' AND pd.name = 'James Cameron' "
+            "AND c.name = '20th Century Fox' "
+            "AND m.release_year BETWEEN 1995 AND 2010"
+        )
+        assert gui_cost(sql) == 12

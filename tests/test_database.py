@@ -1,0 +1,102 @@
+"""Unit tests for the Database facade: integrity checks and access."""
+
+import pytest
+
+from repro import Catalog, Database, DataType
+from repro.catalog import Attribute
+from repro.engine import IntegrityError
+
+
+@pytest.fixture()
+def db():
+    catalog = Catalog("t")
+    catalog.create_relation(
+        "dept",
+        [("dept_id", DataType.INTEGER), ("name", DataType.TEXT)],
+        primary_key=["dept_id"],
+    )
+    catalog.create_relation(
+        "emp",
+        [
+            ("emp_id", DataType.INTEGER),
+            Attribute("name", DataType.TEXT, nullable=False),
+            ("dept_id", DataType.INTEGER),
+            ("salary", DataType.FLOAT),
+        ],
+        primary_key=["emp_id"],
+    )
+    catalog.add_foreign_key("emp", "dept_id", "dept")
+    return Database(catalog)
+
+
+class TestInsert:
+    def test_positional_insert(self, db):
+        db.insert("dept", [1, "Sales"])
+        assert db.count("dept") == 1
+
+    def test_mapping_insert_fills_missing_with_null(self, db):
+        db.insert("dept", {"dept_id": 1, "name": "Sales"})
+        db.insert("emp", {"emp_id": 1, "name": "Ann", "dept_id": 1})
+        assert db.rows("emp")[0]["salary"] is None
+
+    def test_unknown_column_rejected(self, db):
+        with pytest.raises(IntegrityError):
+            db.insert("dept", {"dept_id": 1, "name": "x", "ghost": 2})
+
+    def test_wrong_arity_rejected(self, db):
+        with pytest.raises(IntegrityError):
+            db.insert("dept", [1])
+
+    def test_type_checked(self, db):
+        with pytest.raises(Exception):
+            db.insert("dept", ["one", "Sales"])
+
+    def test_not_null_enforced(self, db):
+        db.insert("dept", [1, "Sales"])
+        with pytest.raises(IntegrityError):
+            db.insert("emp", {"emp_id": 1, "dept_id": 1})
+
+    def test_duplicate_pk_rejected(self, db):
+        db.insert("dept", [1, "Sales"])
+        with pytest.raises(IntegrityError):
+            db.insert("dept", [1, "Other"])
+
+    def test_fk_enforced(self, db):
+        db.insert("dept", [1, "Sales"])
+        with pytest.raises(IntegrityError):
+            db.insert("emp", [1, "Ann", 99, 100.0])
+
+    def test_null_fk_allowed(self, db):
+        db.insert("emp", [1, "Ann", None, None])
+
+    def test_fk_enforcement_can_be_disabled(self):
+        catalog = Catalog("t")
+        catalog.create_relation(
+            "a", [("a_id", DataType.INTEGER)], primary_key=["a_id"]
+        )
+        catalog.create_relation("b", [("a_id", DataType.INTEGER)])
+        catalog.add_foreign_key("b", "a_id", "a")
+        loose = Database(catalog, enforce_foreign_keys=False)
+        loose.insert("b", [42])  # no matching a row: accepted
+
+    def test_insert_many(self, db):
+        count = db.insert_many("dept", [[1, "a"], [2, "b"], [3, "c"]])
+        assert count == 3 and db.count("dept") == 3
+
+
+class TestAccess:
+    def test_column_values(self, db):
+        db.insert_many("dept", [[1, "Sales"], [2, "R&D"]])
+        assert db.column_values("dept", "name") == ["Sales", "R&D"]
+
+    def test_rows_returns_dicts(self, db):
+        db.insert("dept", [1, "Sales"])
+        assert db.rows("dept") == [{"dept_id": 1, "name": "Sales"}]
+
+    def test_execute_accepts_text_and_ast(self, db):
+        db.insert("dept", [1, "Sales"])
+        from repro.sqlkit import parse
+
+        by_text = db.execute("SELECT name FROM dept")
+        by_ast = db.execute(parse("SELECT name FROM dept"))
+        assert by_text.rows == by_ast.rows == [("Sales",)]

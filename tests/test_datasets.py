@@ -1,0 +1,184 @@
+"""Integrity tests for the synthetic experimental databases."""
+
+import pytest
+
+from repro.datasets import (
+    make_course_alt_catalog,
+    make_course_alt_database,
+    make_course_catalog,
+    make_course_database,
+    make_course_world,
+    make_movie_catalog,
+    make_movie_database,
+)
+
+
+@pytest.fixture(scope="module")
+def movie_db():
+    return make_movie_database()
+
+
+@pytest.fixture(scope="module")
+def world():
+    return make_course_world()
+
+
+@pytest.fixture(scope="module")
+def course_db(world):
+    return make_course_database(world=world)
+
+
+@pytest.fixture(scope="module")
+def alt_db(world):
+    return make_course_alt_database(world=world)
+
+
+class TestMovieSchema:
+    def test_published_shape_43_relations_71_fks(self):
+        catalog = make_movie_catalog()
+        assert len(catalog) == 43
+        assert len(catalog.foreign_keys) == 71
+
+    def test_schema_graph_connected(self):
+        catalog = make_movie_catalog()
+        edges = catalog.edges()
+        nodes = {r.key for r in catalog}
+        adjacency = {}
+        for a, b in edges:
+            adjacency.setdefault(a.lower(), set()).add(b.lower())
+            adjacency.setdefault(b.lower(), set()).add(a.lower())
+        seen = set()
+        stack = [next(iter(nodes))]
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(adjacency.get(node, ()))
+        assert seen == nodes
+
+    def test_self_referencing_fks_present(self):
+        catalog = make_movie_catalog()
+        selfs = [
+            fk
+            for fk in catalog.foreign_keys
+            if fk.source_relation.lower() == fk.target_relation.lower()
+        ]
+        assert len(selfs) == 2  # movie.sequel_of, genre.parent_genre_id
+
+    def test_deterministic_generation(self):
+        a = make_movie_database(seed=7)
+        b = make_movie_database(seed=7)
+        assert a.rows("movie") == b.rows("movie")
+        assert a.rows("actor") == b.rows("actor")
+
+    def test_different_seeds_differ(self):
+        a = make_movie_database(seed=1)
+        b = make_movie_database(seed=2)
+        assert a.rows("movie") != b.rows("movie")
+
+    def test_scale_parameter(self):
+        small = make_movie_database(scale=0.5)
+        large = make_movie_database(scale=2.0)
+        assert large.count("movie") > small.count("movie")
+
+
+class TestMoviePlantedFacts:
+    """Every Figure 14 query must have a non-trivial answer."""
+
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            # S1: Cameron + Fox + male actor in 1995-2010
+            "SELECT count(*) FROM person pa, actor a, movie m, director d, "
+            "person pd, movie_producer mp, company c "
+            "WHERE pa.person_id = a.person_id AND a.movie_id = m.movie_id "
+            "AND m.movie_id = d.movie_id AND d.person_id = pd.person_id "
+            "AND m.movie_id = mp.movie_id AND mp.company_id = c.company_id "
+            "AND pa.gender = 'male' AND pd.name = 'James Cameron' "
+            "AND c.name = '20th Century Fox' "
+            "AND m.release_year BETWEEN 1995 AND 2010",
+            # S2: Jackson + Drama
+            "SELECT count(*) FROM movie m, movie_genre mg, genre g, "
+            "director d, person p WHERE m.movie_id = mg.movie_id "
+            "AND mg.genre_id = g.genre_id AND m.movie_id = d.movie_id "
+            "AND d.person_id = p.person_id AND g.name = 'Drama' "
+            "AND p.name = 'Peter Jackson'",
+            # S3: Carthago/Apollo/Jaziri
+            "SELECT count(*) FROM movie m, movie_producer mp, company cp, "
+            "movie_distributor md, company cd, director d, person p "
+            "WHERE m.movie_id = mp.movie_id "
+            "AND mp.company_id = cp.company_id AND m.movie_id = md.movie_id "
+            "AND md.company_id = cd.company_id AND m.movie_id = d.movie_id "
+            "AND d.person_id = p.person_id AND cp.name = 'Carthago Films' "
+            "AND cd.name = 'Apollo Films' AND p.name = 'Fahdel Jaziri'",
+        ],
+    )
+    def test_planted_fact_queries_nonempty(self, movie_db, sql):
+        assert movie_db.execute(sql).scalar() > 0
+
+    def test_notable_people_exist(self, movie_db):
+        names = set(movie_db.column_values("person", "name"))
+        for name in ("James Cameron", "Tom Hanks", "Woody Allen"):
+            assert name in names
+
+
+class TestCourseSchemas:
+    def test_courserank_like_shape(self):
+        assert len(make_course_catalog()) == 53
+
+    def test_alternative_shape(self):
+        assert len(make_course_alt_catalog()) == 21
+
+    def test_all_relations_populated(self, course_db):
+        empty = [
+            r.name for r in course_db.catalog if course_db.count(r.name) == 0
+        ]
+        assert empty == []
+
+    def test_alt_relations_populated(self, alt_db):
+        empty = [r.name for r in alt_db.catalog if alt_db.count(r.name) == 0]
+        assert empty == []
+
+    def test_same_world_same_answers(self, course_db, alt_db):
+        full = course_db.execute(
+            "SELECT count(*) FROM student s, enrollment e "
+            "WHERE s.student_id = e.student_id"
+        ).scalar()
+        compact = alt_db.execute(
+            "SELECT count(*) FROM student s, enrollment e "
+            "WHERE s.student_id = e.student_id"
+        ).scalar()
+        assert full == compact
+
+    def test_grades_consistent_across_schemas(self, course_db, alt_db):
+        full = sorted(
+            course_db.execute(
+                "SELECT g.letter FROM completed co, grade_scale g, student s "
+                "WHERE co.grade_id = g.grade_id "
+                "AND co.student_id = s.student_id "
+                "AND s.name = 'Dan Haddad 1'"
+            ).rows
+        )
+        compact = sorted(
+            alt_db.execute(
+                "SELECT t.grade_letter FROM transcript t, student s "
+                "WHERE t.student_id = s.student_id "
+                "AND s.name = 'Dan Haddad 1'"
+            ).rows
+        )
+        assert full == compact
+
+    def test_world_determinism(self):
+        a = make_course_world(seed=5)
+        b = make_course_world(seed=5)
+        assert a.sections == b.sections
+        assert a.enrollments == b.enrollments
+
+    def test_fk_spot_check(self, course_db):
+        # every enrollment points at an existing student and section
+        students = {r["student_id"] for r in course_db.rows("student")}
+        sections = {r["section_id"] for r in course_db.rows("section")}
+        for row in course_db.rows("enrollment"):
+            assert row["student_id"] in students
+            assert row["section_id"] in sections

@@ -1,0 +1,102 @@
+"""Smoke tests for the experiment harness (full runs live in benchmarks/)."""
+
+import pytest
+
+from repro.datasets import (
+    make_course_alt_database,
+    make_course_database,
+    make_course_world,
+    make_movie_database,
+)
+from repro.experiments import (
+    gold_rows,
+    rows_match,
+    run_cost_experiment,
+    run_effectiveness,
+    run_efficiency,
+    run_fig14,
+)
+from repro.workloads import COURSE_QUERIES, SOPHISTICATED_QUERIES, TEXTBOOK_QUERIES
+from repro.workloads.efficiency import EFFICIENCY_QUERIES
+
+
+@pytest.fixture(scope="module")
+def movie_db():
+    return make_movie_database()
+
+
+@pytest.fixture(scope="module")
+def course_dbs():
+    world = make_course_world()
+    return make_course_database(world=world), make_course_alt_database(world=world)
+
+
+class TestCorrectnessJudging:
+    def test_gold_rows_sorted_when_unordered(self, movie_db):
+        query = TEXTBOOK_QUERIES[0]
+        rows = gold_rows(movie_db, query)
+        assert rows == sorted(rows)
+
+    def test_gold_rows_order_preserved_with_order_by(self, movie_db):
+        query = next(q for q in TEXTBOOK_QUERIES if "ORDER BY" in q.gold_sql)
+        rows = gold_rows(movie_db, query)
+        years_desc = [r for r in rows]
+        assert years_desc  # preserves gold ordering
+
+    def test_rows_match_rejects_broken_translation(self, movie_db):
+        from repro.core.translator import Translation
+        from repro.sqlkit import parse
+
+        bogus = Translation(parse("SELECT title FROM movie WHERE 1 = 2"), 1.0)
+        gold = gold_rows(movie_db, TEXTBOOK_QUERIES[0])
+        assert not rows_match(movie_db, bogus, gold, ordered=False)
+
+
+class TestRunners:
+    def test_cost_experiment_subset(self, movie_db):
+        report = run_cost_experiment(movie_db, TEXTBOOK_QUERIES[:4])
+        assert len(report.rows) == 4
+        assert all(r.sf <= r.gui <= r.sql for r in report.rows)
+        assert 0 < report.ratio_sf_to_sql() <= 1
+
+    def test_fig14_subset(self, movie_db):
+        rows = run_fig14(movie_db, SOPHISTICATED_QUERIES[:1])
+        assert rows[0].users_correct == rows[0].users_total == 5
+
+    def test_effectiveness_subset(self, course_dbs):
+        course_db, _alt = course_dbs
+        subset = [q for q in COURSE_QUERIES if q.bucket() == "2-4"][:4]
+        report = run_effectiveness(course_db, course_db, subset, top_k=3)
+        top1, topk, total = report.total
+        assert total == 4
+        assert 0 <= top1 <= topk <= total
+
+    def test_effectiveness_cross_schema(self, course_dbs):
+        course_db, alt_db = course_dbs
+        subset = [q for q in COURSE_QUERIES if q.qid in ("C01", "C02")]
+        report = run_effectiveness(alt_db, course_db, subset, top_k=3)
+        assert report.total[2] == 2
+
+    def test_effectiveness_views_accumulate(self, course_dbs):
+        course_db, _alt = course_dbs
+        subset = [q for q in COURSE_QUERIES if q.qid in ("C01", "C02", "C07")]
+        report = run_effectiveness(
+            course_db, course_db, subset, use_views=True, top_k=10
+        )
+        assert report.total[2] == 3
+
+    def test_efficiency_subset(self, course_dbs):
+        course_db, _alt = course_dbs
+        report = run_efficiency(course_db, EFFICIENCY_QUERIES[:2], repeat=1)
+        assert {p.algorithm for p in report.points} == {
+            "regular", "rightmost", "ours",
+        }
+        for point in report.points:
+            assert point.seconds >= 0
+            assert point.found >= 1
+
+    def test_efficiency_series_lookup(self, course_dbs):
+        course_db, _alt = course_dbs
+        report = run_efficiency(course_db, EFFICIENCY_QUERIES[:1], repeat=1)
+        series = report.series("ours", 1)
+        assert list(series) == [2]

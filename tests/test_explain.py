@@ -1,0 +1,61 @@
+"""Tests for the translation explanation API."""
+
+import io
+
+import pytest
+
+from repro.cli import Shell
+from repro.core import describe_network, describe_translation
+
+from tests.helpers import PAPER_QUERY
+
+
+class TestDescribe:
+    def test_lists_all_relations(self, fig1_translator):
+        best = fig1_translator.translate_best(PAPER_QUERY)
+        text = describe_translation(best)
+        for relation in ("person", "actor", "director", "movie",
+                         "movie_producer", "company"):
+            assert relation in text
+
+    def test_tags_mapped_trees(self, fig1_translator):
+        best = fig1_translator.translate_best(PAPER_QUERY)
+        text = describe_translation(best)
+        assert "<- relation tree" in text
+        assert "director_name" in text
+
+    def test_shows_edge_weights(self, fig1_translator):
+        best = fig1_translator.translate_best(PAPER_QUERY)
+        text = describe_translation(best)
+        assert "(w=0.910)" in text  # the Example 7 enhanced edge
+
+    def test_constant_query_has_no_network(self, fig1_translator):
+        best = fig1_translator.translate_best("SELECT 1 + 1")
+        text = describe_translation(best)
+        assert "(none" in text
+
+    def test_network_description_shows_views_when_used(self, fig1_db):
+        from repro import SchemaFreeTranslator
+
+        translator = SchemaFreeTranslator(fig1_db)
+        translator.record_query_log(
+            "SELECT p.name FROM Person p, Actor a, Movie m, Director d, "
+            "Person p2 WHERE p.person_id = a.person_id "
+            "AND a.movie_id = m.movie_id AND m.movie_id = d.movie_id "
+            "AND d.person_id = p2.person_id"
+        )
+        best = translator.translate_best(PAPER_QUERY)
+        text = describe_translation(best)
+        if best.network is not None and best.network.views:
+            assert "via view" in text
+
+    def test_cli_why_command(self, fig1_db):
+        shell = Shell(fig1_db)
+        out = io.StringIO()
+        shell.run_command(
+            ".why SELECT title? WHERE director_name? = 'James Cameron'",
+            out=out,
+        )
+        text = out.getvalue()
+        assert "interpretation 1" in text
+        assert "join network" in text

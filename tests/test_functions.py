@@ -1,0 +1,86 @@
+"""Unit tests for scalar and aggregate SQL functions."""
+
+import pytest
+
+from repro.engine import ExecutionError
+from repro.engine.functions import (
+    AGGREGATE_NAMES,
+    aggregate,
+    call_scalar,
+    is_aggregate,
+)
+
+
+class TestScalars:
+    def test_string_functions(self):
+        assert call_scalar("upper", ["ab"]) == "AB"
+        assert call_scalar("lower", ["AB"]) == "ab"
+        assert call_scalar("trim", ["  x  "]) == "x"
+        assert call_scalar("length", ["abcd"]) == 4
+
+    def test_numeric_functions(self):
+        assert call_scalar("abs", [-3]) == 3
+        assert call_scalar("round", [3.456, 1]) == 3.5
+        assert call_scalar("floor", [3.7]) == 3
+        assert call_scalar("ceil", [3.2]) == 4
+        assert call_scalar("sqrt", [16]) == 4.0
+
+    def test_substr_is_one_based(self):
+        assert call_scalar("substr", ["hello", 1, 2]) == "he"
+        assert call_scalar("substr", ["hello", 3]) == "llo"
+
+    def test_concat(self):
+        assert call_scalar("concat", ["a", "b", 1]) == "ab1"
+
+    def test_null_propagation(self):
+        assert call_scalar("upper", [None]) is None
+        assert call_scalar("abs", [None]) is None
+
+    def test_coalesce_takes_first_non_null(self):
+        assert call_scalar("coalesce", [None, None, 3]) == 3
+        assert call_scalar("coalesce", [None, None]) is None
+
+    def test_nullif(self):
+        assert call_scalar("nullif", [1, 1]) is None
+        assert call_scalar("nullif", [1, 2]) == 1
+
+    def test_unknown_function(self):
+        with pytest.raises(ExecutionError):
+            call_scalar("no_such_fn", [1])
+
+    def test_type_error_wrapped(self):
+        with pytest.raises(ExecutionError):
+            call_scalar("sqrt", ["not a number"])
+
+
+class TestAggregates:
+    def test_registry(self):
+        assert AGGREGATE_NAMES == {"count", "sum", "avg", "min", "max"}
+        assert is_aggregate("count") and not is_aggregate("upper")
+
+    def test_count_skips_nulls(self):
+        assert aggregate("count", [1, None, 2, None]) == 2
+
+    def test_count_distinct(self):
+        assert aggregate("count", [1, 1, 2, None], distinct=True) == 2
+
+    def test_sum_avg(self):
+        assert aggregate("sum", [1, 2, 3, None]) == 6
+        assert aggregate("avg", [1, 2, 3, None]) == 2.0
+
+    def test_min_max(self):
+        assert aggregate("min", [3, None, 1]) == 1
+        assert aggregate("max", [3, None, 1]) == 3
+
+    def test_empty_input(self):
+        assert aggregate("count", []) == 0
+        assert aggregate("sum", []) is None
+        assert aggregate("avg", [None, None]) is None
+        assert aggregate("min", []) is None
+
+    def test_distinct_sum(self):
+        assert aggregate("sum", [2, 2, 3], distinct=True) == 5
+
+    def test_text_min_max(self):
+        assert aggregate("min", ["b", "a", "c"]) == "a"
+        assert aggregate("max", ["b", "a", "c"]) == "c"

@@ -1,0 +1,87 @@
+"""Tests for database save/load round-trips."""
+
+import datetime
+
+import pytest
+
+from repro import Catalog, Database, DataType
+from repro.catalog import Attribute
+from repro.engine.io import (
+    catalog_from_dict,
+    catalog_to_dict,
+    load_database,
+    save_database,
+)
+
+
+class TestCatalogRoundTrip:
+    def test_catalog_round_trip(self, fig1_db):
+        data = catalog_to_dict(fig1_db.catalog)
+        rebuilt = catalog_from_dict(data)
+        assert len(rebuilt) == len(fig1_db.catalog)
+        assert len(rebuilt.foreign_keys) == len(fig1_db.catalog.foreign_keys)
+        person = rebuilt.relation("Person")
+        assert person.primary_key == ("person_id",)
+        assert person.attribute("name").data_type is DataType.TEXT
+
+    def test_nullable_preserved(self):
+        catalog = Catalog("t")
+        catalog.create_relation(
+            "r", [Attribute("a", DataType.INTEGER, nullable=False)]
+        )
+        rebuilt = catalog_from_dict(catalog_to_dict(catalog))
+        assert not rebuilt.relation("r").attribute("a").nullable
+
+
+class TestDatabaseRoundTrip:
+    def test_full_round_trip(self, fig1_db, tmp_path):
+        save_database(fig1_db, tmp_path / "dump")
+        loaded = load_database(tmp_path / "dump")
+        for relation in fig1_db.catalog:
+            assert loaded.rows(relation.name) == fig1_db.rows(relation.name)
+
+    def test_queries_agree_after_reload(self, fig1_db, tmp_path):
+        save_database(fig1_db, tmp_path / "dump")
+        loaded = load_database(tmp_path / "dump")
+        sql = (
+            "SELECT p.name FROM Person p, Director d "
+            "WHERE p.person_id = d.person_id ORDER BY p.name"
+        )
+        assert loaded.execute(sql).rows == fig1_db.execute(sql).rows
+
+    def test_dates_survive(self, tmp_path):
+        catalog = Catalog("d")
+        catalog.create_relation("t", [("day", DataType.DATE)])
+        db = Database(catalog)
+        db.insert("t", [datetime.date(2014, 6, 22)])
+        save_database(db, tmp_path / "dump")
+        loaded = load_database(tmp_path / "dump")
+        assert loaded.rows("t") == [{"day": datetime.date(2014, 6, 22)}]
+
+    def test_nulls_survive(self, tmp_path):
+        catalog = Catalog("n")
+        catalog.create_relation(
+            "t", [("a", DataType.INTEGER), ("b", DataType.TEXT)]
+        )
+        db = Database(catalog)
+        db.insert("t", [None, None])
+        save_database(db, tmp_path / "dump")
+        loaded = load_database(tmp_path / "dump")
+        assert loaded.rows("t") == [{"a": None, "b": None}]
+
+    def test_missing_relation_file_loads_empty(self, fig1_db, tmp_path):
+        path = save_database(fig1_db, tmp_path / "dump")
+        (path / "company.jsonl").unlink()
+        loaded = load_database(path)
+        assert loaded.count("Company") == 0
+
+    def test_translator_works_on_loaded_db(self, fig1_db, tmp_path):
+        from repro import SchemaFreeTranslator
+
+        save_database(fig1_db, tmp_path / "dump")
+        loaded = load_database(tmp_path / "dump")
+        translator = SchemaFreeTranslator(loaded)
+        best = translator.translate_best(
+            "SELECT title? WHERE director?.name? = 'Steven Spielberg'"
+        )
+        assert loaded.execute(best.query).rows == [("The Terminal",)]

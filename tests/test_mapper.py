@@ -1,0 +1,94 @@
+"""Unit tests for the Relation Tree Mapper (paper §4, Definition 1)."""
+
+import pytest
+
+from repro.core import TranslatorConfig
+from repro.core.mapper import RelationTreeMapper
+from repro.core.relation_tree import build_relation_trees
+from repro.core.triples import extract
+from repro.sqlkit import parse
+
+
+def trees_for(sql):
+    return build_relation_trees(extract(parse(sql)))
+
+
+@pytest.fixture()
+def mapper(fig1_db):
+    return RelationTreeMapper(fig1_db)
+
+
+class TestMappingSets:
+    def test_exact_name_maps_uniquely(self, mapper):
+        tree = trees_for("SELECT Movie.title FROM Movie")[0]
+        mapping = mapper.map_tree(tree)
+        assert mapping.best.relation.name == "Movie"
+
+    def test_relative_threshold_keeps_close_candidates(self, mapper):
+        # a very vague guess keeps several candidates in play (paper's
+        # rationale for the relative sigma threshold)
+        tree = trees_for("SELECT x WHERE thing? = 1")[0]
+        mapping = mapper.map_tree(tree)
+        assert len(mapping.candidates) >= 1
+
+    def test_good_guess_prunes_others(self, mapper):
+        tree = trees_for("SELECT actor?.gender?")[0]
+        mapping = mapper.map_tree(tree)
+        names = [m.relation.name for m in mapping.candidates]
+        assert names[0] == "Person"
+
+    def test_candidates_sorted_descending(self, mapper):
+        tree = trees_for("SELECT movies?.title?")[0]
+        mapping = mapper.map_tree(tree)
+        sims = [m.similarity for m in mapping.candidates]
+        assert sims == sorted(sims, reverse=True)
+
+    def test_candidate_for_lookup(self, mapper):
+        tree = trees_for("SELECT person?.name?")[0]
+        mapping = mapper.map_tree(tree)
+        assert mapping.candidate_for("person") is not None
+        assert mapping.candidate_for("ghost_relation") is None
+
+    def test_max_mappings_cap(self, fig1_db):
+        config = TranslatorConfig(sigma=0.01, max_mappings=2)
+        mapper = RelationTreeMapper(fig1_db, config)
+        tree = trees_for("SELECT x WHERE thing? = 1")[0]
+        mapping = mapper.map_tree(tree)
+        assert len(mapping.candidates) <= 2
+
+    def test_map_trees_covers_all(self, mapper):
+        trees = trees_for(
+            "SELECT count(actor?.name?) WHERE director_name? = 'X' "
+            "AND year? > 1995"
+        )
+        mappings = mapper.map_trees(trees)
+        assert set(mappings) == {t.key for t in trees}
+
+    def test_attribute_map_attached_to_candidates(self, mapper):
+        tree = trees_for("SELECT actor?.name?")[0]
+        mapping = mapper.map_tree(tree)
+        person = mapping.candidate_for("person")
+        assert person is not None
+        assert list(person.attribute_map.values()) == ["name"]
+
+
+class TestPaperMappings:
+    """The Example 6 mapping: rt1, rt2 -> Person; rt3 -> Company;
+    rt4 -> Movie."""
+
+    def test_example6(self, mapper):
+        trees = trees_for(
+            "SELECT count(actor?.name?) WHERE actor?.gender? = 'male' "
+            "and director_name? = 'James Cameron' "
+            "and produce_company? = '20th Century Fox' "
+            "and year? > 1995 and year? < 2005"
+        )
+        mappings = mapper.map_trees(trees)
+        best = {
+            tree.label: mappings[tree.key].best.relation.name
+            for tree in trees
+        }
+        assert best["rt1"] == "Person"
+        assert best["rt2"] == "Person"
+        assert best["rt3"] == "Company"
+        assert best["rt4"] == "Movie"

@@ -1,0 +1,135 @@
+"""Unit tests for join networks and top-k MTJN generation (paper §5.2, §6.1)."""
+
+import pytest
+
+from repro.core import TranslatorConfig
+from repro.core.join_network import JoinNetwork
+from repro.core.mtjn import MTJNGenerator
+
+from tests.helpers import FIG5_VIEW, PAPER_QUERY, make_xgraph
+
+
+def generate(db, sql=PAPER_QUERY, k=1, views=(), config=None):
+    xgraph, trees, mappings = make_xgraph(db, sql, views=views, config=config)
+    generator = MTJNGenerator(xgraph, config or TranslatorConfig())
+    return generator.generate(k), xgraph, trees
+
+
+class TestJoinNetworkBasics:
+    def test_single_node_network(self, fig1_db):
+        xgraph, trees, _ = make_xgraph(fig1_db, "SELECT Movie.title? FROM Movie")
+        node = xgraph.nodes_for_tree(trees[0].key)[0]
+        network = JoinNetwork.single(node)
+        assert len(network) == 1
+        assert network.is_total([trees[0].key])
+        assert network.is_minimal()
+
+    def test_expansion_adds_edge_and_weight(self, fig1_db):
+        xgraph, trees, _ = make_xgraph(fig1_db)
+        node = xgraph.nodes_for_tree(trees[0].key)[0]
+        network = JoinNetwork.single(node)
+        edge = xgraph.incident_edges(node)[0]
+        expanded = network.expand_edge(edge, node)
+        assert expanded is not None
+        assert len(expanded) == 2
+        assert expanded.construction_weight == pytest.approx(edge.weight)
+
+    def test_duplicate_node_rejected(self, fig1_db):
+        xgraph, trees, _ = make_xgraph(fig1_db)
+        node = xgraph.nodes_for_tree(trees[0].key)[0]
+        network = JoinNetwork.single(node)
+        edge = xgraph.incident_edges(node)[0]
+        expanded = network.expand_edge(edge, node)
+        # adding the same edge again would re-add the same node
+        assert expanded.expand_edge(edge, node) is None
+
+    def test_one_node_per_relation_tree(self, fig1_db):
+        xgraph, trees, _ = make_xgraph(fig1_db)
+        # rt1 and rt2 both map to Person: a network holding rt1's Person
+        # node must not also acquire another node for rt1
+        rt1_nodes = xgraph.nodes_for_tree(trees[0].key)
+        assert len(rt1_nodes) >= 1
+        network = JoinNetwork.single(rt1_nodes[0])
+        for edge in xgraph.incident_edges(rt1_nodes[0]):
+            other = edge.other(rt1_nodes[0])
+            if other.tree_key == trees[0].key:
+                assert network.expand_edge(edge, rt1_nodes[0]) is None
+
+
+class TestMTJNGeneration:
+    def test_paper_query_top1_shape(self, fig1_db):
+        networks, xgraph, trees = generate(fig1_db, k=1)
+        assert networks
+        best = networks[0]
+        assert best.is_total([t.key for t in trees])
+        assert best.is_minimal()
+        relations = sorted(n.relation for n in best.nodes.values())
+        assert relations == [
+            "actor",
+            "company",
+            "director",
+            "movie",
+            "movie_producer",
+            "person",
+            "person",
+        ]
+
+    def test_top_k_are_distinct_and_sorted(self, fig1_db):
+        networks, xgraph, _ = generate(fig1_db, k=5)
+        assert len(networks) >= 2
+        weights = [n.best_weight(xgraph.view_instances) for n in networks]
+        assert weights == sorted(weights, reverse=True)
+        canonicals = {n.canonical for n in networks}
+        assert len(canonicals) == len(networks)
+
+    def test_single_tree_query_yields_single_node(self, fig1_db):
+        networks, _, trees = generate(fig1_db, "SELECT Movie.title? FROM Movie")
+        assert networks and len(networks[0]) == 1
+
+    def test_two_tree_query(self, fig1_db):
+        networks, _, trees = generate(
+            fig1_db,
+            "SELECT title? WHERE director?.name? = 'Steven Spielberg'",
+            k=1,
+        )
+        assert networks
+        relations = sorted(n.relation for n in networks[0].nodes.values())
+        assert "movie" in relations and "person" in relations
+
+    def test_all_leaves_mapped(self, fig1_db):
+        networks, _, _ = generate(fig1_db, k=3)
+        for network in networks:
+            for node_id, kids in network.children.items():
+                if not kids:
+                    assert network.nodes[node_id].is_mapped
+
+    def test_stats_populated(self, fig1_db):
+        xgraph, trees, mappings = make_xgraph(fig1_db)
+        generator = MTJNGenerator(xgraph)
+        generator.generate(1)
+        assert generator.stats.expanded > 0
+        assert generator.stats.emitted >= 1
+
+    def test_graph_restored_after_generation(self, fig1_db):
+        xgraph, trees, _ = make_xgraph(fig1_db)
+        before = len(xgraph.nodes_for_tree(trees[0].key))
+        MTJNGenerator(xgraph).generate(1)
+        assert len(xgraph.nodes_for_tree(trees[0].key)) == before
+
+
+class TestViews:
+    def test_view_construction_outweighs_edges(self, fig1_db):
+        # with Figure 5's view available, the best weight of the winning
+        # MTJN must be at least as high as without it (Example 8)
+        plain, xgraph_plain, _ = generate(fig1_db, k=1)
+        viewed, xgraph_viewed, _ = generate(fig1_db, k=1, views=[FIG5_VIEW])
+        w_plain = plain[0].best_weight(xgraph_plain.view_instances)
+        w_viewed = viewed[0].best_weight(xgraph_viewed.view_instances)
+        assert w_viewed >= w_plain
+
+    def test_view_weight_definition7_max(self, fig1_db):
+        networks, xgraph, _ = generate(fig1_db, k=1, views=[FIG5_VIEW])
+        network = networks[0]
+        basic = network.basic_weight
+        best = network.best_weight(xgraph.view_instances)
+        assert best >= basic

@@ -1,0 +1,155 @@
+"""White-box tests for Algorithm 2/3 internals: legality and potential."""
+
+import pytest
+
+from repro.core import TranslatorConfig
+from repro.core.join_network import JoinNetwork
+from repro.core.mtjn import MTJNGenerator
+
+from tests.helpers import PAPER_QUERY, make_xgraph
+
+
+def single_network(graph, trees, relation="person"):
+    node = next(
+        n for n in graph.nodes_for_tree(trees[0].key) if n.relation == relation
+    )
+    return node, JoinNetwork.single(node)
+
+
+class TestLegality:
+    def test_expansion_only_at_rightmost(self, fig1_db):
+        graph, trees, _ = make_xgraph(fig1_db)
+        node, network = single_network(graph, trees)
+        # find any legal two-children state (the first child must be
+        # mapped, or demoting it would be a dead-leaf violation)
+        two_children = None
+        for first_edge in graph.incident_edges(node):
+            grown = network.expand_edge(first_edge, node)
+            if grown is None:
+                continue
+            for second_edge in graph.incident_edges(node):
+                candidate = grown.expand_edge(second_edge, node)
+                if candidate is not None:
+                    two_children = candidate
+                    break
+            if two_children is not None:
+                break
+        if two_children is None:
+            pytest.skip("no legal two-children state on this graph")
+        first_child_id = two_children.children[node.node_id][0]
+        first_child = two_children.nodes[first_child_id]
+        assert first_child_id not in two_children.rightmost
+        for edge2 in graph.incident_edges(first_child):
+            assert two_children.expand_edge(edge2, first_child) is None
+
+    def test_dead_leaf_expansion_rejected(self, fig1_db):
+        graph, trees, _ = make_xgraph(fig1_db)
+        node, network = single_network(graph, trees)
+        # attach an unmapped leaf, then try to branch elsewhere: demoting
+        # the unmapped leaf would freeze it forever (Example 9)
+        unmapped_edges = [
+            e
+            for e in graph.incident_edges(node)
+            if not e.other(node).is_mapped
+        ]
+        grown = network.expand_edge(unmapped_edges[0], node)
+        assert grown is not None
+        for edge in graph.incident_edges(node):
+            if edge is unmapped_edges[0]:
+                continue
+            candidate = grown.expand_edge(edge, node)
+            # either rejected outright or only allowed when it extends the
+            # rightmost (unmapped) branch — never freezing the dead leaf
+            if candidate is not None:
+                leaf_id = grown.children[node.node_id][0]
+                assert leaf_id in candidate.rightmost or candidate.children[
+                    leaf_id
+                ]
+
+    def test_fk_constraint_definition2(self, fig1_db):
+        # one Actor occurrence cannot join two Person occurrences through
+        # the same actor.person_id foreign key
+        graph, trees, _ = make_xgraph(fig1_db)
+        actor = next(
+            n for n in graph.nodes if n.relation == "actor" and not n.is_mapped
+        )
+        network = JoinNetwork.single(actor)
+        person_edges = [
+            e
+            for e in graph.incident_edges(actor)
+            if e.other(actor).relation == "person"
+            and "person" in e.fk_id[0] + e.fk_id[2]
+            and e.attribute_of(actor) == "person_id"
+        ]
+        assert len(person_edges) >= 2  # several Person^(rt) targets
+        first = network.expand_edge(person_edges[0], actor)
+        assert first is not None
+        assert first.expand_edge(person_edges[1], actor) is None
+
+    def test_construction_weight_decreases_monotonically(self, fig1_db):
+        graph, trees, _ = make_xgraph(fig1_db)
+        node, network = single_network(graph, trees)
+        current = network
+        for _ in range(3):
+            expansions = [
+                current.expand_edge(e, n)
+                for nid in current.rightmost
+                for n in [current.nodes[nid]]
+                for e in graph.incident_edges(n)
+            ]
+            expansions = [x for x in expansions if x is not None]
+            if not expansions:
+                break
+            grown = expansions[0]
+            assert grown.construction_weight <= current.construction_weight
+            assert len(grown) == len(current) + 1
+            current = grown
+
+
+class TestPotential:
+    def test_potential_upper_bounds_final_weight(self, fig1_db):
+        config = TranslatorConfig()
+        graph, trees, _ = make_xgraph(fig1_db)
+        generator = MTJNGenerator(graph, config)
+        required = [t.key for t in trees]
+        networks = generator.generate(1)
+        best = networks[0]
+        # the potential of the bare root must be >= the winning weight
+        root = next(
+            node
+            for node in best.nodes.values()
+            if node.tree_key == trees[0].key
+        )
+        potential = generator._potential(JoinNetwork.single(root), [], 1)
+        final = best.best_weight(graph.view_instances)
+        assert potential >= final - 1e-9
+
+    def test_unreachable_tree_gives_zero_potential(self, fig1_db):
+        graph, trees, _ = make_xgraph(fig1_db)
+        generator = MTJNGenerator(graph, TranslatorConfig())
+        root = graph.nodes_for_tree(trees[0].key)[0]
+        # removing every node of another tree makes it unreachable
+        other_key = trees[1].key
+        for node in list(graph.nodes_for_tree(other_key)):
+            graph.remove_node(node)
+        generator._invalidate_paths()
+        potential = generator._potential(JoinNetwork.single(root), [], 1)
+        assert potential == 0.0
+        graph.restore_all()
+
+
+class TestCanonicalForm:
+    def test_isomorphic_constructions_share_canonical(self, fig1_db):
+        graph, trees, _ = make_xgraph(fig1_db)
+        node, network = single_network(graph, trees)
+        edges = graph.incident_edges(node)[:2]
+        if len(edges) < 2:
+            pytest.skip("need two edges")
+        one = network.expand_edge(edges[0], node)
+        two = one.expand_edge(edges[1], node) if one else None
+        if two is None:
+            pytest.skip("expansion combination illegal")
+        # build in the other order via legality-free expansion
+        alt_one = network.expand_edge(edges[1], node, legality=False)
+        alt_two = alt_one.expand_edge(edges[0], node, legality=False)
+        assert alt_two.canonical == two.canonical

@@ -1,0 +1,296 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import string
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.similarity import qgrams, string_similarity
+from repro.engine.evaluator import compare, like_match
+from repro.sqlkit import ast, parse, render, tokenize
+from repro.sqlkit.tokens import TokenType
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+
+identifiers = st.text(
+    alphabet=string.ascii_lowercase + "_",
+    min_size=1,
+    max_size=12,
+).filter(lambda s: s[0] != "_" and s not in _RESERVED if True else True)
+
+_RESERVED = {
+    "select", "from", "where", "group", "order", "by", "having", "limit",
+    "offset", "as", "and", "or", "not", "in", "like", "between", "is",
+    "null", "exists", "distinct", "all", "any", "union", "asc", "desc",
+    "on", "join", "inner", "left", "right", "outer", "cross", "case",
+    "when", "then", "else", "end",
+}
+
+safe_identifiers = st.text(
+    alphabet=string.ascii_lowercase, min_size=1, max_size=10
+).filter(lambda s: s not in _RESERVED)
+
+literal_values = st.one_of(
+    st.integers(min_value=-(10**6), max_value=10**6),
+    st.text(alphabet=string.ascii_letters + " ", max_size=12),
+)
+
+
+def literal_sql(value) -> str:
+    if isinstance(value, str):
+        return "'" + value.replace("'", "''") + "'"
+    return str(value)
+
+
+comparison_ops = st.sampled_from(["=", "<>", "<", "<=", ">", ">="])
+
+
+@st.composite
+def simple_selects(draw) -> str:
+    """A random well-formed single-block SQL query."""
+    columns = draw(st.lists(safe_identifiers, min_size=1, max_size=3, unique=True))
+    table = draw(safe_identifiers)
+    sql = f"SELECT {', '.join(columns)} FROM {table}"
+    if draw(st.booleans()):
+        column = draw(safe_identifiers)
+        op = draw(comparison_ops)
+        value = draw(literal_values)
+        sql += f" WHERE {column} {op} {literal_sql(value)}"
+        if draw(st.booleans()):
+            other = draw(safe_identifiers)
+            sql += f" AND {other} BETWEEN 1 AND 10"
+    if draw(st.booleans()):
+        sql += f" ORDER BY {draw(safe_identifiers)} DESC"
+    if draw(st.booleans()):
+        sql += f" LIMIT {draw(st.integers(min_value=0, max_value=99))}"
+    return sql
+
+
+# ---------------------------------------------------------------------------
+# tokenizer / parser / renderer round-trips
+# ---------------------------------------------------------------------------
+
+
+class TestSqlRoundTrips:
+    @given(simple_selects())
+    @settings(max_examples=200)
+    def test_render_parse_fixed_point(self, sql):
+        once = render(parse(sql))
+        twice = render(parse(once))
+        assert once == twice
+
+    @given(simple_selects())
+    @settings(max_examples=100)
+    def test_parse_render_preserves_ast(self, sql):
+        tree = parse(sql)
+        assert parse(render(tree)) == tree
+
+    @given(st.text(alphabet=string.printable, max_size=60))
+    @settings(max_examples=200)
+    def test_tokenizer_never_crashes_unexpectedly(self, text):
+        from repro.sqlkit import SqlSyntaxError
+
+        try:
+            tokens = tokenize(text)
+        except SqlSyntaxError:
+            return  # rejecting bad input is fine; crashing is not
+        assert tokens[-1].type is TokenType.EOF
+
+    @given(literal_values)
+    def test_literal_round_trip(self, value):
+        from repro.sqlkit import parse_expression
+
+        text = literal_sql(value)
+        node = parse_expression(text)
+        # negative numbers parse as unary minus over a positive literal
+        expected = (
+            ast.UnaryOp("-", ast.Literal(-value))
+            if isinstance(value, int) and value < 0
+            else ast.Literal(value)
+        )
+        assert node == expected
+        assert parse_expression(render(node)) == node
+
+
+# ---------------------------------------------------------------------------
+# string similarity
+# ---------------------------------------------------------------------------
+
+
+class TestSimilarityProperties:
+    @given(identifiers, identifiers)
+    def test_symmetric(self, a, b):
+        assert string_similarity(a, b) == string_similarity(b, a)
+
+    @given(identifiers)
+    def test_identity_is_one(self, a):
+        assert string_similarity(a, a) == 1.0
+
+    @given(identifiers, identifiers)
+    def test_bounded(self, a, b):
+        assert 0.0 <= string_similarity(a, b) <= 1.0
+
+    @given(identifiers)
+    def test_case_insensitive(self, a):
+        assert string_similarity(a, a.upper()) == 1.0
+
+    @given(identifiers, st.integers(min_value=1, max_value=5))
+    def test_qgram_count(self, text, q):
+        grams = qgrams(text, q)
+        # padded string has len + q - 1 positions of q-grams
+        assert len(grams) <= len(text) + q - 1
+
+    @given(st.text(alphabet=string.ascii_lowercase, min_size=3, max_size=10))
+    def test_plural_matches_singular(self, a):
+        # words ending in e/s hit genuine stemming ambiguity (bases/base)
+        assume(not a.endswith(("s", "e")))
+        assert string_similarity(a, a + "s") == 1.0
+
+
+# ---------------------------------------------------------------------------
+# three-valued comparison semantics
+# ---------------------------------------------------------------------------
+
+scalars = st.one_of(
+    st.none(),
+    st.integers(min_value=-100, max_value=100),
+    st.text(alphabet=string.ascii_lowercase, max_size=6),
+)
+
+
+class TestCompareProperties:
+    @given(scalars, scalars)
+    def test_null_always_unknown(self, a, b):
+        assume(a is None or b is None)
+        for op in ("=", "<>", "<", "<=", ">", ">="):
+            assert compare(op, a, b) is None
+
+    @given(scalars, scalars)
+    def test_equality_negation_consistent(self, a, b):
+        from repro.engine import ExecutionError
+
+        eq = compare("=", a, b)
+        ne = compare("<>", a, b)
+        if eq is None:
+            assert ne is None
+        else:
+            assert ne == (not eq)
+
+    @given(st.integers(min_value=-50, max_value=50),
+           st.integers(min_value=-50, max_value=50))
+    def test_trichotomy_on_numbers(self, a, b):
+        results = [compare("<", a, b), compare("=", a, b), compare(">", a, b)]
+        assert results.count(True) == 1
+
+    @given(st.text(alphabet="ab", max_size=8))
+    def test_like_self_match(self, s):
+        assert like_match(s, s)
+
+    @given(st.text(alphabet="ab", max_size=8))
+    def test_like_percent_matches_everything(self, s):
+        assert like_match(s, "%")
+
+    @given(st.text(alphabet="ab", min_size=1, max_size=8))
+    def test_like_underscore_positional(self, s):
+        assert like_match(s, "_" * len(s))
+        assert not like_match(s, "_" * (len(s) + 1))
+
+
+# ---------------------------------------------------------------------------
+# engine invariants on generated data
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def small_tables(draw):
+    rows = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=20),
+                st.sampled_from(["red", "green", "blue"]),
+            ),
+            min_size=0,
+            max_size=15,
+        )
+    )
+    return rows
+
+
+class TestEngineInvariants:
+    def _db(self, rows):
+        from repro import Catalog, Database, DataType
+
+        catalog = Catalog("prop")
+        catalog.create_relation(
+            "t", [("v", DataType.INTEGER), ("c", DataType.TEXT)]
+        )
+        db = Database(catalog)
+        for v, c in rows:
+            db.insert("t", [v, c])
+        return db
+
+    @given(small_tables(), st.integers(min_value=0, max_value=20))
+    @settings(max_examples=60)
+    def test_where_filters_subset(self, rows, threshold):
+        db = self._db(rows)
+        everything = db.execute("SELECT v, c FROM t")
+        filtered = db.execute(f"SELECT v, c FROM t WHERE v > {threshold}")
+        assert len(filtered) <= len(everything)
+        assert all(row[0] > threshold for row in filtered)
+        assert sorted(filtered.rows) == sorted(
+            row for row in everything.rows if row[0] > threshold
+        )
+
+    @given(small_tables(), st.integers(min_value=0, max_value=10))
+    @settings(max_examples=60)
+    def test_limit_bounds_output(self, rows, limit):
+        db = self._db(rows)
+        result = db.execute(f"SELECT v FROM t ORDER BY v LIMIT {limit}")
+        assert len(result) == min(limit, len(rows))
+        values = [row[0] for row in result]
+        assert values == sorted(values)
+
+    @given(small_tables())
+    @settings(max_examples=60)
+    def test_distinct_removes_duplicates(self, rows):
+        db = self._db(rows)
+        result = db.execute("SELECT DISTINCT c FROM t")
+        values = [row[0] for row in result]
+        assert len(values) == len(set(values))
+        assert set(values) == {c for _v, c in rows}
+
+    @given(small_tables())
+    @settings(max_examples=60)
+    def test_count_matches_python(self, rows):
+        db = self._db(rows)
+        assert db.execute("SELECT count(*) FROM t").scalar() == len(rows)
+
+    @given(small_tables())
+    @settings(max_examples=60)
+    def test_group_by_partitions(self, rows):
+        db = self._db(rows)
+        result = db.execute("SELECT c, count(*) FROM t GROUP BY c")
+        assert sum(row[1] for row in result) == len(rows)
+
+    @given(small_tables())
+    @settings(max_examples=60)
+    def test_aggregates_match_python(self, rows):
+        db = self._db(rows)
+        result = db.execute("SELECT min(v), max(v), sum(v) FROM t").rows[0]
+        values = [v for v, _c in rows]
+        if values:
+            assert result == (min(values), max(values), sum(values))
+        else:
+            assert result == (None, None, None)
+
+    @given(small_tables())
+    @settings(max_examples=40)
+    def test_union_all_is_concatenation(self, rows):
+        db = self._db(rows)
+        doubled = db.execute(
+            "SELECT v FROM t UNION ALL SELECT v FROM t"
+        )
+        assert len(doubled) == 2 * len(rows)

@@ -1,0 +1,120 @@
+"""Unit tests for query-log view mining (paper §5.1, Figure 5)."""
+
+import pytest
+
+from repro.core.query_log import QueryLog, views_from_sql
+
+
+class TestViewsFromSql:
+    def test_figure5_view(self, fig1_db):
+        views = views_from_sql(
+            fig1_db.catalog,
+            "SELECT count(P2.name) FROM Person AS P1, Actor, Movie, "
+            "Director, Person AS P2 WHERE P1.name = 'Tom Hanks' "
+            "AND P1.person_id = Actor.person_id "
+            "AND Actor.movie_id = Movie.movie_id "
+            "AND Movie.movie_id = Director.movie_id "
+            "AND Director.person_id = P2.person_id",
+        )
+        assert len(views) == 1
+        view = views[0]
+        assert view.size == 5
+        assert sorted(view.relations) == [
+            "Actor", "Director", "Movie", "Person", "Person",
+        ]
+        assert len(view.joins) == 4
+
+    def test_single_relation_query_yields_no_views(self, fig1_db):
+        assert views_from_sql(
+            fig1_db.catalog, "SELECT title FROM Movie WHERE release_year > 2000"
+        ) == []
+
+    def test_value_conditions_ignored(self, fig1_db):
+        views = views_from_sql(
+            fig1_db.catalog,
+            "SELECT p.name FROM Person p, Director d "
+            "WHERE p.person_id = d.person_id AND p.gender = 'male'",
+        )
+        assert len(views) == 1 and len(views[0].joins) == 1
+
+    def test_disconnected_parts_become_separate_views(self, fig1_db):
+        views = views_from_sql(
+            fig1_db.catalog,
+            "SELECT 1 FROM Person p, Director d, Movie m, Movie_Producer mp, "
+            "Company c "
+            "WHERE p.person_id = d.person_id "
+            "AND mp.company_id = c.company_id",
+        )
+        sizes = sorted(view.size for view in views)
+        assert sizes == [2, 2]
+
+    def test_cycles_reduced_to_spanning_tree(self, fig1_db):
+        views = views_from_sql(
+            fig1_db.catalog,
+            "SELECT 1 FROM Actor a, Director d, Person p, Movie m "
+            "WHERE a.person_id = p.person_id AND a.movie_id = m.movie_id "
+            "AND d.person_id = p.person_id AND d.movie_id = m.movie_id",
+        )
+        assert len(views) == 1
+        view = views[0]
+        assert len(view.joins) == view.size - 1  # tree
+
+    def test_explicit_join_syntax_mined(self, fig1_db):
+        views = views_from_sql(
+            fig1_db.catalog,
+            "SELECT p.name FROM Person p JOIN Director d "
+            "ON p.person_id = d.person_id",
+        )
+        assert len(views) == 1
+
+    def test_unknown_relations_skipped(self, fig1_db):
+        views = views_from_sql(
+            fig1_db.catalog,
+            "SELECT 1 FROM Person p, Ghost g WHERE p.person_id = g.person_id",
+        )
+        assert views == []
+
+    def test_unqualified_join_columns_resolved_when_unique(self, fig1_db):
+        views = views_from_sql(
+            fig1_db.catalog,
+            "SELECT title FROM Movie, Movie_Producer, Company "
+            "WHERE Movie.movie_id = Movie_Producer.movie_id "
+            "AND Movie_Producer.company_id = Company.company_id",
+        )
+        assert len(views) == 1 and views[0].size == 3
+
+    def test_outermost_block_only(self, fig1_db):
+        views = views_from_sql(
+            fig1_db.catalog,
+            "SELECT title FROM Movie WHERE movie_id IN "
+            "(SELECT d.movie_id FROM Director d, Person p "
+            "WHERE d.person_id = p.person_id)",
+        )
+        assert views == []
+
+
+class TestQueryLog:
+    def test_accumulates_views(self, fig1_db):
+        log = QueryLog(fig1_db.catalog)
+        log.record(
+            "SELECT p.name FROM Person p, Director d "
+            "WHERE p.person_id = d.person_id"
+        )
+        log.record(
+            "SELECT p.name FROM Person p, Actor a "
+            "WHERE p.person_id = a.person_id"
+        )
+        assert len(log.views) == 2
+
+    def test_view_names_unique(self, fig1_db):
+        log = QueryLog(fig1_db.catalog)
+        log.record(
+            "SELECT p.name FROM Person p, Director d "
+            "WHERE p.person_id = d.person_id"
+        )
+        log.record(
+            "SELECT p.name FROM Person p, Actor a "
+            "WHERE p.person_id = a.person_id"
+        )
+        names = [view.name for view in log.views]
+        assert len(names) == len(set(names))

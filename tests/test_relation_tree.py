@@ -1,0 +1,121 @@
+"""Unit tests for relation-tree merging (paper §3.2, Figure 4)."""
+
+from repro.core.relation_tree import build_relation_trees, relation_key
+from repro.core.triples import extract
+from repro.sqlkit import ast, parse
+
+
+def trees_for(sql):
+    query = parse(sql)
+    return build_relation_trees(extract(query))
+
+
+class TestPaperExample:
+    def test_figure4_produces_four_trees(self):
+        trees = trees_for(
+            "SELECT count(actor?.name?) WHERE actor?.gender? = 'male' "
+            "and director_name? = 'James Cameron' "
+            "and produce_company? = '20th Century Fox' "
+            "and year? > 1995 and year? < 2005"
+        )
+        assert len(trees) == 4
+
+    def test_rule1_actor_tree_merges_name_and_gender(self):
+        trees = trees_for(
+            "SELECT count(actor?.name?) WHERE actor?.gender? = 'male' "
+            "and director_name? = 'James Cameron' "
+            "and produce_company? = '20th Century Fox' "
+            "and year? > 1995 and year? < 2005"
+        )
+        actor = next(t for t in trees if t.known_name == "actor")
+        assert {a.name.text for a in actor.attribute_trees} == {
+            "name",
+            "gender",
+        }
+
+    def test_rule3_year_conditions_merge(self):
+        trees = trees_for(
+            "SELECT count(actor?.name?) WHERE actor?.gender? = 'male' "
+            "and director_name? = 'James Cameron' "
+            "and produce_company? = '20th Century Fox' "
+            "and year? > 1995 and year? < 2005"
+        )
+        year = next(
+            t
+            for t in trees
+            if t.known_name is None
+            and any(a.name.text == "year" for a in t.attribute_trees)
+        )
+        year_attr = year.attribute_trees[0]
+        assert len(year_attr.conditions) == 2
+
+    def test_tree_indexing_select_first(self):
+        trees = trees_for(
+            "SELECT count(actor?.name?) WHERE director_name? = 'X'"
+        )
+        assert trees[0].known_name == "actor"
+        assert trees[0].label == "rt1"
+
+
+class TestMergeRules:
+    def test_rule2_same_relation_and_attribute_merge(self):
+        trees = trees_for("SELECT t?.a? WHERE t?.a? > 1 AND t?.a? < 5")
+        assert len(trees) == 1
+        assert len(trees[0].attribute_trees) == 1
+        assert len(trees[0].attribute_trees[0].conditions) == 2
+
+    def test_alias_distinguishes_trees(self):
+        trees = trees_for("SELECT m1.title FROM Movie m1, Movie m2 WHERE m2.year > 2000")
+        movie_trees = [t for t in trees if t.known_name == "Movie"]
+        assert len(movie_trees) == 2
+        assert {t.alias for t in movie_trees} == {"m1", "m2"}
+
+    def test_var_placeholders_merge_by_name(self):
+        trees = trees_for("SELECT ?x.a? WHERE ?x.b? = 1 AND ?y.c? = 2")
+        assert len(trees) == 2
+        x_tree = next(t for t in trees if t.key == ("var", "x"))
+        assert len(x_tree.attribute_trees) == 2
+
+    def test_anonymous_placeholders_never_merge(self):
+        trees = trees_for("SELECT a WHERE ? = 1 AND ? = 2")
+        anon_trees = [t for t in trees if t.key[0] == "attranon"]
+        assert len(anon_trees) == 2
+
+    def test_from_relation_unifies_with_qualified_refs(self):
+        trees = trees_for("SELECT person.name? FROM person WHERE person.age? > 3")
+        assert len(trees) == 1
+        assert len(trees[0].attribute_trees) == 2
+
+    def test_from_alias_unifies(self):
+        trees = trees_for("SELECT p.name? FROM person p")
+        assert len(trees) == 1
+        assert trees[0].name.text == "person"
+        assert trees[0].alias == "p"
+
+    def test_different_unqualified_attributes_stay_separate(self):
+        trees = trees_for("SELECT a WHERE foo? = 1 AND bar? = 2")
+        keys = {t.key for t in trees}
+        assert ("attr", "foo") in keys and ("attr", "bar") in keys
+
+    def test_guess_and_exact_same_text_merge(self):
+        # the user is inconsistent but means the same relation
+        trees = trees_for("SELECT actor.a?, actor?.b?")
+        assert len(trees) == 1
+
+
+class TestRelationKey:
+    def test_pure_function_matches_merger(self):
+        sql = "SELECT actor?.name? FROM person WHERE actor?.gender? = 'm'"
+        query = parse(sql)
+        extraction = extract(query)
+        trees = build_relation_trees(extraction)
+        refs = [
+            node
+            for node in query.walk()
+            if isinstance(node, ast.ColumnRef)
+        ]
+        for ref in refs:
+            key = relation_key(
+                ref.relation, ref.attribute, extraction.from_bindings
+            )
+            assert any(t.key == key for t in trees)

@@ -1,0 +1,71 @@
+"""Round-trip tests for the SQL renderer."""
+
+import pytest
+
+from repro.sqlkit import ast, parse, parse_expression, render
+
+
+def roundtrip(sql: str) -> str:
+    """Render, reparse, re-render: must be a fixed point."""
+    once = render(parse(sql))
+    twice = render(parse(once))
+    assert once == twice, f"render not stable: {once!r} vs {twice!r}"
+    return once
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT a FROM t",
+            "SELECT DISTINCT a, b AS x FROM t AS u WHERE a = 1",
+            "SELECT count(*) FROM t GROUP BY g HAVING count(*) > 2",
+            "SELECT a FROM t ORDER BY a DESC LIMIT 3 OFFSET 1",
+            "SELECT a FROM t WHERE x BETWEEN 1 AND 2 AND y NOT IN (1, 2)",
+            "SELECT a FROM t WHERE name LIKE '%x%' OR name IS NULL",
+            "SELECT a FROM t WHERE EXISTS (SELECT 1 FROM u WHERE u.id = t.id)",
+            "SELECT a FROM t WHERE x > ANY (SELECT y FROM u)",
+            "SELECT a FROM t UNION ALL SELECT b FROM u",
+            "SELECT a FROM t JOIN u ON t.id = u.id",
+            "SELECT a FROM t LEFT JOIN u ON t.id = u.id",
+            "SELECT CASE WHEN x > 0 THEN 'p' ELSE 'n' END FROM t",
+        ],
+    )
+    def test_fixed_point(self, sql):
+        roundtrip(sql)
+
+    def test_schema_free_markers_survive(self):
+        sql = "SELECT count(actor?.name?) WHERE ?x.a? = 'v' AND year? > 1995"
+        text = roundtrip(sql)
+        assert "actor?.name?" in text
+        assert "?x.a?" in text
+        assert "year? > 1995" in text
+
+    def test_parentheses_preserved_semantically(self):
+        expr = parse_expression("(a = 1 OR b = 2) AND c = 3")
+        text = render(expr)
+        reparsed = parse_expression(text)
+        assert reparsed.op == "and"
+
+    def test_string_escaping(self):
+        expr = parse_expression("name = 'O''Brien'")
+        text = render(expr)
+        assert parse_expression(text).right.value == "O'Brien"
+
+    def test_null_and_booleans(self):
+        assert render(ast.Literal(None)) == "NULL"
+        assert render(ast.Literal(True)) == "TRUE"
+
+    def test_negative_numbers(self):
+        assert render(parse_expression("-5 + 3")) == "-5 + 3"
+
+    def test_nested_arithmetic_parens(self):
+        expr = parse_expression("(1 + 2) * 3")
+        reparsed = parse_expression(render(expr))
+        assert reparsed.op == "*"
+
+    def test_subtraction_right_assoc_parens(self):
+        # 1 - (2 - 3) must keep its parentheses
+        expr = parse_expression("1 - (2 - 3)")
+        text = render(expr)
+        assert parse_expression(text) == expr

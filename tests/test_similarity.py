@@ -1,0 +1,169 @@
+"""Unit tests for the similarity framework (paper §4)."""
+
+import pytest
+
+from repro.core import TranslatorConfig
+from repro.core.relation_tree import build_relation_trees
+from repro.core.similarity import (
+    SimilarityEvaluator,
+    qgrams,
+    string_similarity,
+)
+from repro.core.triples import extract
+from repro.sqlkit import ast, parse
+
+
+def trees_for(sql):
+    return build_relation_trees(extract(parse(sql)))
+
+
+@pytest.fixture()
+def sim(fig1_db):
+    return SimilarityEvaluator(fig1_db)
+
+
+class TestStringSimilarity:
+    def test_identical_is_one(self):
+        assert string_similarity("actor", "Actor") == 1.0
+
+    def test_disjoint_is_zero(self):
+        assert string_similarity("zzz", "qqq") == 0.0
+
+    def test_symmetry(self):
+        a = string_similarity("director_name", "director")
+        b = string_similarity("director", "director_name")
+        assert a == b
+
+    def test_partial_overlap_in_unit_interval(self):
+        value = string_similarity("produce_company", "company")
+        assert 0.0 < value < 1.0
+
+    def test_empty_string(self):
+        assert string_similarity("", "abc") == 0.0
+
+    def test_qgram_padding(self):
+        grams = qgrams("ab", 3)
+        assert "##a" in grams and "ab#" in grams
+
+    def test_similar_beats_dissimilar(self):
+        assert string_similarity("director", "directors") > string_similarity(
+            "director", "company"
+        )
+
+
+class TestRootLevel:
+    def test_exact_name_scores_one(self, sim, fig1_db):
+        tree = trees_for("SELECT actor?.name?")[0]
+        assert sim.root_similarity(tree, fig1_db.catalog.relation("Actor")) == 1.0
+
+    def test_neighbor_similarity_damped(self, sim, fig1_db):
+        # paper Example 4: rt with root actor? scores kref against Person
+        tree = trees_for("SELECT actor?.name?")[0]
+        person = fig1_db.catalog.relation("Person")
+        assert sim.root_similarity(tree, person) == pytest.approx(0.7)
+
+    def test_unspecified_root_uses_kdef_floor(self, sim, fig1_db):
+        tree = trees_for("SELECT a WHERE zzzqqq? = 1")[0]
+        company = fig1_db.catalog.relation("Company")
+        assert sim.root_similarity(tree, company) >= 0.3
+
+    def test_unspecified_root_attribute_fallback(self, sim, fig1_db):
+        # director_name has no root, but the attribute name resembles the
+        # Director relation, which neighbours Person
+        tree = trees_for("SELECT a WHERE director_name? = 'X'")
+        dn_tree = next(t for t in tree if t.key == ("attr", "director_name"))
+        person = fig1_db.catalog.relation("Person")
+        assert sim.root_similarity(dn_tree, person) > 0.3
+
+
+class TestAttributeLevel:
+    def test_exact_attribute_maps_to_itself(self, sim, fig1_db):
+        tree = trees_for("SELECT actor?.gender?")[0]
+        person = fig1_db.catalog.relation("Person")
+        score, attr = sim.attribute_similarity(
+            tree.attribute_trees[0], person
+        )
+        assert attr == "gender" and score > 0.9
+
+    def test_condition_satisfaction_boosts(self, sim, fig1_db):
+        # 'male' occurs in Person.gender, so the condition factor is
+        # (1+1)/(1+1)=1 there, and (0+1)/(1+1)=1/2 elsewhere
+        trees = trees_for("SELECT x WHERE gender? = 'male'")
+        tree = next(t for t in trees if t.key == ("attr", "gender"))
+        person = fig1_db.catalog.relation("Person")
+        score, attr = sim.attribute_similarity(tree.attribute_trees[0], person)
+        assert attr == "gender"
+
+    def test_type_incompatible_condition_penalised(self, sim, fig1_db):
+        # a text constant can never satisfy the integer company_id column
+        trees = trees_for("SELECT x WHERE produce_company? = '20th Century Fox'")
+        tree = trees[-1]
+        company = fig1_db.catalog.relation("Company")
+        score, attr = sim.attribute_similarity(tree.attribute_trees[0], company)
+        assert attr == "name"
+
+    def test_numeric_range_prefers_numeric_column(self, sim, fig1_db):
+        trees = trees_for("SELECT x WHERE year? > 1995 AND year? < 2005")
+        tree = next(t for t in trees if t.key == ("attr", "year"))
+        movie = fig1_db.catalog.relation("Movie")
+        score, attr = sim.attribute_similarity(tree.attribute_trees[0], movie)
+        assert attr == "release_year"
+
+
+class TestTreeLevel:
+    def test_paper_rt1_prefers_person(self, sim, fig1_db):
+        tree = trees_for(
+            "SELECT count(actor?.name?) WHERE actor?.gender? = 'male'"
+        )[0]
+        person_score, _ = sim.tree_similarity(
+            tree, fig1_db.catalog.relation("Person")
+        )
+        actor_score, _ = sim.tree_similarity(
+            tree, fig1_db.catalog.relation("Actor")
+        )
+        # Actor has no name/gender columns, so Person must win despite the
+        # root name matching Actor exactly (paper §4.1's product form)
+        assert person_score > actor_score
+
+    def test_attribute_map_recorded(self, sim, fig1_db):
+        tree = trees_for("SELECT actor?.name?, actor?.gender?")[0]
+        _, attribute_map = sim.tree_similarity(
+            tree, fig1_db.catalog.relation("Person")
+        )
+        assert set(attribute_map.values()) == {"name", "gender"}
+
+
+class TestConditionChecker:
+    def test_satisfied_memoised(self, sim, fig1_db):
+        trees = trees_for("SELECT x WHERE gender? = 'male'")
+        tree = next(t for t in trees if t.key == ("attr", "gender"))
+        condition = tree.attribute_trees[0].conditions[0]
+        person = fig1_db.catalog.relation("Person")
+        gender = person.attribute("gender")
+        first = sim.checker.satisfied(condition, person, gender)
+        second = sim.checker.satisfied(condition, person, gender)
+        assert first is True and second is True
+
+    def test_incompatible_status(self, sim, fig1_db):
+        trees = trees_for("SELECT x WHERE name? = 'Tom Hanks'")
+        tree = next(t for t in trees if t.key == ("attr", "name"))
+        condition = tree.attribute_trees[0].conditions[0]
+        person = fig1_db.catalog.relation("Person")
+        assert (
+            sim.checker.status(condition, person, person.attribute("person_id"))
+            == "incompatible"
+        )
+        assert (
+            sim.checker.status(condition, person, person.attribute("name"))
+            == "satisfied"
+        )
+
+    def test_unsatisfied_status(self, sim, fig1_db):
+        trees = trees_for("SELECT x WHERE name? = 'Nobody Here'")
+        tree = next(t for t in trees if t.key == ("attr", "name"))
+        condition = tree.attribute_trees[0].conditions[0]
+        person = fig1_db.catalog.relation("Person")
+        assert (
+            sim.checker.status(condition, person, person.attribute("name"))
+            == "unsatisfied"
+        )

@@ -1,0 +1,165 @@
+"""Integration tests for the end-to-end translator (paper Figures 2 & 12)."""
+
+import pytest
+
+from repro import SchemaFreeTranslator, TranslationError, TranslatorConfig
+from repro.sqlkit import ast
+
+from tests.helpers import FIG5_VIEW, PAPER_QUERY
+
+
+class TestPaperRunningExample:
+    def test_top1_matches_figure12(self, fig1_translator, fig1_db):
+        best = fig1_translator.translate_best(PAPER_QUERY)
+        sql = best.sql
+        # the seven relations, Person twice
+        assert sql.count("Person AS") == 2
+        for name in ("Actor", "Director", "Movie", "Movie_Producer", "Company"):
+            assert name in sql
+        # the four rewritten value conditions of Figure 12
+        assert ".gender = 'male'" in sql
+        assert ".name = 'James Cameron'" in sql
+        assert "Company.name = '20th Century Fox'" in sql
+        assert "Movie.release_year > 1995" in sql
+        # evaluates to the correct answer: DiCaprio only
+        assert fig1_db.execute(best.query).scalar() == 1
+
+    def test_top_k_returns_alternatives(self, fig1_translator):
+        translations = fig1_translator.translate(PAPER_QUERY, top_k=3)
+        assert len(translations) >= 2
+        assert translations[0].weight >= translations[1].weight
+        assert translations[0].sql != translations[1].sql
+
+    def test_execute_shortcut(self, fig1_translator):
+        result = fig1_translator.execute(PAPER_QUERY)
+        assert result.scalar() == 1
+
+
+class TestSchemaKnowledgeSpectrum:
+    """SF-SQL spans full SQL down to bare structured keywords (§1)."""
+
+    def test_full_sql_passes_through_semantically(self, fig1_translator, fig1_db):
+        full = (
+            "SELECT p.name FROM Person p, Director d "
+            "WHERE p.person_id = d.person_id AND d.movie_id = 10"
+        )
+        best = fig1_translator.translate_best(full)
+        assert fig1_db.execute(best.query).rows == [("James Cameron",)]
+
+    def test_missing_from_clause_completed(self, fig1_translator, fig1_db):
+        best = fig1_translator.translate_best(
+            "SELECT title? WHERE director?.name? = 'Steven Spielberg'"
+        )
+        assert fig1_db.execute(best.query).rows == [("The Terminal",)]
+
+    def test_inconsistent_user_vocabulary(self, fig1_translator, fig1_db):
+        # actor?.name? and director_name? in the same query (paper Ex. 1)
+        best = fig1_translator.translate_best(
+            "SELECT actor?.name? WHERE director_name? = 'Steven Spielberg'"
+        )
+        assert fig1_db.execute(best.query).rows == [("Tom Hanks",)]
+
+    def test_anonymous_placeholder_with_condition(self, fig1_translator, fig1_db):
+        best = fig1_translator.translate_best(
+            "SELECT movie?.title? WHERE movie?.? = 1997"
+        )
+        result = fig1_db.execute(best.query)
+        assert ("Titanic",) in result.rows
+
+    def test_var_placeholder_binds_same_element(self, fig1_translator):
+        best = fig1_translator.translate_best(
+            "SELECT ?x.title? WHERE ?x.release_year? > 2000"
+        )
+        assert "Movie" in best.sql
+
+    def test_aggregation_preserved(self, fig1_translator, fig1_db):
+        best = fig1_translator.translate_best(
+            "SELECT count(?m.title?) WHERE ?m.year? > 2000"
+        )
+        assert fig1_db.execute(best.query).scalar() == 2
+
+    def test_group_by_preserved(self, fig1_translator, fig1_db):
+        best = fig1_translator.translate_best(
+            "SELECT gender?, count(*) FROM person? GROUP BY gender?"
+        )
+        rows = dict(fig1_db.execute(best.query).rows)
+        assert rows == {"male": 5, "female": 1}
+
+    def test_order_by_and_limit_preserved(self, fig1_translator, fig1_db):
+        best = fig1_translator.translate_best(
+            "SELECT title? FROM movies? ORDER BY year? DESC LIMIT 1"
+        )
+        assert fig1_db.execute(best.query).rows == [("Avatar",)]
+
+
+class TestNestedQueries:
+    def test_uncorrelated_subquery_translated(self, fig1_translator, fig1_db):
+        best = fig1_translator.translate_best(
+            "SELECT name? FROM person? WHERE person?.person_id? IN "
+            "(SELECT person_id? FROM director?) ORDER BY name?"
+        )
+        result = fig1_db.execute(best.query)
+        assert result.rows == [("James Cameron",), ("Steven Spielberg",)]
+
+    def test_scalar_subquery_translated(self, fig1_translator, fig1_db):
+        best = fig1_translator.translate_best(
+            "SELECT title? FROM movie? WHERE movie?.release_year? = "
+            "(SELECT max(year?) FROM movies?)"
+        )
+        assert fig1_db.execute(best.query).rows == [("Avatar",)]
+
+    def test_union_translated_blockwise(self, fig1_translator, fig1_db):
+        best = fig1_translator.translate_best(
+            "SELECT person?.name? WHERE person?.gender? = 'female' "
+            "UNION SELECT company?.name? WHERE company?.name? = 'Paramount'"
+        )
+        rows = set(fig1_db.execute(best.query).rows)
+        assert rows == {("Kate Winslet",), ("Paramount",)}
+
+
+class TestUserJoinFragments:
+    def test_partial_join_path_becomes_view(self, fig1_translator, fig1_db):
+        # the user spells out one join; the system completes the rest
+        best = fig1_translator.translate_best(
+            "SELECT person?.name? WHERE person?.person_id? = director?.person_id? "
+            "AND movie?.title? = 'Titanic'"
+        )
+        assert fig1_db.execute(best.query).rows == [("James Cameron",)]
+
+
+class TestQueryLogViews:
+    def test_log_views_recorded(self, fig1_translator):
+        views = fig1_translator.record_query_log(
+            "SELECT count(P2.name) FROM Person AS P1, Actor, Movie, "
+            "Director, Person AS P2 WHERE P1.name = 'Tom Hanks' "
+            "AND P1.person_id = Actor.person_id "
+            "AND Actor.movie_id = Movie.movie_id "
+            "AND Movie.movie_id = Director.movie_id "
+            "AND Director.person_id = P2.person_id"
+        )
+        assert len(views) == 1
+        assert views[0].size == 5
+
+    def test_views_guide_translation(self, fig1_db):
+        with_views = SchemaFreeTranslator(fig1_db, views=[FIG5_VIEW])
+        best = with_views.translate_best(PAPER_QUERY)
+        assert fig1_db.execute(best.query).scalar() == 1
+
+
+class TestErrors:
+    def test_untranslatable_tree_raises(self, fig1_translator):
+        with pytest.raises(TranslationError):
+            # no relation remotely similar and the condition matches nothing
+            SchemaFreeTranslator(
+                fig1_translator.database,
+                TranslatorConfig(kdef=0.0),
+            ).translate_best("SELECT xyzzyqwfp?.zzz?")
+
+    def test_constant_query_translates_trivially(self, fig1_translator, fig1_db):
+        best = fig1_translator.translate_best("SELECT 1 + 1")
+        assert fig1_db.execute(best.query).scalar() == 2
+
+    def test_result_is_executable_sql_text(self, fig1_translator, fig1_db):
+        best = fig1_translator.translate_best(PAPER_QUERY)
+        # the rendered text itself reparses and runs
+        assert fig1_db.execute(best.sql).scalar() == 1

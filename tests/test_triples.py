@@ -1,0 +1,141 @@
+"""Unit tests for expression-triple extraction (paper §3.1)."""
+
+from repro.core.triples import conjuncts_of, extract
+from repro.sqlkit import ast, parse
+
+
+def extract_sql(sql):
+    query = parse(sql)
+    assert isinstance(query, ast.Select)
+    return extract(query)
+
+
+class TestFromClause:
+    def test_from_relations_become_triples(self):
+        result = extract_sql("SELECT a FROM t, u AS v")
+        from_triples = [t for t in result.triples if t.attribute is None]
+        assert [(t.relation.text, t.alias) for t in from_triples] == [
+            ("t", None),
+            ("u", "v"),
+        ]
+
+    def test_from_bindings_keyed_by_alias(self):
+        result = extract_sql("SELECT a FROM t, u AS v")
+        assert set(result.from_bindings) == {"t", "v"}
+
+    def test_explicit_join_tables_collected(self):
+        result = extract_sql("SELECT a FROM t JOIN u ON t.id = u.id")
+        assert set(result.from_bindings) == {"t", "u"}
+
+
+class TestColumnTriples:
+    def test_paper_figure2_triples(self):
+        result = extract_sql(
+            "SELECT count(actor?.name?) WHERE actor?.gender? = 'male' "
+            "and director_name? = 'James Cameron' "
+            "and produce_company? = '20th Century Fox' "
+            "and year? > 1995 and year? < 2005"
+        )
+        columns = [t for t in result.triples if t.attribute is not None]
+        assert len(columns) == 6
+        with_conditions = [t for t in columns if t.condition is not None]
+        # gender, director_name, produce_company, and two year conditions
+        assert len(with_conditions) == 5
+
+    def test_select_clause_columns_come_first(self):
+        result = extract_sql("SELECT a? FROM t WHERE b? = 1")
+        columns = [t for t in result.triples if t.attribute is not None]
+        assert columns[0].attribute.text == "a"
+
+    def test_flipped_comparison_normalised(self):
+        result = extract_sql("SELECT a WHERE 1995 < year?")
+        condition = next(
+            t.condition for t in result.triples if t.condition is not None
+        )
+        assert isinstance(condition.predicate, ast.BinaryOp)
+        assert condition.predicate.op == ">"
+
+    def test_between_in_like_isnull_are_conditions(self):
+        result = extract_sql(
+            "SELECT x WHERE a? BETWEEN 1 AND 2 AND b? IN (1, 2) "
+            "AND c? LIKE '%v%' AND d? IS NULL"
+        )
+        conditions = [t for t in result.triples if t.condition is not None]
+        assert len(conditions) == 4
+
+    def test_or_disjunction_not_a_condition(self):
+        result = extract_sql("SELECT x WHERE a? = 1 OR b? = 2")
+        assert all(t.condition is None for t in result.triples)
+
+    def test_column_to_column_comparison_not_a_condition(self):
+        result = extract_sql("SELECT x WHERE a? > b?")
+        assert all(t.condition is None for t in result.triples)
+
+    def test_subquery_not_descended(self):
+        result = extract_sql(
+            "SELECT a FROM t WHERE x IN (SELECT inner_col FROM u)"
+        )
+        names = {
+            t.attribute.text
+            for t in result.triples
+            if t.attribute is not None
+        }
+        assert "inner_col" not in names
+        assert "x" in names
+
+    def test_comparison_with_subquery_is_not_a_value_condition(self):
+        result = extract_sql("SELECT a FROM t WHERE x > (SELECT max(y) FROM u)")
+        x_triples = [
+            t
+            for t in result.triples
+            if t.attribute is not None and t.attribute.text == "x"
+        ]
+        assert x_triples and all(t.condition is None for t in x_triples)
+
+    def test_group_order_having_columns_collected(self):
+        result = extract_sql(
+            "SELECT g FROM t GROUP BY grp? HAVING count(h?) > 1 ORDER BY o?"
+        )
+        names = {
+            t.attribute.text
+            for t in result.triples
+            if t.attribute is not None
+        }
+        assert {"grp", "h", "o"} <= names
+
+
+class TestJoinFragments:
+    def test_qualified_equality_is_fragment(self):
+        result = extract_sql(
+            "SELECT a WHERE t1?.id? = t2?.ref? AND t1?.v? = 3"
+        )
+        assert len(result.fragments) == 1
+        fragment = result.fragments[0]
+        assert fragment.left.relation.text == "t1"
+        assert fragment.right.relation.text == "t2"
+
+    def test_unqualified_equality_not_fragment(self):
+        result = extract_sql("SELECT a WHERE x? = y?")
+        assert result.fragments == []
+
+    def test_fragment_columns_still_schema_content(self):
+        result = extract_sql("SELECT a WHERE t1?.id? = t2?.ref?")
+        names = {
+            (t.relation.text if t.relation else None, t.attribute.text)
+            for t in result.triples
+            if t.attribute is not None
+        }
+        assert ("t1", "id") in names and ("t2", "ref") in names
+
+
+class TestConjuncts:
+    def test_nested_ands_flattened(self):
+        query = parse("SELECT x WHERE a = 1 AND (b = 2 AND c = 3) AND d = 4")
+        assert len(conjuncts_of(query.where)) == 4
+
+    def test_or_kept_whole(self):
+        query = parse("SELECT x WHERE a = 1 OR b = 2")
+        assert len(conjuncts_of(query.where)) == 1
+
+    def test_none_gives_empty(self):
+        assert conjuncts_of(None) == []

@@ -1,0 +1,179 @@
+"""Unit tests for the view graph and extended view graph (paper §5)."""
+
+import pytest
+
+from repro.core import TranslatorConfig, View, ViewGraph, ViewJoin
+from repro.core.mapper import RelationTreeMapper
+from repro.core.relation_tree import build_relation_trees
+from repro.core.similarity import SimilarityEvaluator
+from repro.core.triples import extract
+from repro.core.view_graph import ExtendedViewGraph
+from repro.sqlkit import parse
+
+from tests.helpers import FIG5_VIEW, PAPER_QUERY, make_xgraph
+
+class TestView:
+    def test_tree_shape_enforced(self):
+        with pytest.raises(ValueError):
+            View("bad", ("A", "B", "C"), (ViewJoin(0, "x", 1, "x"),))
+
+    def test_cycle_rejected(self):
+        with pytest.raises(ValueError):
+            View(
+                "cyclic",
+                ("A", "B"),
+                (ViewJoin(0, "x", 1, "x"), ViewJoin(1, "y", 0, "y")),
+            )
+
+    def test_out_of_range_join_rejected(self):
+        with pytest.raises(ValueError):
+            View("oob", ("A", "B"), (ViewJoin(0, "x", 5, "x"),))
+
+    def test_view_graph_validates_relations(self, fig1_db):
+        graph = ViewGraph(fig1_db.catalog)
+        with pytest.raises(Exception):
+            graph.add_view(View("ghost", ("NoSuchRel",), ()))
+
+    def test_single_relation_view_allowed(self, fig1_db):
+        graph = ViewGraph(fig1_db.catalog)
+        graph.add_view(View("solo", ("Movie",), ()))
+        assert len(graph.views) == 1
+
+
+class TestExtendedGraphNodes:
+    def test_mapped_nodes_per_candidate(self, fig1_db):
+        xgraph, trees, mappings = make_xgraph(fig1_db)
+        for tree in trees:
+            nodes = xgraph.nodes_for_tree(tree.key)
+            assert len(nodes) == len(mappings[tree.key].candidates)
+
+    def test_plain_node_per_relation(self, fig1_db):
+        xgraph, _, _ = make_xgraph(fig1_db)
+        plain = [n for n in xgraph.nodes if n.tree_key is None]
+        assert len(plain) == len(fig1_db.catalog)
+
+    def test_removal_masks_node(self, fig1_db):
+        xgraph, trees, _ = make_xgraph(fig1_db)
+        node = xgraph.nodes_for_tree(trees[0].key)[0]
+        xgraph.remove_node(node)
+        assert node not in xgraph.nodes_for_tree(trees[0].key)
+        xgraph.restore_node(node)
+        assert node in xgraph.nodes_for_tree(trees[0].key)
+
+
+class TestEdgeWeights:
+    def test_paper_example7_enhanced_edge(self, fig1_db):
+        # edge (Actor^(), Person^(rt1)) with rt1 named actor?:
+        # w = 1 - (1-0.7)(1-0.7) = 0.91
+        xgraph, trees, _ = make_xgraph(fig1_db)
+        rt1_person = next(
+            n
+            for n in xgraph.nodes_for_tree(trees[0].key)
+            if n.relation == "person"
+        )
+        actor_plain = next(
+            n
+            for n in xgraph.nodes
+            if n.relation == "actor" and n.tree_key is None
+        )
+        edges = [
+            e
+            for e in xgraph.incident_edges(actor_plain)
+            if e.other(actor_plain) == rt1_person
+        ]
+        assert edges and edges[0].weight == pytest.approx(0.91)
+
+    def test_default_edge_weight_is_c(self, fig1_db):
+        xgraph, _, _ = make_xgraph(fig1_db)
+        plain_pairs = [
+            e
+            for e in xgraph.edges
+            if e.left.tree_key is None and e.right.tree_key is None
+        ]
+        assert plain_pairs
+        assert all(e.weight == pytest.approx(0.7) for e in plain_pairs)
+
+    def test_weights_in_unit_interval(self, fig1_db):
+        xgraph, _, _ = make_xgraph(fig1_db)
+        assert all(0.0 < e.weight <= 1.0 for e in xgraph.edges)
+
+
+class TestViewInstances:
+    def test_fig5_view_instantiated(self, fig1_db):
+        xgraph, _, _ = make_xgraph(fig1_db, views=[FIG5_VIEW])
+        assert xgraph.view_instances
+
+    def test_instances_use_distinct_nodes(self, fig1_db):
+        xgraph, _, _ = make_xgraph(fig1_db, views=[FIG5_VIEW])
+        for instance in xgraph.view_instances:
+            ids = [n.node_id for n in instance.nodes]
+            assert len(ids) == len(set(ids))
+
+    def test_instance_weight_is_sqrt_of_product(self, fig1_db):
+        import math
+
+        xgraph, _, _ = make_xgraph(fig1_db, views=[FIG5_VIEW])
+        instance = xgraph.view_instances[0]
+        expected = math.sqrt(
+            math.prod(edge.weight for edge in instance.edges)
+        )
+        assert instance.weight == pytest.approx(expected)
+
+    def test_no_tree_used_twice_in_instance(self, fig1_db):
+        xgraph, _, _ = make_xgraph(fig1_db, views=[FIG5_VIEW])
+        for instance in xgraph.view_instances:
+            keys = [
+                n.tree_key for n in instance.nodes if n.tree_key is not None
+            ]
+            assert len(keys) == len(set(keys))
+
+
+class TestStrongestPaths:
+    def test_distance_to_self_is_one(self, fig1_db):
+        xgraph, trees, _ = make_xgraph(fig1_db)
+        node = xgraph.nodes_for_tree(trees[0].key)[0]
+        paths = xgraph.strongest_paths_from(node)
+        assert paths[node.node_id] == 1.0
+
+    def test_paths_decrease_with_distance(self, fig1_db):
+        xgraph, trees, _ = make_xgraph(fig1_db)
+        node = next(
+            n
+            for n in xgraph.nodes_for_tree(trees[0].key)
+            if n.relation == "person"
+        )
+        paths = xgraph.strongest_paths_from(node)
+        actor = next(
+            n
+            for n in xgraph.nodes
+            if n.relation == "actor" and n.tree_key is None
+        )
+        movie = next(
+            n
+            for n in xgraph.nodes
+            if n.relation == "movie" and n.tree_key is None
+        )
+        assert paths[actor.node_id] > paths[movie.node_id] > 0.0
+
+    def test_removed_nodes_break_paths(self, fig1_db):
+        xgraph, trees, _ = make_xgraph(fig1_db)
+        source = next(
+            n
+            for n in xgraph.nodes_for_tree(trees[0].key)
+            if n.relation == "person"
+        )
+        # cut every plain bridging relation: only neighbours stay reachable
+        for node in list(xgraph.nodes):
+            if node.tree_key is None and node.relation in (
+                "actor",
+                "director",
+            ):
+                xgraph.remove_node(node)
+        paths = xgraph.strongest_paths_from(source)
+        movie_plain = next(
+            n
+            for n in xgraph.nodes
+            if n.relation == "movie" and n.tree_key is None
+        )
+        assert paths.get(movie_plain.node_id, 0.0) == 0.0
+        xgraph.restore_all()

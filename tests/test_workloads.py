@@ -1,0 +1,153 @@
+"""Tests for the workloads and SF-SQL derivation rules (§7.2, §7.3)."""
+
+import pytest
+
+from repro.sqlkit import ast, parse
+from repro.workloads import (
+    COURSE_QUERIES,
+    SOPHISTICATED_QUERIES,
+    TEXTBOOK_QUERIES,
+    derive_course_sfsql,
+    derive_textbook_sfsql,
+)
+from repro.workloads.efficiency import EFFICIENCY_QUERIES
+
+
+class TestTextbookDerivation:
+    def test_from_clause_removed(self):
+        sf = derive_textbook_sfsql("SELECT title FROM movie WHERE year > 2000")
+        assert "FROM" not in sf.upper()
+
+    def test_columns_merged_with_relation_names(self):
+        sf = derive_textbook_sfsql("SELECT title FROM movie WHERE year > 2000")
+        assert "movie?.title?" in sf
+        assert "movie?.year?" in sf
+
+    def test_join_paths_deleted(self):
+        sf = derive_textbook_sfsql(
+            "SELECT p.name FROM person p, director d "
+            "WHERE p.person_id = d.person_id AND d.movie_id = 10"
+        )
+        assert "person_id = " not in sf
+        assert "movie_id? = 10" in sf
+
+    def test_self_join_keeps_occurrences_distinct_via_vars(self):
+        sf = derive_textbook_sfsql(
+            "SELECT a.name FROM person a, person b "
+            "WHERE a.person_id = b.person_id AND b.name = 'X'"
+        )
+        assert "?a.name?" in sf
+        assert "?b.name?" in sf
+
+    def test_subqueries_derived_recursively(self):
+        sf = derive_textbook_sfsql(
+            "SELECT title FROM movie WHERE movie_id IN "
+            "(SELECT movie_id FROM director)"
+        )
+        assert "director?.movie_id?" in sf
+
+    def test_value_conditions_survive(self):
+        sf = derive_textbook_sfsql(
+            "SELECT title FROM movie WHERE release_year BETWEEN 1995 AND 2005"
+        )
+        assert "BETWEEN 1995 AND 2005" in sf
+
+
+class TestCourseDerivation:
+    GOLD = (
+        "SELECT s.name FROM student s, enrollment e, section sec, course c "
+        "WHERE s.student_id = e.student_id "
+        "AND e.section_id = sec.section_id "
+        "AND sec.course_id = c.course_id AND c.title = 'Databases'"
+    )
+
+    def test_only_end_relations_kept(self):
+        sf = derive_course_sfsql(self.GOLD)
+        assert "student AS s" in sf
+        assert "course AS c" in sf
+        assert "enrollment" not in sf
+        assert "section" not in sf.replace("section_id", "")
+
+    def test_join_conditions_removed(self):
+        sf = derive_course_sfsql(self.GOLD)
+        assert "student_id = " not in sf
+
+    def test_value_conditions_kept_exact(self):
+        sf = derive_course_sfsql(self.GOLD)
+        assert "c.title = 'Databases'" in sf
+
+    def test_condition_on_bridge_makes_it_an_end_relation(self):
+        sf = derive_course_sfsql(
+            self.GOLD.replace(
+                "AND c.title = 'Databases'",
+                "AND c.title = 'Databases' AND e.status = 'enrolled'",
+            )
+        )
+        assert "enrollment AS e" in sf
+
+
+class TestWorkloadShapes:
+    def test_textbook_has_17_queries(self):
+        assert len(TEXTBOOK_QUERIES) == 17
+
+    def test_sophisticated_has_6_queries_5_users(self):
+        assert len(SOPHISTICATED_QUERIES) == 6
+        assert all(len(q.user_variants) == 5 for q in SOPHISTICATED_QUERIES)
+
+    def test_course_buckets_match_figure15(self):
+        buckets = {}
+        for query in COURSE_QUERIES:
+            buckets[query.bucket()] = buckets.get(query.bucket(), 0) + 1
+        assert buckets == {"2-4": 11, "5": 26, "6-10": 11}
+
+    def test_sophisticated_queries_join_5_plus_relations(self):
+        assert all(q.relation_count >= 5 for q in SOPHISTICATED_QUERIES)
+
+    def test_efficiency_sweep_covers_2_to_10(self):
+        sizes = sorted(q.relation_count for q in EFFICIENCY_QUERIES)
+        assert sizes == list(range(2, 11))
+
+    def test_all_gold_queries_parse(self):
+        for query in (
+            TEXTBOOK_QUERIES
+            + SOPHISTICATED_QUERIES
+            + COURSE_QUERIES
+            + EFFICIENCY_QUERIES
+        ):
+            parse(query.gold_sql)
+            if query.sf_sql:
+                parse(query.sf_sql)
+            for variant in query.user_variants:
+                parse(variant)
+
+    def test_qids_unique(self):
+        qids = [
+            q.qid
+            for q in TEXTBOOK_QUERIES + SOPHISTICATED_QUERIES + COURSE_QUERIES
+        ]
+        assert len(qids) == len(set(qids))
+
+
+class TestGoldExecutability:
+    """Every gold query runs and has a non-empty answer on its database."""
+
+    def test_textbook_golds_nonempty(self, fig1_db):
+        from repro.datasets import make_movie_database
+
+        db = make_movie_database()
+        for query in TEXTBOOK_QUERIES:
+            assert len(db.execute(query.gold_sql)) > 0, query.qid
+
+    def test_course_golds_nonempty(self):
+        from repro.datasets import make_course_database
+
+        db = make_course_database()
+        for query in COURSE_QUERIES:
+            assert len(db.execute(query.gold_sql)) > 0, query.qid
+
+    def test_sophisticated_golds_nonempty(self):
+        from repro.datasets import make_movie_database
+
+        db = make_movie_database()
+        for query in SOPHISTICATED_QUERIES:
+            assert len(db.execute(query.gold_sql)) > 0, query.qid
