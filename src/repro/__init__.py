@@ -22,6 +22,8 @@ Public API quick reference::
 from .catalog import Attribute, Catalog, DataType, ForeignKey, Relation, SchemaError
 from .core import (
     DEFAULT_CONFIG,
+    Budget,
+    BudgetExceeded,
     SchemaFreeTranslator,
     Translation,
     TranslationError,
@@ -32,17 +34,22 @@ from .core import (
     views_from_sql,
 )
 from .engine import Database, EngineError, Result
+from .errors import Diagnostic, ReproError
 from .sqlkit import SqlSyntaxError, parse, render
 
 __version__ = "1.0.0"
 
 __all__ = [
     "Attribute",
+    "Budget",
+    "BudgetExceeded",
     "Catalog",
     "DEFAULT_CONFIG",
     "DataType",
     "Database",
+    "Diagnostic",
     "EngineError",
+    "ReproError",
     "ForeignKey",
     "Relation",
     "Result",

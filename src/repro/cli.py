@@ -31,6 +31,7 @@ from .datasets import (
     make_movie_database,
 )
 from .engine import Database, EngineError
+from .errors import ReproError
 from .sqlkit import SqlSyntaxError
 
 DATASETS = {
@@ -39,6 +40,27 @@ DATASETS = {
     "courses-alt": make_course_alt_database,
 }
 
+#: One-shot (``--execute``) exit codes, one per failure class.
+EXIT_OK = 0
+EXIT_SYNTAX = 2
+EXIT_TRANSLATION = 3
+EXIT_ENGINE = 4
+EXIT_INTERNAL = 5
+
+
+def exit_code_for(error: Optional[BaseException]) -> int:
+    """Map a failure to its one-shot exit code (syntax, translation,
+    engine, and internal errors are distinguishable to scripts)."""
+    if error is None:
+        return EXIT_OK
+    if isinstance(error, SqlSyntaxError):
+        return EXIT_SYNTAX
+    if isinstance(error, EngineError):
+        return EXIT_ENGINE
+    if isinstance(error, ReproError):
+        return EXIT_TRANSLATION
+    return EXIT_INTERNAL
+
 class Shell:
     """A small REPL over one database and one translator."""
 
@@ -46,6 +68,25 @@ class Shell:
         self.database = database
         self.translator = SchemaFreeTranslator(database)
         self.top_k = top_k
+        #: the last failure seen by ``_query``/``_why`` (drives one-shot
+        #: exit codes; cleared at the start of every query)
+        self.last_error: Optional[BaseException] = None
+
+    def _report_error(self, exc: ReproError, out, prefix: str = "error") -> None:
+        self.last_error = exc
+        print(f"{prefix}: {exc}", file=out)
+        if exc.diagnostic is not None:
+            for line in exc.diagnostic.render().splitlines():
+                print(f"  | {line}", file=out)
+
+    def _report_internal(self, exc: BaseException, out, where: str) -> None:
+        self.last_error = exc
+        print(
+            f"internal error in {where}: {type(exc).__name__}: {exc}",
+            file=out,
+        )
+        print("  | this is a bug, not a problem with your query;", file=out)
+        print("  | the shell keeps running.", file=out)
 
     # ------------------------------------------------------------------
     def run_command(self, line: str, out=None) -> bool:
@@ -112,10 +153,14 @@ class Shell:
     def _why(self, text: str, out) -> None:
         from .core import describe_translation
 
+        self.last_error = None
         try:
             translations = self.translator.translate(text, top_k=self.top_k)
-        except (TranslationError, SqlSyntaxError) as exc:
-            print(f"error: {exc}", file=out)
+        except ReproError as exc:
+            self._report_error(exc, out)
+            return
+        except Exception as exc:  # keep the REPL alive on translator bugs
+            self._report_internal(exc, out, ".why")
             return
         for rank, translation in enumerate(translations, 1):
             print(f"--- interpretation {rank} ---", file=out)
@@ -146,20 +191,33 @@ class Shell:
     def _query(self, text: str, out, execute: bool) -> None:
         if not text:
             return
+        self.last_error = None
         try:
             translations = self.translator.translate(text, top_k=self.top_k)
-        except (TranslationError, SqlSyntaxError) as exc:
-            print(f"error: {exc}", file=out)
+        except ReproError as exc:
+            self._report_error(exc, out)
+            return
+        except Exception as exc:  # keep the REPL alive on translator bugs
+            self._report_internal(exc, out, "translation")
             return
         for rank, translation in enumerate(translations, 1):
             prefix = f"[{rank}] " if len(translations) > 1 else ""
             print(f"{prefix}w={translation.weight:.4f}  {translation.sql}", file=out)
+            if translation.degradation:
+                print(
+                    f"{' ' * len(prefix)}[degraded: "
+                    f"{'; '.join(translation.degradation)}]",
+                    file=out,
+                )
         if not execute or not translations:
             return
         try:
             result = self.database.execute(translations[0].query)
         except EngineError as exc:
-            print(f"execution error: {exc}", file=out)
+            self._report_error(exc, out, prefix="execution error")
+            return
+        except Exception as exc:  # keep the REPL alive on engine bugs
+            self._report_internal(exc, out, "execution")
             return
         print("  ".join(result.columns), file=out)
         for row in result.rows[:40]:
@@ -206,8 +264,10 @@ def main(argv: Optional[list[str]] = None) -> int:
     shell = Shell(database, top_k=max(1, args.top_k))
 
     if args.execute is not None:
+        # one-shot mode: distinct nonzero exit codes per failure class
+        # (2 syntax, 3 translation, 4 engine, 5 internal)
         shell.run_command(args.execute)
-        return 0
+        return exit_code_for(shell.last_error)
 
     print(
         f"Schema-free SQL shell — dataset {dataset_label!r} "
@@ -219,7 +279,12 @@ def main(argv: Optional[list[str]] = None) -> int:
         except (EOFError, KeyboardInterrupt):
             print()
             return 0
-        if not shell.run_command(line):
+        try:
+            alive = shell.run_command(line)
+        except Exception as exc:  # last-ditch guard: the REPL survives
+            shell._report_internal(exc, sys.stdout, "the shell")
+            continue
+        if not alive:
             return 0
 
 

@@ -1,6 +1,8 @@
 """The paper's contribution: the Schema-free SQL translation pipeline."""
 
-from .composer import ComposedQuery, Composer, TranslationError
+from ..errors import Diagnostic, ReproError
+from .composer import ComposedQuery, Composer, NoJoinNetworkError, TranslationError
+from .resilience import LADDER, Budget, BudgetExceeded
 from .cost import full_sql_cost, gui_cost, sfsql_cost
 from .explain import describe_network, describe_translation
 from .config import DEFAULT_CONFIG, TranslatorConfig
@@ -30,7 +32,13 @@ from .view_graph import (
 
 __all__ = [
     "AttributeTree",
+    "Budget",
+    "BudgetExceeded",
     "ComposedQuery",
+    "Diagnostic",
+    "LADDER",
+    "NoJoinNetworkError",
+    "ReproError",
     "describe_network",
     "describe_translation",
     "full_sql_cost",

@@ -22,6 +22,7 @@ import dataclasses
 from typing import Callable, Optional
 
 from ..catalog import Catalog
+from ..errors import Diagnostic, ReproError
 from ..sqlkit import ast, render
 from .join_network import JoinNetwork
 from .mapper import TreeMappings
@@ -29,8 +30,16 @@ from .relation_tree import RelationTree, TreeKey, attribute_key, relation_key
 from .view_graph import XNode
 
 
-class TranslationError(RuntimeError):
+class TranslationError(ReproError, RuntimeError):
     """Raised when a Schema-free SQL query cannot be translated."""
+
+
+class NoJoinNetworkError(TranslationError):
+    """No join network connects all relation trees of a block.
+
+    Kept distinct from the base error because the degradation ladder can
+    recover from it (greedy path / partial composition) while mapping and
+    composition failures are terminal."""
 
 
 @dataclasses.dataclass
@@ -103,7 +112,13 @@ class Composer:
         for tree in trees:
             if tree.key not in node_by_tree:
                 raise TranslationError(
-                    f"join network does not cover relation tree {tree.label}"
+                    f"join network does not cover relation tree {tree.label}",
+                    diagnostic=Diagnostic(
+                        stage="compose",
+                        message="join network misses a relation tree",
+                        token=tree.label,
+                        candidates=len(network.nodes),
+                    ),
                 )
         bindings = self._assign_bindings(network, trees, node_by_tree)
         rewritten = self._rewrite_names(
@@ -215,7 +230,12 @@ class Composer:
             mapping = mappings[tree.key].candidate_for(xnode.relation)
             if mapping is None:
                 raise TranslationError(
-                    f"no mapping of {tree.label} onto {xnode.relation!r}"
+                    f"no mapping of {tree.label} onto {xnode.relation!r}",
+                    diagnostic=Diagnostic(
+                        stage="compose",
+                        message="mapped relation lost its candidate entry",
+                        token=tree.label,
+                    ),
                 )
             relation = mapping.relation
             attr_term = node.attribute
@@ -226,7 +246,13 @@ class Composer:
             if attr_name is None:
                 raise TranslationError(
                     f"cannot resolve attribute {attr_term.render()!r} "
-                    f"in relation {relation.name!r}"
+                    f"in relation {relation.name!r}",
+                    diagnostic=Diagnostic(
+                        stage="compose",
+                        message="no attribute of the mapped relation matches",
+                        token=attr_term.render(),
+                        candidates=len(relation.attribute_names),
+                    ),
                 )
             return ast.ColumnRef(
                 attribute=ast.exact(attr_name),
@@ -254,7 +280,12 @@ class Composer:
             )
         else:
             raise TranslationError(
-                f"cannot resolve outer reference {node.render()!r}"
+                f"cannot resolve outer reference {node.render()!r}",
+                diagnostic=Diagnostic(
+                    stage="compose",
+                    message="correlated reference has no resolvable attribute",
+                    token=node.render(),
+                ),
             )
         return ast.ColumnRef(
             attribute=ast.exact(attr_name),

@@ -42,10 +42,15 @@ def describe_network(network: JoinNetwork) -> str:
 
 
 def describe_translation(translation: Translation) -> str:
-    """Full explanation: the SQL, its weight, and its join network."""
+    """Full explanation: the SQL, its weight, its join network, and any
+    degradation steps the resilience ladder took to produce it."""
     lines = [f"sql: {translation.sql}", f"weight: {translation.weight:.4f}"]
     if translation.network is not None:
         lines.append(describe_network(translation.network))
     else:
         lines.append("join network: (none — constant or set-operation query)")
+    if translation.degradation:
+        lines.append("degraded translation:")
+        for step in translation.degradation:
+            lines.append(f"  - {step}")
     return "\n".join(lines)

@@ -18,6 +18,7 @@ from ..catalog import Relation
 from ..engine import Database
 from .config import DEFAULT_CONFIG, TranslatorConfig
 from .relation_tree import AttrKey, RelationTree, TreeKey
+from .resilience import Budget
 from .similarity import SimilarityEvaluator
 
 
@@ -66,9 +67,14 @@ class RelationTreeMapper:
         self.config = config
         self.evaluator = evaluator or SimilarityEvaluator(database, config)
 
-    def map_tree(self, tree: RelationTree) -> TreeMappings:
+    def map_tree(
+        self, tree: RelationTree, budget: Optional[Budget] = None
+    ) -> TreeMappings:
         scored: list[RelationMapping] = []
         for relation in self.database.catalog:
+            if budget is not None:
+                # every relation scored against the tree is one candidate
+                budget.charge_candidates(1, stage="map")
             similarity, attribute_map = self.evaluator.tree_similarity(
                 tree, relation
             )
@@ -83,5 +89,7 @@ class RelationTreeMapper:
         kept = [m for m in scored if m.similarity > threshold or m is scored[0]]
         return TreeMappings(tree, kept[: self.config.max_mappings])
 
-    def map_trees(self, trees: list[RelationTree]) -> dict[TreeKey, TreeMappings]:
-        return {tree.key: self.map_tree(tree) for tree in trees}
+    def map_trees(
+        self, trees: list[RelationTree], budget: Optional[Budget] = None
+    ) -> dict[TreeKey, TreeMappings]:
+        return {tree.key: self.map_tree(tree, budget) for tree in trees}

@@ -25,6 +25,7 @@ from typing import Iterable, Optional, Sequence
 from .config import DEFAULT_CONFIG, TranslatorConfig
 from .join_network import JoinNetwork
 from .relation_tree import RelationTree, TreeKey
+from .resilience import Budget
 from .view_graph import ExtendedViewGraph, ViewInstance, XNode
 
 
@@ -52,9 +53,11 @@ class MTJNGenerator:
         self,
         graph: ExtendedViewGraph,
         config: TranslatorConfig = DEFAULT_CONFIG,
+        budget: Optional[Budget] = None,
     ) -> None:
         self.graph = graph
         self.config = config
+        self.budget = budget
         self.stats = GenerationStats()
         self._required: list[TreeKey] = [tree.key for tree in graph.trees]
         self._path_cache: dict[int, dict[int, float]] = {}
@@ -85,6 +88,8 @@ class MTJNGenerator:
         removed: list[XNode] = []
         try:
             for root in roots:
+                if self.budget is not None:
+                    self.budget.check("network")
                 self._expand_root(root, k, top, seen)
                 self.graph.remove_node(root)
                 removed.append(root)
@@ -113,6 +118,8 @@ class MTJNGenerator:
         while queue:
             if self.stats.expanded >= self.config.max_expansions:
                 break
+            if self.budget is not None:
+                self.budget.check("network")
             entry = heapq.heappop(queue)
             network = entry.network
             # re-check: the k-th weight may have risen since this was pushed
@@ -121,6 +128,8 @@ class MTJNGenerator:
                 continue
             for expanded in self._expansions(network):
                 self.stats.expanded += 1
+                if self.budget is not None:
+                    self.budget.charge_expansions(1, stage="network")
                 self._consider(expanded, k, top, seen, queue, counter)
 
     def _expansions(self, network: JoinNetwork) -> Iterable[JoinNetwork]:

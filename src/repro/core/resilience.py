@@ -1,0 +1,179 @@
+"""Cooperative budgets and the degradation ladder for translation.
+
+The MTJN search (§6.1) is worst-case exponential and the extended view
+graph's view-instance enumeration is combinatorial, so a production
+deployment needs every translation to run under an explicit *budget*: a
+wall-clock deadline plus counters on mapping candidates and network
+expansions.  Stages check the budget cooperatively in their hot loops and
+raise :class:`BudgetExceeded` — a :class:`~repro.errors.ReproError` — when
+it runs out, which the translator turns into a rung of the degradation
+ladder (see ``translator.SchemaFreeTranslator._generate_networks``):
+
+    full top-k MTJN search
+      → reduced search (k=1, truncated mapping sets, views pruned)
+        → greedy single join path
+          → best-effort partial translation (no join search at all)
+
+``Budget.clock`` is injectable so tests (and the fault-injection harness
+in ``repro.testing.faults``) can advance time deterministically.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Optional
+
+from ..errors import Diagnostic, ReproError
+
+#: Names of the degradation-ladder rungs, strongest first.
+LADDER = ("full", "reduced", "greedy", "partial")
+
+
+class BudgetExceeded(ReproError):
+    """A translation stage ran out of wall-clock time or search quota."""
+
+
+class Budget:
+    """A cooperative translation budget.
+
+    ``deadline`` is seconds of wall-clock time from construction;
+    ``max_candidates`` bounds mapping/assignment candidates considered and
+    ``max_expansions`` bounds join-network expansions.  ``None`` means
+    unlimited.  Stages call :meth:`check` (time) and
+    :meth:`charge_candidates` / :meth:`charge_expansions` (quota), all of
+    which raise :class:`BudgetExceeded` once the budget is spent.
+    """
+
+    def __init__(
+        self,
+        deadline: Optional[float] = None,
+        max_candidates: Optional[int] = None,
+        max_expansions: Optional[int] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.clock = clock
+        self.deadline = deadline
+        self.max_candidates = max_candidates
+        self.max_expansions = max_expansions
+        self.started_at = clock()
+        self.deadline_at = None if deadline is None else self.started_at + deadline
+        self.candidates = 0
+        self.expansions = 0
+        self.exhausted_reason: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @classmethod
+    def unlimited(cls) -> "Budget":
+        return cls()
+
+    @property
+    def is_exhausted(self) -> bool:
+        return self.exhausted_reason is not None
+
+    def elapsed(self) -> float:
+        return self.clock() - self.started_at
+
+    def remaining_time(self) -> Optional[float]:
+        """Seconds left before the deadline, or None when unlimited."""
+        if self.deadline_at is None:
+            return None
+        return max(0.0, self.deadline_at - self.clock())
+
+    def time_exceeded(self) -> bool:
+        return self.deadline_at is not None and self.clock() >= self.deadline_at
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "elapsed": round(self.elapsed(), 6),
+            "deadline": self.deadline,
+            "candidates": self.candidates,
+            "max_candidates": self.max_candidates,
+            "expansions": self.expansions,
+            "max_expansions": self.max_expansions,
+        }
+
+    # ------------------------------------------------------------------
+    # charging
+    # ------------------------------------------------------------------
+    def check(self, stage: str) -> None:
+        """Raise when the deadline has passed (or the budget was already
+        marked exhausted, e.g. by fault injection)."""
+        if self.exhausted_reason is not None:
+            self._raise(stage, self.exhausted_reason)
+        if self.time_exceeded():
+            self.exhaust(stage, f"deadline of {self.deadline:.3f}s passed")
+
+    def charge_candidates(self, n: int = 1, stage: str = "map") -> None:
+        self.candidates += n
+        if self.max_candidates is not None and self.candidates > self.max_candidates:
+            self.exhaust(
+                stage,
+                f"candidate budget exhausted "
+                f"({self.candidates} > {self.max_candidates})",
+            )
+        self.check(stage)
+
+    def charge_expansions(self, n: int = 1, stage: str = "network") -> None:
+        self.expansions += n
+        if self.max_expansions is not None and self.expansions > self.max_expansions:
+            self.exhaust(
+                stage,
+                f"expansion budget exhausted "
+                f"({self.expansions} > {self.max_expansions})",
+            )
+        self.check(stage)
+
+    def exhaust(self, stage: str, reason: str = "budget exhausted") -> None:
+        """Mark the budget spent and raise.  Sticky: every later
+        :meth:`check` re-raises, so a stage cannot limp past exhaustion."""
+        self.exhausted_reason = reason
+        self._raise(stage, reason)
+
+    def _raise(self, stage: str, reason: str) -> None:
+        raise BudgetExceeded(
+            f"translation budget exceeded in stage {stage!r}: {reason}",
+            diagnostic=Diagnostic(
+                stage=stage,
+                message=reason,
+                candidates=self.candidates,
+                detail=self.snapshot(),
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # sub-budgets (one per degradation rung)
+    # ------------------------------------------------------------------
+    def slice(
+        self, time_fraction: float = 1.0, counter_scale: float = 1.0
+    ) -> "Budget":
+        """A child budget spending a fraction of what remains.
+
+        The child gets ``time_fraction`` of the remaining wall-clock time
+        (never extending past the parent's own deadline) and fresh
+        counters scaled by ``counter_scale``.  The degradation ladder
+        slices the incoming budget so that an exhausted rung always
+        leaves time for the cheaper rungs below it.
+        """
+        remaining = self.remaining_time()
+        deadline = None if remaining is None else remaining * time_fraction
+
+        def scaled(cap: Optional[int]) -> Optional[int]:
+            if cap is None:
+                return None
+            return max(1, int(cap * counter_scale))
+
+        return Budget(
+            deadline=deadline,
+            max_candidates=scaled(self.max_candidates),
+            max_expansions=scaled(self.max_expansions),
+            clock=self.clock,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Budget(deadline={self.deadline}, "
+            f"candidates={self.candidates}/{self.max_candidates}, "
+            f"expansions={self.expansions}/{self.max_expansions})"
+        )

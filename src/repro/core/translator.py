@@ -16,31 +16,52 @@ best-first; ``execute`` evaluates the best one on the database.
 from __future__ import annotations
 
 import dataclasses
+import heapq
 import itertools
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Iterable, Optional, Union
 
 from ..engine import Database, Result
+from ..errors import Diagnostic, ReproError
 from ..sqlkit import ast, parse, render
-from .composer import ComposedQuery, Composer, TranslationError, transform_block_select
+from .composer import (
+    ComposedQuery,
+    Composer,
+    NoJoinNetworkError,
+    TranslationError,
+    transform_block_select,
+)
 from .config import DEFAULT_CONFIG, TranslatorConfig
 from .join_network import JoinNetwork
 from .mapper import RelationTreeMapper, TreeMappings
 from .mtjn import GenerationStats, MTJNGenerator
 from .query_log import QueryLog, views_from_sql
-from .relation_tree import RelationTree, build_relation_trees
+from .relation_tree import RelationTree, TreeKey, build_relation_trees
+from .resilience import Budget, BudgetExceeded
 from .similarity import SimilarityEvaluator
 from .triples import ExtractionResult, JoinFragment, extract
-from .view_graph import ExtendedViewGraph, View, ViewGraph, ViewJoin
+from .view_graph import ExtendedViewGraph, View, ViewGraph, ViewJoin, XNode
 
 
 @dataclass
 class Translation:
-    """One full-SQL interpretation of a schema-free query."""
+    """One full-SQL interpretation of a schema-free query.
+
+    ``degradation`` lists the ladder rungs taken to produce this result
+    (empty for a full-strength translation); ``diagnostic`` carries the
+    structured record of what was skipped, when anything was.
+    """
 
     query: ast.Node  # Select or SetOp, fully exact
     weight: float
     network: Optional[JoinNetwork] = None
+    degradation: tuple[str, ...] = ()
+    diagnostic: Optional[Diagnostic] = None
+
+    @property
+    def is_degraded(self) -> bool:
+        return bool(self.degradation)
 
     @property
     def sql(self) -> str:
@@ -55,6 +76,7 @@ class SchemaFreeTranslator:
         database: Database,
         config: TranslatorConfig = DEFAULT_CONFIG,
         views: Iterable[View] = (),
+        faults=None,  # Optional[repro.testing.faults.FaultInjector]
     ) -> None:
         self.database = database
         self.config = config
@@ -64,7 +86,35 @@ class SchemaFreeTranslator:
         self.mapper = RelationTreeMapper(database, config, self.similarity)
         self.composer = Composer(database.catalog)
         self.query_log = QueryLog(database.catalog)
+        self.faults = faults
         self.last_stats: Optional[GenerationStats] = None
+        self.last_degradation: list[str] = []
+        self.last_diagnostic: Optional[Diagnostic] = None
+
+    # ------------------------------------------------------------------
+    # resilience plumbing
+    # ------------------------------------------------------------------
+    def _fire(self, stage: str, budget: Optional[Budget] = None) -> None:
+        if self.faults is not None:
+            self.faults.fire(stage, budget)
+
+    @contextmanager
+    def _stage_guard(self, stage: str):
+        """Convert unexpected stage failures into typed ReproErrors so a
+        misbehaving stage (or an injected fault) never leaks a foreign
+        exception to callers."""
+        try:
+            yield
+        except ReproError:
+            raise
+        except Exception as exc:  # re-raises as a typed ReproError
+            raise TranslationError(
+                f"stage {stage!r} failed unexpectedly: "
+                f"{type(exc).__name__}: {exc}",
+                diagnostic=Diagnostic(
+                    stage=stage, message=f"{type(exc).__name__}: {exc}"
+                ),
+            ) from exc
 
     # ------------------------------------------------------------------
     # view management
@@ -91,23 +141,83 @@ class SchemaFreeTranslator:
     # translation
     # ------------------------------------------------------------------
     def translate(
-        self, query: Union[str, ast.Node], top_k: Optional[int] = None
+        self,
+        query: Union[str, ast.Node],
+        top_k: Optional[int] = None,
+        budget: Optional[Budget] = None,
+        degrade: Optional[bool] = None,
     ) -> list[Translation]:
-        """Translate to full SQL; returns the top-k interpretations."""
-        if isinstance(query, str):
-            query = parse(query)
-        k = top_k or self.config.top_k
-        return self._translate_query(query, {}, k)
+        """Translate to full SQL; returns the top-k interpretations.
 
-    def translate_best(self, query: Union[str, ast.Node]) -> Translation:
-        translations = self.translate(query, top_k=1)
+        With a :class:`Budget` the hot loops of every stage check it
+        cooperatively; when it runs out and ``degrade`` is enabled
+        (the default whenever a budget is given) the translator walks the
+        degradation ladder — reduced search, greedy join path, partial
+        composition — instead of failing, recording each rung in the
+        returned translations' ``degradation`` / ``diagnostic`` fields.
+        Every failure raises a :class:`~repro.errors.ReproError`.
+        """
+        if degrade is None:
+            degrade = budget is not None
+        self.last_degradation = []
+        self.last_diagnostic = None
+        try:
+            if isinstance(query, str):
+                self._fire("parse", budget)
+                with self._stage_guard("parse"):
+                    query = parse(query)
+            k = top_k or self.config.top_k
+            return self._translate_query(query, {}, k, budget, degrade)
+        except ReproError as exc:
+            if exc.diagnostic is None:
+                exc.diagnostic = Diagnostic(
+                    stage="translate", message=str(exc)
+                )
+            if self.last_degradation and not exc.diagnostic.degradation:
+                exc.diagnostic.degradation = tuple(self.last_degradation)
+            self.last_diagnostic = exc.diagnostic
+            raise
+        except Exception as exc:  # re-raises as a typed ReproError
+            diagnostic = Diagnostic(
+                stage="translate",
+                message=f"unexpected {type(exc).__name__}: {exc}",
+                degradation=tuple(self.last_degradation),
+            )
+            self.last_diagnostic = diagnostic
+            raise TranslationError(
+                f"internal translation failure: {type(exc).__name__}: {exc}",
+                diagnostic=diagnostic,
+            ) from exc
+
+    def translate_best(
+        self,
+        query: Union[str, ast.Node],
+        budget: Optional[Budget] = None,
+        degrade: Optional[bool] = None,
+    ) -> Translation:
+        translations = self.translate(
+            query, top_k=1, budget=budget, degrade=degrade
+        )
         if not translations:
-            raise TranslationError("no translation found")
+            text = query if isinstance(query, str) else render(query)
+            raise TranslationError(
+                f"no translation found for {text!r}: "
+                "the pipeline produced no interpretation",
+                diagnostic=Diagnostic(
+                    stage="translate",
+                    message="empty interpretation list",
+                    token=str(text)[:80],
+                ),
+            )
         return translations[0]
 
-    def execute(self, query: Union[str, ast.Node]) -> Result:
+    def execute(
+        self, query: Union[str, ast.Node], budget: Optional[Budget] = None
+    ) -> Result:
         """Translate the best interpretation and evaluate it."""
-        return self.database.execute(self.translate_best(query).query)
+        return self.database.execute(
+            self.translate_best(query, budget=budget).query
+        )
 
     # ------------------------------------------------------------------
     # internals
@@ -117,30 +227,60 @@ class SchemaFreeTranslator:
         query: ast.Node,
         outer_bindings: dict[str, str],
         k: int,
+        budget: Optional[Budget] = None,
+        degrade: bool = False,
     ) -> list[Translation]:
         if isinstance(query, ast.SetOp):
-            left = self._translate_query(query.left, outer_bindings, 1)
-            right = self._translate_query(query.right, outer_bindings, 1)
+            left = self._translate_query(
+                query.left, outer_bindings, 1, budget, degrade
+            )
+            right = self._translate_query(
+                query.right, outer_bindings, 1, budget, degrade
+            )
             if not left or not right:
-                raise TranslationError("could not translate UNION operand")
+                side = "left" if not left else "right"
+                raise TranslationError(
+                    f"could not translate the {side} operand of "
+                    f"{query.op.upper()}",
+                    diagnostic=Diagnostic(
+                        stage="translate",
+                        message=f"{side} set-operation operand untranslatable",
+                        token=query.op,
+                    ),
+                )
             combined = ast.SetOp(
                 query.op, left[0].query, right[0].query, all=query.all
             )
+            degradation = left[0].degradation + right[0].degradation
             return [
-                Translation(combined, left[0].weight * right[0].weight)
+                Translation(
+                    combined,
+                    left[0].weight * right[0].weight,
+                    degradation=degradation,
+                )
             ]
         if not isinstance(query, ast.Select):
-            raise TranslationError(f"not a query: {type(query).__name__}")
-        return self._translate_block(query, outer_bindings, k)
+            raise TranslationError(
+                f"not a query: {type(query).__name__}",
+                diagnostic=Diagnostic(
+                    stage="parse",
+                    message="top-level node is not SELECT or a set operation",
+                    token=type(query).__name__,
+                ),
+            )
+        return self._translate_block(query, outer_bindings, k, budget, degrade)
 
     def _translate_block(
         self,
         select: ast.Select,
         outer_bindings: dict[str, str],
         k: int,
+        budget: Optional[Budget] = None,
+        degrade: bool = False,
     ) -> list[Translation]:
-        extraction = extract(select)
-        all_trees = build_relation_trees(extraction)
+        with self._stage_guard("parse"):
+            extraction = extract(select)
+            all_trees = build_relation_trees(extraction)
         trees = [
             tree
             for tree in all_trees
@@ -157,52 +297,351 @@ class SchemaFreeTranslator:
             # nested sub-queries still need resolving
             rewritten = self._rewrite_outer_only(select, outer_bindings)
             rewritten = self._translate_subqueries(
-                rewritten, outer_bindings, k
+                rewritten, outer_bindings, k, budget, degrade
             )
             return [Translation(rewritten, 1.0)]
 
-        mappings = self.mapper.map_trees(trees)
+        steps: list[str] = []
+        mappings, xgraph, networks, rung = self._generate_networks(
+            trees, extraction, k, budget, degrade, steps
+        )
+        self.last_degradation.extend(steps)
+        diagnostic = (
+            Diagnostic(
+                stage="translate",
+                message=f"degraded translation (rung: {rung})",
+                degradation=tuple(steps),
+            )
+            if steps
+            else None
+        )
+        self._fire("compose", budget)
+        translations: list[Translation] = []
+        with self._stage_guard("compose"):
+            for network in networks:
+                weight = (
+                    0.0
+                    if rung == "partial"
+                    else network.best_weight(xgraph.view_instances)
+                )
+                composed = self.composer.compose(
+                    select,
+                    trees,
+                    mappings,
+                    network,
+                    extraction.from_bindings,
+                    outer_bindings,
+                    weight=weight,
+                )
+                inner_context = dict(outer_bindings)
+                inner_context.update(composed.bindings)
+                final = self._translate_subqueries(
+                    composed.select, inner_context, 1, budget, degrade
+                )
+                translations.append(
+                    Translation(
+                        final,
+                        weight,
+                        network,
+                        degradation=tuple(steps),
+                        diagnostic=diagnostic,
+                    )
+                )
+        translations.sort(key=lambda t: -t.weight)
+        return translations
+
+    # ------------------------------------------------------------------
+    # the degradation ladder (tentpole of the resilience layer)
+    # ------------------------------------------------------------------
+    def _generate_networks(
+        self,
+        trees: list[RelationTree],
+        extraction: ExtractionResult,
+        k: int,
+        budget: Optional[Budget],
+        degrade: bool,
+        steps: list[str],
+    ) -> tuple[dict[TreeKey, TreeMappings], ExtendedViewGraph, list[JoinNetwork], str]:
+        """Produce join networks, degrading instead of failing.
+
+        Rungs: full top-k search → reduced search (k=1, ≤2 mappings per
+        tree, views pruned) → greedy single join path → best-effort
+        partial composition.  Each abandoned rung appends one step to
+        ``steps``.  Mapping failures (a tree matching nothing) stay fatal
+        on every rung — there is nothing sensible to compose without a
+        relation.
+        """
+        required = [tree.key for tree in trees]
+        mappings: Optional[dict[TreeKey, TreeMappings]] = None
+        self._fire("map", budget)
+
+        # ---- rung 1: full top-k MTJN search --------------------------
+        try:
+            rung_budget = budget.slice(0.55) if budget is not None else None
+            with self._stage_guard("map"):
+                mappings = self.mapper.map_trees(trees, rung_budget)
+            self._check_mappings(trees, mappings)
+            self._fire("network", rung_budget)
+            with self._stage_guard("network"):
+                user_views = self._fragment_views(
+                    extraction.fragments, trees, mappings, extraction
+                )
+                session_graph = ViewGraph(
+                    self.database.catalog, self.view_graph.views + user_views
+                )
+                xgraph = ExtendedViewGraph(
+                    session_graph,
+                    trees,
+                    mappings,
+                    self.similarity,
+                    self.config,
+                    budget=rung_budget,
+                )
+                generator = MTJNGenerator(
+                    xgraph, self.config, budget=rung_budget
+                )
+                networks = generator.generate(k)
+                self.last_stats = generator.stats
+            if networks:
+                return mappings, xgraph, networks, "full"
+            labels = ", ".join(tree.label for tree in trees)
+            raise NoJoinNetworkError(
+                f"no join network connects all relation trees ({labels})",
+                diagnostic=Diagnostic(
+                    stage="network",
+                    message="search exhausted without a total join network",
+                    token=labels,
+                    candidates=sum(
+                        len(mappings[key].candidates) for key in mappings
+                    ),
+                    detail={"expanded": generator.stats.expanded},
+                ),
+            )
+        except BudgetExceeded as exc:
+            if not degrade:
+                raise
+            steps.append(f"full search abandoned: {exc}")
+        except NoJoinNetworkError as exc:
+            if not degrade:
+                raise
+            steps.append(f"full search failed: {exc}")
+
+        # ---- rung 2: reduced search ---------------------------------
+        try:
+            rung_budget = (
+                budget.slice(0.6, counter_scale=0.5)
+                if budget is not None
+                else None
+            )
+            if mappings is None:
+                # mapping was interrupted mid-rung: redo it unbudgeted
+                # (polynomial in schema size, unlike the network search)
+                with self._stage_guard("map"):
+                    mappings = self.mapper.map_trees(trees)
+            self._check_mappings(trees, mappings)
+            reduced = self._truncate_mappings(mappings, 2)
+            with self._stage_guard("network"):
+                xgraph = ExtendedViewGraph(
+                    ViewGraph(self.database.catalog),  # views pruned
+                    trees,
+                    reduced,
+                    self.similarity,
+                    self.config,
+                    budget=rung_budget,
+                )
+                config = dataclasses.replace(
+                    self.config,
+                    max_expansions=min(self.config.max_expansions, 2000),
+                )
+                generator = MTJNGenerator(xgraph, config, budget=rung_budget)
+                networks = generator.generate(1)
+                self.last_stats = generator.stats
+            if networks:
+                steps.append(
+                    "reduced search succeeded "
+                    "(k=1, ≤2 mappings per tree, views pruned)"
+                )
+                return reduced, xgraph, networks, "reduced"
+            steps.append("reduced search found no join network")
+        except BudgetExceeded as exc:
+            steps.append(f"reduced search abandoned: {exc}")
+
+        # ---- rungs 3 & 4: greedy path, then partial composition -----
+        singles = self._truncate_mappings(mappings, 1)
+        with self._stage_guard("network"):
+            xgraph = ExtendedViewGraph(
+                ViewGraph(self.database.catalog),
+                trees,
+                singles,
+                self.similarity,
+                self.config,
+            )
+            if budget is not None and budget.time_exceeded():
+                steps.append("greedy join path skipped: deadline passed")
+            else:
+                network = self._greedy_network(xgraph, required)
+                if network is not None:
+                    steps.append(
+                        "greedy single join path (best mapping per tree)"
+                    )
+                    return singles, xgraph, [network], "greedy"
+                steps.append("greedy join path could not connect all trees")
+            network = self._partial_network(xgraph, trees)
+        steps.append(
+            "partial translation: best mapping per tree, join search skipped"
+        )
+        return singles, xgraph, [network], "partial"
+
+    def _check_mappings(
+        self, trees: list[RelationTree], mappings: dict[TreeKey, TreeMappings]
+    ) -> None:
         for tree in trees:
             if not mappings[tree.key].candidates:
                 raise TranslationError(
-                    f"relation tree {tree.label} "
-                    f"({tree}) matches no relation in the database"
+                    f"relation tree {tree.label} ({tree}) matches no "
+                    "relation in the database",
+                    diagnostic=Diagnostic(
+                        stage="map",
+                        message="no relation exceeds the similarity threshold",
+                        token=tree.label,
+                        candidates=len(self.database.catalog),
+                    ),
                 )
 
-        user_views = self._fragment_views(extraction.fragments, trees, mappings, extraction)
-        session_graph = ViewGraph(
-            self.database.catalog, self.view_graph.views + user_views
+    @staticmethod
+    def _truncate_mappings(
+        mappings: dict[TreeKey, TreeMappings], limit: int
+    ) -> dict[TreeKey, TreeMappings]:
+        return {
+            key: TreeMappings(tm.tree, tm.candidates[:limit])
+            for key, tm in mappings.items()
+        }
+
+    def _greedy_network(
+        self, xgraph: ExtendedViewGraph, required: list[TreeKey]
+    ) -> Optional[JoinNetwork]:
+        """One join network, greedily: start at the first tree's best
+        node and repeatedly splice in the strongest path to each still-
+        uncovered tree.  No backtracking, no top-k — a single pass whose
+        cost is one strongest-path computation per candidate node."""
+        roots = xgraph.nodes_for_tree(required[0])
+        if not roots:
+            return None
+        network = JoinNetwork.single(roots[0])
+        for key in required[1:]:
+            if key in network.tree_keys:
+                continue
+            network = self._splice_tree(xgraph, network, key)
+            if network is None:
+                return None  # tree unreachable: fall through to partial
+        return network if network.is_total(required) else None
+
+    def _splice_tree(
+        self,
+        xgraph: ExtendedViewGraph,
+        network: JoinNetwork,
+        key: TreeKey,
+    ) -> Optional[JoinNetwork]:
+        """Splice the strongest *legal* path from one of *key*'s mapped
+        nodes into the network, then grow the network along it."""
+        best_weight = 0.0
+        best_path: Optional[tuple[int, list]] = None
+        for candidate in xgraph.nodes_for_tree(key):
+            found = self._best_legal_path(xgraph, candidate, network)
+            if found is not None and found[0] > best_weight:
+                best_weight, best_path = found[0], (found[1], found[2])
+        if best_path is None:
+            return None
+        member_id, edges = best_path
+        current = network
+        attach = current.nodes[member_id]
+        for edge in edges:
+            expanded = current.expand_edge(edge, attach, legality=False)
+            if expanded is None:
+                return None  # residual conflict (e.g. duplicate tree key)
+            current = expanded
+            attach = edge.other(attach)
+        return current
+
+    @staticmethod
+    def _best_legal_path(
+        xgraph: ExtendedViewGraph,
+        source: XNode,
+        network: JoinNetwork,
+    ):
+        """Strongest path from *source* to any network member that is
+        legal to splice: Dijkstra over (node, incoming-FK) states so the
+        same occurrence's foreign key is never reused for two targets
+        (Definition 2), and no edge conflicts with the network's own FK
+        usage.  Returns ``(weight, member_id, edges)`` with the edges
+        ordered from the member outward, or None when unreachable."""
+        counter = itertools.count()
+        start = (source.node_id, None)
+        best: dict[tuple, float] = {start: 1.0}
+        parents: dict[tuple, tuple] = {}
+        heap = [(-1.0, next(counter), source, None)]
+        best_member: Optional[tuple] = None
+        best_member_weight = 0.0
+        while heap:
+            negative, _, node, incoming = heapq.heappop(heap)
+            weight = -negative
+            state = (node.node_id, incoming)
+            if weight < best.get(state, 0.0):
+                continue
+            if node.node_id in network.nodes:
+                if weight > best_member_weight:
+                    best_member_weight = weight
+                    best_member = state
+                continue  # members are attach points, not way-stations
+            for edge in xgraph.incident_edges(node):
+                fk_key = JoinNetwork._fk_key(edge)
+                if fk_key == incoming:
+                    continue  # would reuse this occurrence's FK instance
+                if fk_key in network.fk_used:
+                    continue
+                neighbor = edge.other(node)
+                next_state = (neighbor.node_id, fk_key)
+                candidate = weight * edge.weight
+                if candidate > best.get(next_state, 0.0):
+                    best[next_state] = candidate
+                    parents[next_state] = (state, edge)
+                    heapq.heappush(
+                        heap, (-candidate, next(counter), neighbor, fk_key)
+                    )
+        if best_member is None:
+            return None
+        edges = []
+        state = best_member
+        while state in parents:
+            state, edge = parents[state]
+            edges.append(edge)
+        return best_member_weight, best_member[0], edges
+
+    def _partial_network(
+        self, xgraph: ExtendedViewGraph, trees: list[RelationTree]
+    ) -> JoinNetwork:
+        """Best-effort bottom rung: a forest of each tree's best-mapped
+        node with no join edges at all.  Composition places every mapped
+        relation in FROM (a cross join) with all names fully resolved —
+        a syntactically valid, executable translation that preserves the
+        user's conditions even when no join path was found in time."""
+        nodes: dict[int, XNode] = {}
+        for tree in trees:
+            node = xgraph.nodes_for_tree(tree.key)[0]
+            nodes[node.node_id] = node
+        ids = list(nodes)
+        return JoinNetwork(
+            root_id=ids[0],
+            nodes=nodes,
+            parents={node_id: None for node_id in ids},
+            children={node_id: () for node_id in ids},
+            rightmost=frozenset(ids),
+            edges=(),
+            views=(),
+            fk_used=frozenset(),
+            construction_weight=0.0,
+            tree_keys=frozenset(tree.key for tree in trees),
         )
-        xgraph = ExtendedViewGraph(
-            session_graph, trees, mappings, self.similarity, self.config
-        )
-        generator = MTJNGenerator(xgraph, self.config)
-        networks = generator.generate(k)
-        self.last_stats = generator.stats
-        if not networks:
-            raise TranslationError(
-                "no join network connects all relation trees"
-            )
-        translations: list[Translation] = []
-        for network in networks:
-            weight = network.best_weight(xgraph.view_instances)
-            composed = self.composer.compose(
-                select,
-                trees,
-                mappings,
-                network,
-                extraction.from_bindings,
-                outer_bindings,
-                weight=weight,
-            )
-            inner_context = dict(outer_bindings)
-            inner_context.update(composed.bindings)
-            final = self._translate_subqueries(
-                composed.select, inner_context, 1
-            )
-            translations.append(Translation(final, weight, network))
-        translations.sort(key=lambda t: -t.weight)
-        return translations
 
     def _is_outer_tree(
         self,
@@ -243,14 +682,25 @@ class SchemaFreeTranslator:
         select: ast.Select,
         context: dict[str, str],
         k: int,
+        budget: Optional[Budget] = None,
+        degrade: bool = False,
     ) -> ast.Select:
         """Replace each first-level sub-query with its best translation."""
 
         def rewrite(node: ast.Node) -> Optional[ast.Node]:
             if isinstance(node, ast.SUBQUERY_NODES):
-                translated = self._translate_query(node.query, context, 1)
+                translated = self._translate_query(
+                    node.query, context, 1, budget, degrade
+                )
                 if not translated:
-                    raise TranslationError("could not translate sub-query")
+                    raise TranslationError(
+                        f"could not translate sub-query {render(node.query)!r}",
+                        diagnostic=Diagnostic(
+                            stage="translate",
+                            message="nested sub-query untranslatable",
+                            token=render(node.query)[:80],
+                        ),
+                    )
                 return dataclasses.replace(node, query=translated[0].query)
             return None
 

@@ -32,6 +32,7 @@ from ..catalog import Catalog, ForeignKey, normalize
 from .config import DEFAULT_CONFIG, TranslatorConfig
 from .mapper import TreeMappings
 from .relation_tree import RelationTree, TreeKey
+from .resilience import Budget
 from .similarity import SimilarityEvaluator
 
 # ---------------------------------------------------------------------------
@@ -210,12 +211,14 @@ class ExtendedViewGraph:
         mappings: dict[TreeKey, TreeMappings],
         evaluator: SimilarityEvaluator,
         config: TranslatorConfig = DEFAULT_CONFIG,
+        budget: Optional[Budget] = None,
     ) -> None:
         self.view_graph = view_graph
         self.catalog = view_graph.catalog
         self.trees = list(trees)
         self.mappings = mappings
         self.config = config
+        self.budget = budget
         self._evaluator = evaluator
         self.nodes: list[XNode] = []
         self._nodes_by_relation: dict[str, list[XNode]] = {}
@@ -293,6 +296,7 @@ class ExtendedViewGraph:
         return 1.0 - (1.0 - c) * (1.0 - best)
 
     def _build_edges(self) -> None:
+        built = 0
         for fk in self.catalog.foreign_keys:
             source_key = normalize(fk.source_relation)
             target_key = normalize(fk.target_relation)
@@ -300,6 +304,9 @@ class ExtendedViewGraph:
                 for right in self._nodes_by_relation.get(target_key, ()):
                     if left.node_id == right.node_id:
                         continue  # self-referencing FK to the same occurrence
+                    built += 1
+                    if self.budget is not None and built % 64 == 0:
+                        self.budget.check("network")
                     edge = XEdge(
                         left=left,
                         right=right,
@@ -347,6 +354,9 @@ class ExtendedViewGraph:
             options.append(nodes)
         seen_cap = 0
         for combo in itertools.product(*options):
+            if self.budget is not None:
+                # each attempted occurrence assignment is one candidate
+                self.budget.charge_candidates(1, stage="network")
             ids = {node.node_id for node in combo}
             if len(ids) != len(combo):
                 continue
@@ -441,12 +451,18 @@ class ExtendedViewGraph:
     # strongest paths (potential estimation, Algorithm 3)
     # ------------------------------------------------------------------
     def strongest_paths_from(
-        self, source: XNode, with_parents: bool = False
+        self,
+        source: XNode,
+        with_parents: bool = False,
+        banned: Iterable[XEdge] = (),
     ):
         """Max-product path weight from *source* to every node, with view
         edges optimistically up-weighted per the strongest containing view
         (§6.1).  With ``with_parents`` also returns the predecessor map so
-        Algorithm 3 can add the whole path to the partial network."""
+        Algorithm 3 can add the whole path to the partial network.
+        ``banned`` edges are skipped (the greedy degradation rung uses
+        this to route around foreign-key conflicts)."""
+        banned_set = set(banned)
         # optimistic per-edge view discount: the strongest (highest-
         # strength) view containing the edge determines its best exponent
         in_view: dict[frozenset[int], float] = {}
@@ -463,6 +479,8 @@ class ExtendedViewGraph:
             if weight < best.get(node.node_id, 0.0):
                 continue
             for edge in self.incident_edges(node):
+                if banned_set and edge in banned_set:
+                    continue
                 edge_weight = edge.weight
                 exponent = in_view.get(edge.key)
                 if exponent is not None:

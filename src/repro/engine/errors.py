@@ -1,7 +1,9 @@
 """Execution-engine error types."""
 
+from ..errors import ReproError
 
-class EngineError(RuntimeError):
+
+class EngineError(ReproError, RuntimeError):
     """Base class for execution errors."""
 
 

@@ -5,6 +5,8 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
+from ..errors import Diagnostic, ReproError
+
 
 class TokenType(enum.Enum):
     KEYWORD = "keyword"
@@ -56,12 +58,17 @@ class Token:
         return f"{self.type.value}:{self.value!r}@{self.position}"
 
 
-class SqlSyntaxError(SyntaxError):
+class SqlSyntaxError(ReproError, SyntaxError):
     """Raised on malformed SQL / Schema-free SQL input."""
 
     def __init__(self, message: str, sql: str = "", position: int = -1) -> None:
+        plain = message
         if position >= 0 and sql:
             prefix = sql[:position].rsplit("\n", 1)[-1]
             message = f"{message} (at position {position}, after {prefix[-40:]!r})"
-        super().__init__(message)
+        span = (position, position + 1) if position >= 0 else None
+        super().__init__(
+            message,
+            diagnostic=Diagnostic(stage="parse", message=plain, input_span=span),
+        )
         self.position = position

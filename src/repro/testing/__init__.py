@@ -1,0 +1,5 @@
+"""Test-support utilities shipped with the package (fault injection)."""
+
+from .faults import Fault, FaultInjector, InjectedFault
+
+__all__ = ["Fault", "FaultInjector", "InjectedFault"]

@@ -1,0 +1,162 @@
+"""Deterministic fault injection for the translation pipeline.
+
+A :class:`FaultInjector` is handed to ``SchemaFreeTranslator`` (the
+``faults`` parameter); the translator calls :meth:`FaultInjector.fire`
+at the entry of every pipeline stage (``parse``, ``map``, ``network``,
+``compose``).  A registered fault then either
+
+* **delays** — advances the injector's *virtual clock* by a fixed number
+  of seconds.  Budgets built with ``clock=injector.clock`` observe the
+  jump and hit their deadline deterministically, with no real sleeping,
+  so budget-timeout paths are testable in microseconds;
+* **errors** — raises a caller-supplied exception (or a default
+  :class:`InjectedFault`) out of the stage; or
+* **exhausts the budget** — calls ``Budget.exhaust`` on the active
+  budget (or raises :class:`BudgetExceeded` directly when the stage runs
+  unbudgeted).
+
+Faults trigger on the *n*-th visit to their stage (``trigger``, 1-based)
+and by default fire exactly once; ``repeat=True`` keeps firing from the
+trigger-th visit onward, which is how tests starve every rung of the
+degradation ladder at once.  Everything is counter-based — no wall
+clocks, threads or randomness — so injected runs are fully reproducible.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from ..core.resilience import Budget, BudgetExceeded
+from ..errors import Diagnostic, ReproError
+
+#: Stages the translator announces to the injector, in pipeline order.
+STAGES = ("parse", "map", "network", "compose")
+
+
+class InjectedFault(ReproError):
+    """Default exception raised by an ``error`` fault."""
+
+
+@dataclass
+class Fault:
+    """One registered fault.
+
+    ``kind`` is ``"delay"``, ``"error"`` or ``"budget"``; ``trigger`` is
+    the 1-based stage-visit count on which it fires.
+    """
+
+    stage: str
+    kind: str
+    delay: float = 0.0
+    error: Optional[Union[BaseException, type]] = None
+    trigger: int = 1
+    repeat: bool = False
+    fired: int = 0
+
+    def should_fire(self, visit: int) -> bool:
+        if self.repeat:
+            return visit >= self.trigger
+        return visit == self.trigger and self.fired == 0
+
+
+class FaultInjector:
+    """Registry of faults plus the virtual clock they manipulate."""
+
+    def __init__(self) -> None:
+        self._faults: list[Fault] = []
+        self._offset = 0.0
+        self.visits: dict[str, int] = {}
+        self.log: list[tuple[str, str]] = []  # (stage, kind) of fired faults
+
+    # ------------------------------------------------------------------
+    # virtual clock
+    # ------------------------------------------------------------------
+    def clock(self) -> float:
+        """Monotonic clock including injected delays.  Pass as
+        ``Budget(..., clock=injector.clock)`` to make delay faults count
+        against deadlines deterministically."""
+        return time.monotonic() + self._offset
+
+    def advance(self, seconds: float) -> None:
+        """Advance the virtual clock directly (test convenience)."""
+        self._offset += seconds
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def inject(self, fault: Fault) -> Fault:
+        if fault.stage not in STAGES:
+            raise ValueError(
+                f"unknown stage {fault.stage!r}; expected one of {STAGES}"
+            )
+        if fault.kind not in ("delay", "error", "budget"):
+            raise ValueError(f"unknown fault kind {fault.kind!r}")
+        self._faults.append(fault)
+        return fault
+
+    def inject_delay(
+        self, stage: str, seconds: float, trigger: int = 1, repeat: bool = False
+    ) -> Fault:
+        return self.inject(
+            Fault(stage, "delay", delay=seconds, trigger=trigger, repeat=repeat)
+        )
+
+    def inject_error(
+        self,
+        stage: str,
+        error: Optional[Union[BaseException, type]] = None,
+        trigger: int = 1,
+        repeat: bool = False,
+    ) -> Fault:
+        return self.inject(
+            Fault(stage, "error", error=error, trigger=trigger, repeat=repeat)
+        )
+
+    def inject_budget_exhaustion(
+        self, stage: str, trigger: int = 1, repeat: bool = False
+    ) -> Fault:
+        return self.inject(Fault(stage, "budget", trigger=trigger, repeat=repeat))
+
+    def reset(self) -> None:
+        self._faults.clear()
+        self.visits.clear()
+        self.log.clear()
+        self._offset = 0.0
+
+    # ------------------------------------------------------------------
+    # firing
+    # ------------------------------------------------------------------
+    def fire(self, stage: str, budget: Optional[Budget] = None) -> None:
+        """Called by the translator at each stage entry."""
+        visit = self.visits.get(stage, 0) + 1
+        self.visits[stage] = visit
+        for fault in self._faults:
+            if fault.stage != stage or not fault.should_fire(visit):
+                continue
+            fault.fired += 1
+            self.log.append((stage, fault.kind))
+            if fault.kind == "delay":
+                self._offset += fault.delay
+            elif fault.kind == "error":
+                error = fault.error
+                if error is None:
+                    error = InjectedFault(
+                        f"injected fault in stage {stage!r}",
+                        diagnostic=Diagnostic(
+                            stage=stage, message="injected fault"
+                        ),
+                    )
+                elif isinstance(error, type):
+                    error = error(f"injected fault in stage {stage!r}")
+                raise error
+            elif fault.kind == "budget":
+                if budget is not None:
+                    budget.exhaust(stage, "injected budget exhaustion")
+                raise BudgetExceeded(
+                    f"injected budget exhaustion in stage {stage!r}",
+                    diagnostic=Diagnostic(
+                        stage=stage, message="injected budget exhaustion"
+                    ),
+                )
