@@ -1,0 +1,141 @@
+"""Cold-vs-warm translation benchmark for the shared TranslationContext.
+
+Measures the translation hot path on the shipped workloads twice:
+
+* **cold** — one fresh :class:`~repro.core.translator.SchemaFreeTranslator`
+  per query with the process-global string-similarity caches cleared
+  first, simulating a fresh process per query (the pre-context behavior);
+* **warm** — a single translator whose :class:`TranslationContext` was
+  warmed by one full prior pass over the workload, batch-translated via
+  ``translate_many``.
+
+Every warm translation is checked byte-for-byte against its cold
+counterpart — the context memoizes, it must never change outcomes.
+Results (per-workload timings, speedups, and the warm pass's memo
+counters) are written to ``BENCH_translate.json``.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_translate.py
+    PYTHONPATH=src python benchmarks/bench_translate.py \
+        --workloads textbook --output /tmp/bench.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from typing import Callable
+
+from repro import Database, SchemaFreeTranslator
+from repro.core.similarity import clear_string_caches
+from repro.datasets import make_course_database, make_movie_database
+from repro.workloads import (
+    COURSE_QUERIES,
+    SOPHISTICATED_QUERIES,
+    TEXTBOOK_QUERIES,
+    WorkloadQuery,
+)
+
+#: workload name -> (database factory, query list)
+WORKLOADS: dict[str, tuple[Callable[[], Database], list[WorkloadQuery]]] = {
+    "textbook": (make_movie_database, TEXTBOOK_QUERIES),
+    "sophisticated": (make_movie_database, SOPHISTICATED_QUERIES),
+    "courses48": (make_course_database, COURSE_QUERIES),
+}
+
+TOP_K = 3
+
+
+def queries_of(workload: list[WorkloadQuery]) -> list[str]:
+    return [q.sf_sql or q.gold_sql for q in workload]
+
+
+def run_cold(database: Database, queries: list[str]) -> tuple[float, list]:
+    """One fresh translator per query, string caches cleared each time."""
+    results = []
+    elapsed = 0.0
+    for query in queries:
+        clear_string_caches()
+        translator = SchemaFreeTranslator(database)
+        started = time.perf_counter()
+        results.append(translator.translate(query, top_k=TOP_K))
+        elapsed += time.perf_counter() - started
+    return elapsed, results
+
+
+def run_warm(database: Database, queries: list[str]) -> tuple[float, list, dict]:
+    """One shared translator; timed after a full warming pass."""
+    translator = SchemaFreeTranslator(database)
+    translator.translate_many(queries, top_k=TOP_K)  # warm the context
+    started = time.perf_counter()
+    results = translator.translate_many(queries, top_k=TOP_K)
+    elapsed = time.perf_counter() - started
+    stats = translator.last_translation_stats
+    return elapsed, results, stats.as_dict() if stats is not None else {}
+
+
+def check_identical(cold: list, warm: list) -> None:
+    """The context memoizes — it must never change a single byte."""
+    for query_cold, query_warm in zip(cold, warm):
+        cold_sql = [t.sql for t in query_cold]
+        warm_sql = [t.sql for t in query_warm]
+        if cold_sql != warm_sql:
+            raise AssertionError(
+                f"warm translation diverged from cold:\n"
+                f"  cold: {cold_sql}\n  warm: {warm_sql}"
+            )
+
+
+def bench_workload(name: str) -> dict:
+    factory, workload = WORKLOADS[name]
+    database = factory()
+    queries = queries_of(workload)
+    cold_seconds, cold_results = run_cold(database, queries)
+    warm_seconds, warm_results, warm_stats = run_warm(database, queries)
+    check_identical(cold_results, warm_results)
+    speedup = cold_seconds / warm_seconds if warm_seconds > 0 else float("inf")
+    row = {
+        "queries": len(queries),
+        "top_k": TOP_K,
+        "cold_seconds": round(cold_seconds, 4),
+        "warm_seconds": round(warm_seconds, 4),
+        "speedup": round(speedup, 2),
+        "identical": True,
+        "warm_stats": warm_stats,
+    }
+    print(
+        f"{name:>14}: {len(queries):>2} queries  "
+        f"cold {cold_seconds:7.3f}s  warm {warm_seconds:7.3f}s  "
+        f"speedup {speedup:5.2f}x"
+    )
+    return row
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--workloads",
+        nargs="+",
+        choices=sorted(WORKLOADS),
+        default=["textbook", "sophisticated", "courses48"],
+        help="workloads to benchmark (default: all)",
+    )
+    parser.add_argument(
+        "--output",
+        default="BENCH_translate.json",
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+
+    report = {name: bench_workload(name) for name in args.workloads}
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -26,7 +26,9 @@ from .core import (
     BudgetExceeded,
     SchemaFreeTranslator,
     Translation,
+    TranslationContext,
     TranslationError,
+    TranslationStats,
     TranslatorConfig,
     View,
     ViewGraph,
@@ -57,7 +59,9 @@ __all__ = [
     "SchemaFreeTranslator",
     "SqlSyntaxError",
     "Translation",
+    "TranslationContext",
     "TranslationError",
+    "TranslationStats",
     "TranslatorConfig",
     "View",
     "ViewGraph",

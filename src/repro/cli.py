@@ -14,8 +14,13 @@ best translation and its answer.  Dot-commands:
     .why <sf-sql>        explain the join network behind each translation
     .log <sql>           record a full-SQL query into the query log
     .views               list the views currently on the view graph
+    .stats [on|off]      toggle per-query timing/cache statistics
     .help                this text
     .quit                exit
+
+With ``--stats`` (or ``.stats on``) every query prints its translation
+statistics: per-stage wall time, candidates and expansions charged, and
+the shared context's memo hits/misses.
 """
 
 from __future__ import annotations
@@ -64,10 +69,13 @@ def exit_code_for(error: Optional[BaseException]) -> int:
 class Shell:
     """A small REPL over one database and one translator."""
 
-    def __init__(self, database: Database, top_k: int = 1) -> None:
+    def __init__(
+        self, database: Database, top_k: int = 1, show_stats: bool = False
+    ) -> None:
         self.database = database
         self.translator = SchemaFreeTranslator(database)
         self.top_k = top_k
+        self.show_stats = show_stats
         #: the last failure seen by ``_query``/``_why`` (drives one-shot
         #: exit codes; cleared at the start of every query)
         self.last_error: Optional[BaseException] = None
@@ -135,6 +143,16 @@ class Shell:
                 print(f"mined {len(views)} view(s) from the query", file=out)
             except (SqlSyntaxError, EngineError) as exc:
                 print(f"error: {exc}", file=out)
+        elif command == ".stats":
+            if argument in ("on", "off"):
+                self.show_stats = argument == "on"
+            elif argument:
+                print("usage: .stats [on|off]", file=out)
+                return True
+            else:
+                self.show_stats = not self.show_stats
+            state = "on" if self.show_stats else "off"
+            print(f"per-query statistics {state}", file=out)
         elif command == ".views":
             views = self.translator.view_graph.views
             if not views:
@@ -209,6 +227,8 @@ class Shell:
                     f"{'; '.join(translation.degradation)}]",
                     file=out,
                 )
+        if self.show_stats and translations and translations[0].stats:
+            print(translations[0].stats.render(), file=out)
         if not execute or not translations:
             return
         try:
@@ -251,6 +271,12 @@ def main(argv: Optional[list[str]] = None) -> int:
         metavar="SF_SQL",
         help="translate and run one query non-interactively, then exit",
     )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print per-query translation statistics (stage timings, "
+        "search counters, cache hits)",
+    )
     args = parser.parse_args(argv)
 
     if args.load:
@@ -261,7 +287,7 @@ def main(argv: Optional[list[str]] = None) -> int:
     else:
         database = DATASETS[args.dataset]()
         dataset_label = args.dataset
-    shell = Shell(database, top_k=max(1, args.top_k))
+    shell = Shell(database, top_k=max(1, args.top_k), show_stats=args.stats)
 
     if args.execute is not None:
         # one-shot mode: distinct nonzero exit codes per failure class

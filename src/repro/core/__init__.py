@@ -3,6 +3,7 @@
 from ..errors import Diagnostic, ReproError
 from .composer import ComposedQuery, Composer, NoJoinNetworkError, TranslationError
 from .resilience import LADDER, Budget, BudgetExceeded
+from .context import ContextStats, NameIndex, TranslationContext, TranslationStats
 from .cost import full_sql_cost, gui_cost, sfsql_cost
 from .explain import describe_network, describe_translation
 from .config import DEFAULT_CONFIG, TranslatorConfig
@@ -46,6 +47,7 @@ __all__ = [
     "sfsql_cost",
     "Composer",
     "Condition",
+    "ContextStats",
     "DEFAULT_CONFIG",
     "ExpressionTriple",
     "ExtendedViewGraph",
@@ -53,6 +55,7 @@ __all__ = [
     "JoinFragment",
     "JoinNetwork",
     "MTJNGenerator",
+    "NameIndex",
     "QueryLog",
     "RelationMapping",
     "RelationTree",
@@ -60,7 +63,9 @@ __all__ = [
     "SchemaFreeTranslator",
     "SimilarityEvaluator",
     "Translation",
+    "TranslationContext",
     "TranslationError",
+    "TranslationStats",
     "TranslatorConfig",
     "TreeMappings",
     "View",

@@ -29,7 +29,11 @@ class TranslatorConfig:
     #: cap on mapping-set size per relation tree (keeps the extended view
     #: graph tractable on large schemas; the paper's σ rule rarely exceeds it)
     max_mappings: int = 6
-    #: cap on rows sampled per column when checking condition satisfaction
+    #: cap on distinct values sampled per column when checking condition
+    #: satisfaction.  The sample is a deterministic stride across the
+    #: *whole* column (not its first rows), so evidence is unbiased with
+    #: respect to insertion order; raising it trades mapping time for
+    #: sensitivity to rare values
     condition_sample: int = 2000
     #: safety cap on join-network search (paper prunes by potential; this
     #: bounds worst cases on adversarial inputs)

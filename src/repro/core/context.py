@@ -1,0 +1,357 @@
+"""Shared per-database translation state: the hot path's caching layer.
+
+Every stage of the Figure 3 pipeline consumes quantities that depend only
+on the database, not on the query being translated: relation neighbor
+lists (§4.2 damped similarity), per-column distinct-value samples (§4.3
+condition satisfaction), the q-gram/token make-up of every schema name,
+and the FK adjacency the extended view graph is lifted from (§5.1).
+Before this module each translator instance rebuilt all of them privately
+— acceptable for one-shot translation, hopeless for the workload-serving
+deployment the roadmap targets.
+
+:class:`TranslationContext` computes each of these once per database and
+is shared by :class:`~repro.core.similarity.SimilarityEvaluator`,
+:class:`~repro.core.similarity.ConditionChecker`,
+:class:`~repro.core.mapper.RelationTreeMapper` and
+:class:`~repro.core.view_graph.ExtendedViewGraph`.  On top of the
+precomputed state it carries two cross-query memo tables:
+
+* whole-tree similarities ``Sim(rt, R)`` keyed by the tree's canonical
+  fingerprint (:func:`~repro.core.relation_tree.tree_fingerprint`) — a
+  relation tree that recurs across a workload (``movie?`` with the same
+  conditions) is scored once per relation, ever;
+* condition-satisfaction statuses keyed by (rendered probe, column).
+
+Schema-derived state (neighbors, name index, FK adjacency) is immutable
+for the database's lifetime; data-derived state (samples, both memo
+tables) is invalidated when ``Database.data_version`` moves — the
+translator calls :meth:`ensure_current` at the top of every translation.
+
+:class:`ContextStats` counts builds/hits/misses so tests can assert reuse
+semantics and :class:`TranslationStats` can report cache effectiveness.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional, Sequence
+
+from ..catalog import Catalog, ForeignKey, Relation, normalize
+from ..engine import Database
+from .config import DEFAULT_CONFIG, TranslatorConfig
+from .relation_tree import RelationTree, TreeFingerprint
+from .similarity import qgrams, stride_sample
+
+# ---------------------------------------------------------------------------
+# instrumentation
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ContextStats:
+    """Build/hit/miss counters for everything the context owns.
+
+    These are the "counter hooks" reuse tests assert against: translating
+    twice over one context must not grow ``sample_builds`` or
+    ``neighbor_builds`` on the second pass.
+    """
+
+    #: neighbor lists computed (once per relation, at construction)
+    neighbor_builds: int = 0
+    #: distinct columns whose sample was materialised
+    sample_builds: int = 0
+    #: sample lookups answered from the cache
+    sample_hits: int = 0
+    #: whole-tree similarity memo hits / misses
+    tree_sim_hits: int = 0
+    tree_sim_misses: int = 0
+    #: condition-status memo hits / misses
+    condition_hits: int = 0
+    condition_misses: int = 0
+    #: times the data-derived caches were dropped after a Database mutation
+    invalidations: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return dataclasses.asdict(self)
+
+
+@dataclass
+class TranslationStats:
+    """Instrumentation for one ``translate()`` call (or a whole batch).
+
+    ``stages`` maps pipeline stage (parse / map / network / compose) to
+    accumulated wall-clock seconds; ``candidates`` and ``expansions``
+    ride the :class:`~repro.core.resilience.Budget` counters; ``generator``
+    carries the MTJN search counters accumulated across degradation
+    rungs; ``memo`` is the delta of :class:`ContextStats` over the call.
+    """
+
+    stages: dict[str, float] = field(default_factory=dict)
+    candidates: int = 0
+    expansions: int = 0
+    generator: dict[str, int] = field(default_factory=dict)
+    memo: dict[str, int] = field(default_factory=dict)
+    queries: int = 1
+    total_seconds: float = 0.0
+
+    def add_stage(self, stage: str, seconds: float) -> None:
+        self.stages[stage] = self.stages.get(stage, 0.0) + seconds
+
+    def merge(self, other: "TranslationStats") -> None:
+        """Fold another translation's stats in (batch aggregation)."""
+        for stage, seconds in other.stages.items():
+            self.add_stage(stage, seconds)
+        self.candidates += other.candidates
+        self.expansions += other.expansions
+        for key, value in other.generator.items():
+            self.generator[key] = self.generator.get(key, 0) + value
+        for key, value in other.memo.items():
+            self.memo[key] = self.memo.get(key, 0) + value
+        self.queries += other.queries
+        self.total_seconds += other.total_seconds
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "queries": self.queries,
+            "total_seconds": round(self.total_seconds, 6),
+            "stages": {k: round(v, 6) for k, v in self.stages.items()},
+            "candidates": self.candidates,
+            "expansions": self.expansions,
+            "generator": dict(self.generator),
+            "memo": dict(self.memo),
+        }
+
+    def render(self) -> str:
+        """One compact block for the CLI's ``--stats`` output."""
+        stages = "  ".join(
+            f"{name} {seconds * 1000:.1f}ms"
+            for name, seconds in sorted(self.stages.items())
+        )
+        lines = [
+            f"stats: {self.total_seconds * 1000:.1f}ms total"
+            + (f" over {self.queries} queries" if self.queries > 1 else ""),
+            f"  stages: {stages}" if stages else "  stages: (none)",
+            f"  work: {self.candidates} candidates, "
+            f"{self.expansions} expansions"
+            + (
+                f" (generator: {', '.join(f'{k}={v}' for k, v in sorted(self.generator.items()))})"
+                if self.generator
+                else ""
+            ),
+        ]
+        if self.memo:
+            hits = self.memo.get("tree_sim_hits", 0)
+            misses = self.memo.get("tree_sim_misses", 0)
+            lines.append(
+                f"  memo: tree-sim {hits} hits / {misses} misses, "
+                f"samples {self.memo.get('sample_hits', 0)} hits / "
+                f"{self.memo.get('sample_builds', 0)} builds, "
+                f"conditions {self.memo.get('condition_hits', 0)} hits / "
+                f"{self.memo.get('condition_misses', 0)} misses"
+            )
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# schema name index
+# ---------------------------------------------------------------------------
+
+
+class NameIndex:
+    """Token/q-gram inverted index over relation and attribute names.
+
+    Maps each q-gram and underscore-token of every schema identifier to
+    the relations it occurs in.  The mapper uses it to *order* candidate
+    relations by lexical affinity with a tree's name evidence before
+    scoring, so that a budget that exhausts mid-mapping has already
+    scored the likeliest candidates (scoring order never changes the
+    final mapping set — candidates are re-sorted by similarity).
+    Building the index also warms the process-wide q-gram caches for
+    every schema name, so the first query pays no q-gram setup.
+    """
+
+    def __init__(self, catalog: Catalog, q: int) -> None:
+        self.q = q
+        self._grams: dict[str, set[str]] = {}  # gram -> relation keys
+        self._tokens: dict[str, set[str]] = {}  # token -> relation keys
+        for relation in catalog:
+            names = [relation.name] + [
+                attribute.name for attribute in relation.attributes
+            ]
+            for name in names:
+                for gram in qgrams(name, q):
+                    self._grams.setdefault(gram, set()).add(relation.key)
+                for token in name.lower().split("_"):
+                    if token:
+                        self._tokens.setdefault(token, set()).add(relation.key)
+
+    def affinity(self, name: str) -> dict[str, int]:
+        """Relation key -> count of shared q-grams/tokens with *name*."""
+        scores: dict[str, int] = {}
+        for gram in qgrams(name, self.q):
+            for key in self._grams.get(gram, ()):
+                scores[key] = scores.get(key, 0) + 1
+        for token in name.lower().split("_"):
+            for key in self._tokens.get(token, ()):
+                scores[key] = scores.get(key, 0) + 1
+        return scores
+
+    def order(
+        self, names: Iterable[str], relations: Sequence[Relation]
+    ) -> list[Relation]:
+        """*relations* re-ordered by total affinity with *names*, best
+        first; ties break on the relation key so the order is stable."""
+        totals: dict[str, int] = {}
+        for name in names:
+            for key, count in self.affinity(name).items():
+                totals[key] = totals.get(key, 0) + count
+        return sorted(
+            relations,
+            key=lambda relation: (-totals.get(relation.key, 0), relation.key),
+        )
+
+
+# ---------------------------------------------------------------------------
+# the context
+# ---------------------------------------------------------------------------
+
+
+class TranslationContext:
+    """Query-independent translation state for one database.
+
+    Construct once per (database, config) pair and share across
+    translator instances and queries; :class:`SchemaFreeTranslator`
+    creates one automatically when none is passed.  All state is derived,
+    so sharing is always safe: the worst case of a stale context is a
+    rebuild, guarded by :meth:`ensure_current`.
+    """
+
+    def __init__(
+        self, database: Database, config: TranslatorConfig = DEFAULT_CONFIG
+    ) -> None:
+        self.database = database
+        self.config = config
+        self.stats = ContextStats()
+        self._data_version = database.data_version
+        # -- schema-derived (immutable for the database's lifetime) ----
+        self.relations: tuple[Relation, ...] = tuple(database.catalog)
+        self._neighbors: dict[str, tuple[Relation, ...]] = {}
+        for relation in self.relations:
+            self._neighbors[relation.key] = tuple(
+                database.catalog.neighbors(relation.name)
+            )
+            self.stats.neighbor_builds += 1
+        #: (source key, target key, fk, fk.key) per FK-PK pair, with all
+        #: normalization pre-applied for the extended view graph
+        self.fk_edges: tuple[tuple[str, str, ForeignKey, tuple], ...] = tuple(
+            (
+                normalize(fk.source_relation),
+                normalize(fk.target_relation),
+                fk,
+                fk.key,
+            )
+            for fk in database.catalog.foreign_keys
+        )
+        self.name_index = NameIndex(database.catalog, config.qgram)
+        # -- data-derived (invalidated on Database mutation) -----------
+        self._samples: dict[tuple[str, str], list[Any]] = {}
+        self._tree_sim_memo: dict[
+            tuple[TreeFingerprint, str], tuple[float, dict]
+        ] = {}
+        self._condition_memo: dict[tuple, str] = {}
+
+    # ------------------------------------------------------------------
+    # invalidation
+    # ------------------------------------------------------------------
+    def ensure_current(self) -> None:
+        """Drop data-derived caches if the database has been mutated.
+
+        Schema-derived state (neighbors, name index, FK adjacency) never
+        changes — the catalog is fixed at ``Database`` construction — but
+        column samples, condition statuses, and tree similarities (whose
+        condition factor reads the data) all go stale on insert.
+        """
+        if self.database.data_version == self._data_version:
+            return
+        self._samples.clear()
+        self._tree_sim_memo.clear()
+        self._condition_memo.clear()
+        self._data_version = self.database.data_version
+        self.stats.invalidations += 1
+
+    # ------------------------------------------------------------------
+    # schema-derived lookups
+    # ------------------------------------------------------------------
+    def neighbors(self, relation_key: str) -> tuple[Relation, ...]:
+        """FK-adjacent relations of *relation_key* (paper §4.2)."""
+        return self._neighbors[normalize(relation_key)]
+
+    def scoring_order(self, tree: RelationTree) -> list[Relation]:
+        """All relations, ordered by lexical affinity with the tree's
+        name evidence (root name, or attribute names when the root is
+        unspecified).  Order affects only which candidates are scored
+        first under a tight budget, never the resulting mapping set."""
+        names = []
+        if tree.known_name:
+            names.append(tree.known_name)
+        else:
+            names.extend(
+                attribute.known_name
+                for attribute in tree.attribute_trees
+                if attribute.known_name
+            )
+        if not names:
+            return list(self.relations)
+        return self.name_index.order(names, self.relations)
+
+    # ------------------------------------------------------------------
+    # data-derived caches
+    # ------------------------------------------------------------------
+    def column_sample(self, relation: str, attribute: str) -> list[Any]:
+        """Deterministic distinct-value sample of one column, built once
+        and shared by every condition check until the data changes."""
+        key = (normalize(relation), normalize(attribute))
+        cached = self._samples.get(key)
+        if cached is not None:
+            self.stats.sample_hits += 1
+            return cached
+        values = self.database.column_values(relation, attribute)
+        distinct = list(dict.fromkeys(v for v in values if v is not None))
+        sample = stride_sample(distinct, self.config.condition_sample)
+        self._samples[key] = sample
+        self.stats.sample_builds += 1
+        return sample
+
+    def condition_status(self, key: tuple) -> Optional[str]:
+        cached = self._condition_memo.get(key)
+        if cached is not None:
+            self.stats.condition_hits += 1
+        else:
+            self.stats.condition_misses += 1
+        return cached
+
+    def remember_condition(self, key: tuple, status: str) -> None:
+        self._condition_memo[key] = status
+
+    def cached_tree_similarity(
+        self, key: tuple[TreeFingerprint, str]
+    ) -> Optional[tuple[float, dict]]:
+        cached = self._tree_sim_memo.get(key)
+        if cached is not None:
+            self.stats.tree_sim_hits += 1
+        else:
+            self.stats.tree_sim_misses += 1
+        return cached
+
+    def remember_tree_similarity(
+        self, key: tuple[TreeFingerprint, str], value: tuple[float, dict]
+    ) -> None:
+        self._tree_sim_memo[key] = value
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TranslationContext({self.database.catalog.name!r}, "
+            f"{len(self.relations)} relations, "
+            f"{len(self._tree_sim_memo)} memoized tree-sims)"
+        )

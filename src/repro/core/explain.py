@@ -53,4 +53,6 @@ def describe_translation(translation: Translation) -> str:
         lines.append("degraded translation:")
         for step in translation.degradation:
             lines.append(f"  - {step}")
+    if translation.stats is not None:
+        lines.append(translation.stats.render())
     return "\n".join(lines)

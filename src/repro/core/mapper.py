@@ -12,7 +12,7 @@ the paper's stated design intent.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from ..catalog import Relation
 from ..engine import Database
@@ -20,6 +20,9 @@ from .config import DEFAULT_CONFIG, TranslatorConfig
 from .relation_tree import AttrKey, RelationTree, TreeKey
 from .resilience import Budget
 from .similarity import SimilarityEvaluator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .context import TranslationContext
 
 
 @dataclass
@@ -62,16 +65,30 @@ class RelationTreeMapper:
         database: Database,
         config: TranslatorConfig = DEFAULT_CONFIG,
         evaluator: Optional[SimilarityEvaluator] = None,
+        context: Optional["TranslationContext"] = None,
     ) -> None:
         self.database = database
         self.config = config
-        self.evaluator = evaluator or SimilarityEvaluator(database, config)
+        if evaluator is None:
+            evaluator = SimilarityEvaluator(database, config, context)
+        elif context is None:
+            context = evaluator.context
+        self.evaluator = evaluator
+        self.context = context
+
+    def _scoring_order(self, tree: RelationTree):
+        """Candidates best-affinity-first (budget-friendly), or catalog
+        order without a context.  Never affects the mapping set: scored
+        candidates are re-sorted by similarity below."""
+        if self.context is not None:
+            return self.context.scoring_order(tree)
+        return self.database.catalog
 
     def map_tree(
         self, tree: RelationTree, budget: Optional[Budget] = None
     ) -> TreeMappings:
         scored: list[RelationMapping] = []
-        for relation in self.database.catalog:
+        for relation in self._scoring_order(tree):
             if budget is not None:
                 # every relation scored against the tree is one candidate
                 budget.charge_candidates(1, stage="map")
@@ -85,8 +102,17 @@ class RelationTreeMapper:
         scored.sort(key=lambda m: (-m.similarity, m.relation.key))
         if not scored:
             return TreeMappings(tree, [])
-        threshold = self.config.sigma * scored[0].similarity
-        kept = [m for m in scored if m.similarity > threshold or m is scored[0]]
+        best = scored[0].similarity
+        threshold = self.config.sigma * best
+        # Definition 1 uses a strict inequality, which with sigma = 1.0 (or
+        # exact score ties at the top) would drop co-maximal candidates:
+        # nothing is strictly greater than sigma * max when it *is* the
+        # max.  Candidates tied with the maximum always belong to MAP(rt).
+        kept = [
+            m
+            for m in scored
+            if m.similarity > threshold or m.similarity == best
+        ]
         return TreeMappings(tree, kept[: self.config.max_mappings])
 
     def map_trees(

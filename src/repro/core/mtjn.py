@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Iterable, Optional, Sequence
 
 from .config import DEFAULT_CONFIG, TranslatorConfig
@@ -38,6 +38,9 @@ class GenerationStats:
     pruned: int = 0
     emitted: int = 0
 
+    def as_dict(self) -> dict[str, int]:
+        return asdict(self)
+
 
 @dataclass(order=True)
 class _QueueEntry:
@@ -54,11 +57,14 @@ class MTJNGenerator:
         graph: ExtendedViewGraph,
         config: TranslatorConfig = DEFAULT_CONFIG,
         budget: Optional[Budget] = None,
+        stats: Optional[GenerationStats] = None,
     ) -> None:
         self.graph = graph
         self.config = config
         self.budget = budget
-        self.stats = GenerationStats()
+        # an injected accumulator lets the translator total the search
+        # counters across degradation rungs (each rung is one generator)
+        self.stats = stats if stats is not None else GenerationStats()
         self._required: list[TreeKey] = [tree.key for tree in graph.trees]
         self._path_cache: dict[int, dict[int, float]] = {}
         self._path_version = 0

@@ -25,7 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from ..sqlkit import ast
+from ..sqlkit import ast, render
 from .triples import Condition, ExpressionTriple, ExtractionResult
 
 #: Merge keys are small tagged tuples; the tag keeps the namespaces of
@@ -81,6 +81,48 @@ class RelationTree:
         root = self.name.render() if self.name else "*"
         attrs = ", ".join(str(a) for a in self.attributes.values())
         return f"{self.label}:{root}({attrs})"
+
+
+#: Canonical tree identity for cross-query memoization; see
+#: :func:`tree_fingerprint`.
+TreeFingerprint = tuple
+
+
+def tree_fingerprint(tree: RelationTree) -> TreeFingerprint:
+    """Canonical, query-independent identity of a relation tree.
+
+    Two trees with equal fingerprints score identically against every
+    relation: the fingerprint captures exactly what the similarity layer
+    reads — the rendered root name term, and per attribute tree its merge
+    key, rendered name term, and the rendered condition predicates
+    (order-insensitive; the (m+1)/(n+1) factor is a count).  Everything
+    else about a tree (index, alias, originating query) is irrelevant to
+    ``Sim(rt, R)``, so results keyed by fingerprint may be shared across
+    queries.  The fingerprint is cached on the tree after the first call
+    (trees are immutable once :func:`build_relation_trees` returns).
+    """
+    cached = getattr(tree, "_fingerprint", None)
+    if cached is not None:
+        return cached
+    attrs = []
+    for attribute_tree in tree.attribute_trees:
+        conditions = tuple(
+            sorted(
+                (render(c.predicate), render(c.column))
+                for c in attribute_tree.conditions
+            )
+        )
+        attrs.append(
+            (attribute_tree.key, attribute_tree.name.render().lower(), conditions)
+        )
+    fingerprint = (
+        # name matching is case-insensitive, so case variants share a slot
+        # (condition predicates are NOT lowered: literals are case-exact)
+        tree.name.render().lower() if tree.name is not None else None,
+        tuple(sorted(attrs)),
+    )
+    tree._fingerprint = fingerprint
+    return fingerprint
 
 
 def relation_key(

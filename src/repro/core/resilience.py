@@ -50,6 +50,7 @@ class Budget:
         max_candidates: Optional[int] = None,
         max_expansions: Optional[int] = None,
         clock: Callable[[], float] = time.monotonic,
+        parent: Optional["Budget"] = None,
     ) -> None:
         self.clock = clock
         self.deadline = deadline
@@ -60,6 +61,11 @@ class Budget:
         self.candidates = 0
         self.expansions = 0
         self.exhausted_reason: Optional[str] = None
+        #: instrumentation linkage: charges against a sliced child budget
+        #: are *noted* on the parent's counters (without enforcing the
+        #: parent's caps), so the top-level budget totals the work done
+        #: across every degradation rung — TranslationStats reads it
+        self._parent = parent
 
     # ------------------------------------------------------------------
     # introspection
@@ -105,8 +111,17 @@ class Budget:
         if self.time_exceeded():
             self.exhaust(stage, f"deadline of {self.deadline:.3f}s passed")
 
+    def _note(self, candidates: int = 0, expansions: int = 0) -> None:
+        """Count work charged to a child slice (never raises)."""
+        self.candidates += candidates
+        self.expansions += expansions
+        if self._parent is not None:
+            self._parent._note(candidates, expansions)
+
     def charge_candidates(self, n: int = 1, stage: str = "map") -> None:
         self.candidates += n
+        if self._parent is not None:
+            self._parent._note(candidates=n)
         if self.max_candidates is not None and self.candidates > self.max_candidates:
             self.exhaust(
                 stage,
@@ -117,6 +132,8 @@ class Budget:
 
     def charge_expansions(self, n: int = 1, stage: str = "network") -> None:
         self.expansions += n
+        if self._parent is not None:
+            self._parent._note(expansions=n)
         if self.max_expansions is not None and self.expansions > self.max_expansions:
             self.exhaust(
                 stage,
@@ -169,6 +186,7 @@ class Budget:
             max_candidates=scaled(self.max_candidates),
             max_expansions=scaled(self.max_expansions),
             clock=self.clock,
+            parent=self,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -20,15 +20,18 @@ The framework follows the paper exactly:
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import Any, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Optional, Sequence
 
 from ..catalog import Attribute, Relation
 from ..engine import Database, ExecutionError, NameResolutionError
 from ..engine.evaluator import Evaluator, Scope
 from ..sqlkit import ast, render
 from .config import DEFAULT_CONFIG, TranslatorConfig
-from .relation_tree import AttributeTree, RelationTree
+from .relation_tree import AttributeTree, RelationTree, tree_fingerprint
 from .triples import Condition
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .context import TranslationContext
 
 # ---------------------------------------------------------------------------
 # string similarity
@@ -54,7 +57,6 @@ def _qgram_jaccard(a: str, b: str, q: int) -> float:
     return len(grams_a & grams_b) / union
 
 
-@lru_cache(maxsize=65536)
 def string_similarity(
     a: str, b: str, q: int = 3, token_damp: float = 0.85
 ) -> float:
@@ -66,14 +68,26 @@ def string_similarity(
     almost no 3-grams with ``company``), so we additionally compare the
     best pair of underscore-separated tokens, damped by ``token_damp`` so
     a whole-name match still wins.
+
+    The similarity is symmetric and case-insensitive, so the arguments
+    are canonicalised (lower-cased and ordered) before the cache lookup:
+    ``sim(a, b)`` and ``sim(b, a)`` share one cache slot.
     """
+    a, b = a.lower(), b.lower()
+    if a > b:
+        a, b = b, a
+    return _string_similarity(a, b, q, token_damp)
+
+
+@lru_cache(maxsize=65536)
+def _string_similarity(a: str, b: str, q: int, token_damp: float) -> float:
     if not a or not b:
         return 0.0
-    if a.lower() == b.lower():
+    if a == b:
         return 1.0
-    full = _word_similarity(a.lower(), b.lower(), q)
-    tokens_a = [t for t in a.lower().split("_") if t]
-    tokens_b = [t for t in b.lower().split("_") if t]
+    full = _word_similarity(a, b, q)
+    tokens_a = [t for t in a.split("_") if t]
+    tokens_b = [t for t in b.split("_") if t]
     best_token = 0.0
     if len(tokens_a) > 1 or len(tokens_b) > 1:
         best_token = max(
@@ -108,6 +122,35 @@ def _word_similarity(a: str, b: str, q: int) -> float:
     return _qgram_jaccard(sa, sb, q)
 
 
+def clear_string_caches() -> None:
+    """Drop every module-level string-similarity cache.
+
+    The caches are process-global, so a benchmark comparing a cold
+    translator against a warm one must clear them to simulate a fresh
+    process; nothing in the translation pipeline itself needs this.
+    """
+    qgrams.cache_clear()
+    _qgram_jaccard.cache_clear()
+    _word_similarity.cache_clear()
+    _string_similarity.cache_clear()
+
+
+def stride_sample(values: Sequence[Any], limit: int) -> list[Any]:
+    """Deterministic whole-sequence sample of at most ``limit`` values.
+
+    Every value is kept when the sequence fits the limit; otherwise the
+    sample takes values at a fixed stride across the whole sequence, so
+    evidence is drawn evenly from the entire column rather than only its
+    first rows (a condition satisfied only by late-inserted tuples must
+    not be misclassified as unsatisfied).
+    """
+    n = len(values)
+    if limit <= 0 or n <= limit:
+        return list(values)
+    step = n / limit
+    return [values[min(n - 1, int(i * step))] for i in range(limit)]
+
+
 # ---------------------------------------------------------------------------
 # condition satisfaction (the (m+1)/(n+1) factor of §4.3)
 # ---------------------------------------------------------------------------
@@ -122,25 +165,39 @@ _PROBE_REF = ast.ColumnRef(
 class ConditionChecker:
     """Checks whether value conditions are satisfied by database columns.
 
-    Column contents are sampled (``config.condition_sample``) and probe
+    Column contents are sampled (``config.condition_sample``, a
+    deterministic stride across the column's distinct values) and probe
     predicates are evaluated with the subject column bound to each sample
     value; the first satisfying value short-circuits.
+
+    With a :class:`~repro.core.context.TranslationContext` the samples
+    and the status memo live on the context, shared across every checker
+    built for the same database and invalidated when the data changes.
     """
 
-    def __init__(self, database: Database, config: TranslatorConfig) -> None:
+    def __init__(
+        self,
+        database: Database,
+        config: TranslatorConfig,
+        context: Optional["TranslationContext"] = None,
+    ) -> None:
         self._database = database
         self._config = config
+        self._context = context
         self._evaluator = Evaluator()
         self._samples: dict[tuple[str, str], list[Any]] = {}
         self._memo: dict[tuple[str, str, str], str] = {}
 
     def _sample(self, relation: str, attribute: str) -> list[Any]:
+        if self._context is not None:
+            return self._context.column_sample(relation, attribute)
         key = (relation.lower(), attribute.lower())
         if key not in self._samples:
             values = self._database.column_values(relation, attribute)
-            limit = self._config.condition_sample
             distinct = list(dict.fromkeys(v for v in values if v is not None))
-            self._samples[key] = distinct[:limit]
+            self._samples[key] = stride_sample(
+                distinct, self._config.condition_sample
+            )
         return self._samples[key]
 
     def status(
@@ -155,7 +212,10 @@ class ConditionChecker:
         """
         probe = _probe_predicate(condition)
         memo_key = (render(probe), relation.key, attribute.key)
-        cached = self._memo.get(memo_key)
+        if self._context is not None:
+            cached = self._context.condition_status(memo_key)
+        else:
+            cached = self._memo.get(memo_key)
         if cached is not None:
             return cached
         if not _compatible(condition.predicate, attribute.data_type):
@@ -171,7 +231,10 @@ class ConditionChecker:
                 except (ExecutionError, NameResolutionError):
                     result = "incompatible"
                     break
-        self._memo[memo_key] = result
+        if self._context is not None:
+            self._context.remember_condition(memo_key, result)
+        else:
+            self._memo[memo_key] = result
         return result
 
     def satisfied(
@@ -250,16 +313,35 @@ def _probe_predicate(condition: Condition) -> ast.Node:
 
 
 class SimilarityEvaluator:
-    """Computes Sim(rt, R) and records the per-attribute argmax mapping."""
+    """Computes Sim(rt, R) and records the per-attribute argmax mapping.
+
+    With a :class:`~repro.core.context.TranslationContext` the evaluator
+    shares the context's precomputed neighbor lists and column samples,
+    and memoizes whole-tree similarities across queries keyed by the
+    tree's canonical fingerprint (two structurally identical relation
+    trees score identically against every relation).
+    """
 
     def __init__(
         self,
         database: Database,
         config: TranslatorConfig = DEFAULT_CONFIG,
+        context: Optional["TranslationContext"] = None,
     ) -> None:
+        if context is not None:
+            if context.database is not database:
+                raise ValueError(
+                    "TranslationContext was built for a different database"
+                )
+            if context.config != config:
+                raise ValueError(
+                    "TranslationContext was built for a different "
+                    "TranslatorConfig"
+                )
         self.database = database
         self.config = config
-        self.checker = ConditionChecker(database, config)
+        self.context = context
+        self.checker = ConditionChecker(database, config, context)
         self._neighbors: dict[str, list[Relation]] = {}
 
     # -- string helpers --------------------------------------------------
@@ -272,7 +354,9 @@ class SimilarityEvaluator:
         """Sim'(a, b) = kref * Sim(a, b)."""
         return self.config.kref * self.sim(a, b)
 
-    def _neighbors_of(self, relation: Relation) -> list[Relation]:
+    def _neighbors_of(self, relation: Relation) -> Sequence[Relation]:
+        if self.context is not None:
+            return self.context.neighbors(relation.key)
         cached = self._neighbors.get(relation.key)
         if cached is None:
             cached = self.database.catalog.neighbors(relation.name)
@@ -365,7 +449,27 @@ class SimilarityEvaluator:
     def tree_similarity(
         self, tree: RelationTree, relation: Relation
     ) -> tuple[float, dict]:
-        """Sim(rt, R) plus the attribute-tree -> attribute-name mapping."""
+        """Sim(rt, R) plus the attribute-tree -> attribute-name mapping.
+
+        Memoized across queries on the shared context (when one is
+        attached), keyed by the tree's canonical fingerprint: trees from
+        different queries with the same root name, attribute names and
+        condition predicates share one computation.
+        """
+        if self.context is None:
+            return self._tree_similarity(tree, relation)
+        key = (tree_fingerprint(tree), relation.key)
+        cached = self.context.cached_tree_similarity(key)
+        if cached is not None:
+            score, attribute_map = cached
+            return score, dict(attribute_map)
+        score, attribute_map = self._tree_similarity(tree, relation)
+        self.context.remember_tree_similarity(key, (score, dict(attribute_map)))
+        return score, attribute_map
+
+    def _tree_similarity(
+        self, tree: RelationTree, relation: Relation
+    ) -> tuple[float, dict]:
         score = self.root_similarity(tree, relation)
         attribute_map: dict = {}
         for attribute_tree in tree.attribute_trees:

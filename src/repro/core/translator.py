@@ -18,9 +18,10 @@ from __future__ import annotations
 import dataclasses
 import heapq
 import itertools
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Iterable, Optional, Union
+from typing import Iterable, Optional, Sequence, Union
 
 from ..engine import Database, Result
 from ..errors import Diagnostic, ReproError
@@ -33,6 +34,7 @@ from .composer import (
     transform_block_select,
 )
 from .config import DEFAULT_CONFIG, TranslatorConfig
+from .context import TranslationContext, TranslationStats
 from .join_network import JoinNetwork
 from .mapper import RelationTreeMapper, TreeMappings
 from .mtjn import GenerationStats, MTJNGenerator
@@ -58,6 +60,9 @@ class Translation:
     network: Optional[JoinNetwork] = None
     degradation: tuple[str, ...] = ()
     diagnostic: Optional[Diagnostic] = None
+    #: per-stage wall time and search counters for the translate() call
+    #: that produced this interpretation (shared by its siblings)
+    stats: Optional[TranslationStats] = None
 
     @property
     def is_degraded(self) -> bool:
@@ -77,12 +82,24 @@ class SchemaFreeTranslator:
         config: TranslatorConfig = DEFAULT_CONFIG,
         views: Iterable[View] = (),
         faults=None,  # Optional[repro.testing.faults.FaultInjector]
+        context: Optional[TranslationContext] = None,
     ) -> None:
         self.database = database
         self.config = config
+        if context is None:
+            context = TranslationContext(database, config)
+        elif context.database is not database:
+            raise ValueError(
+                "TranslationContext was built for a different database"
+            )
+        elif context.config != config:
+            raise ValueError(
+                "TranslationContext was built for a different TranslatorConfig"
+            )
+        self.context = context
         self._static_views: list[View] = list(views)
         self.view_graph = ViewGraph(database.catalog, self._static_views)
-        self.similarity = SimilarityEvaluator(database, config)
+        self.similarity = SimilarityEvaluator(database, config, context)
         self.mapper = RelationTreeMapper(database, config, self.similarity)
         self.composer = Composer(database.catalog)
         self.query_log = QueryLog(database.catalog)
@@ -90,6 +107,8 @@ class SchemaFreeTranslator:
         self.last_stats: Optional[GenerationStats] = None
         self.last_degradation: list[str] = []
         self.last_diagnostic: Optional[Diagnostic] = None
+        self.last_translation_stats: Optional[TranslationStats] = None
+        self._active_stats: Optional[TranslationStats] = None
 
     # ------------------------------------------------------------------
     # resilience plumbing
@@ -97,6 +116,19 @@ class SchemaFreeTranslator:
     def _fire(self, stage: str, budget: Optional[Budget] = None) -> None:
         if self.faults is not None:
             self.faults.fire(stage, budget)
+
+    @contextmanager
+    def _timed(self, stage: str):
+        """Accumulate wall-clock time into the active TranslationStats."""
+        stats = self._active_stats
+        if stats is None:
+            yield
+            return
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            stats.add_stage(stage, time.perf_counter() - started)
 
     @contextmanager
     def _stage_guard(self, stage: str):
@@ -156,18 +188,42 @@ class SchemaFreeTranslator:
         composition — instead of failing, recording each rung in the
         returned translations' ``degradation`` / ``diagnostic`` fields.
         Every failure raises a :class:`~repro.errors.ReproError`.
+
+        Every call is instrumented: the returned translations carry a
+        shared :class:`TranslationStats` (per-stage wall time, candidate
+        and expansion counters, memo effectiveness), also available as
+        ``last_translation_stats`` — including after a failure.
         """
         if degrade is None:
             degrade = budget is not None
+        self.context.ensure_current()
+        stats = TranslationStats()
+        meter = budget
+        if meter is None and self.faults is None:
+            # an unlimited metering budget: it never raises, but its
+            # counters record the mapping/search work for the stats.
+            # Left off under fault injection, where an injected "budget"
+            # fault must keep ignoring budget-less translations.
+            meter = Budget.unlimited()
+        base = (
+            (meter.candidates, meter.expansions) if meter is not None else (0, 0)
+        )
+        memo_base = self.context.stats.as_dict()
+        previous_stats = self._active_stats
+        self._active_stats = stats
+        started = time.perf_counter()
         self.last_degradation = []
         self.last_diagnostic = None
         try:
             if isinstance(query, str):
-                self._fire("parse", budget)
-                with self._stage_guard("parse"):
+                self._fire("parse", meter)
+                with self._stage_guard("parse"), self._timed("parse"):
                     query = parse(query)
             k = top_k or self.config.top_k
-            return self._translate_query(query, {}, k, budget, degrade)
+            translations = self._translate_query(query, {}, k, meter, degrade)
+            for translation in translations:
+                translation.stats = stats
+            return translations
         except ReproError as exc:
             if exc.diagnostic is None:
                 exc.diagnostic = Diagnostic(
@@ -188,6 +244,48 @@ class SchemaFreeTranslator:
                 f"internal translation failure: {type(exc).__name__}: {exc}",
                 diagnostic=diagnostic,
             ) from exc
+        finally:
+            stats.total_seconds = time.perf_counter() - started
+            if meter is not None:
+                stats.candidates = meter.candidates - base[0]
+                stats.expansions = meter.expansions - base[1]
+            memo_now = self.context.stats.as_dict()
+            stats.memo = {
+                key: memo_now[key] - memo_base.get(key, 0) for key in memo_now
+            }
+            self.last_translation_stats = stats
+            self._active_stats = previous_stats
+
+    def translate_many(
+        self,
+        queries: Sequence[Union[str, ast.Node]],
+        top_k: Optional[int] = None,
+        budget: Optional[Budget] = None,
+        degrade: Optional[bool] = None,
+    ) -> list[list[Translation]]:
+        """Translate a whole workload over one shared context and budget.
+
+        Returns one top-k translation list per query, in order; each
+        result is exactly what :meth:`translate` returns for that query
+        (the shared context memoizes, it never changes outcomes).  A
+        single :class:`Budget` covers the *entire* batch: its deadline
+        and counters span all queries, so with ``degrade`` enabled (the
+        default when a budget is given) later queries degrade rather
+        than fail once the budget runs dry.  Errors propagate — wrap
+        individual calls when partial batch results are wanted.
+        """
+        results = []
+        batch = TranslationStats(queries=0, total_seconds=0.0)
+        for query in queries:
+            results.append(
+                self.translate(
+                    query, top_k=top_k, budget=budget, degrade=degrade
+                )
+            )
+            if self.last_translation_stats is not None:
+                batch.merge(self.last_translation_stats)
+        self.last_translation_stats = batch
+        return results
 
     def translate_best(
         self,
@@ -278,7 +376,7 @@ class SchemaFreeTranslator:
         budget: Optional[Budget] = None,
         degrade: bool = False,
     ) -> list[Translation]:
-        with self._stage_guard("parse"):
+        with self._stage_guard("parse"), self._timed("parse"):
             extraction = extract(select)
             all_trees = build_relation_trees(extraction)
         trees = [
@@ -302,9 +400,15 @@ class SchemaFreeTranslator:
             return [Translation(rewritten, 1.0)]
 
         steps: list[str] = []
+        gen_stats = GenerationStats()
         mappings, xgraph, networks, rung = self._generate_networks(
-            trees, extraction, k, budget, degrade, steps
+            trees, extraction, k, budget, degrade, steps, gen_stats
         )
+        if self._active_stats is not None:
+            for key, value in gen_stats.as_dict().items():
+                self._active_stats.generator[key] = (
+                    self._active_stats.generator.get(key, 0) + value
+                )
         self.last_degradation.extend(steps)
         diagnostic = (
             Diagnostic(
@@ -324,15 +428,16 @@ class SchemaFreeTranslator:
                     if rung == "partial"
                     else network.best_weight(xgraph.view_instances)
                 )
-                composed = self.composer.compose(
-                    select,
-                    trees,
-                    mappings,
-                    network,
-                    extraction.from_bindings,
-                    outer_bindings,
-                    weight=weight,
-                )
+                with self._timed("compose"):
+                    composed = self.composer.compose(
+                        select,
+                        trees,
+                        mappings,
+                        network,
+                        extraction.from_bindings,
+                        outer_bindings,
+                        weight=weight,
+                    )
                 inner_context = dict(outer_bindings)
                 inner_context.update(composed.bindings)
                 final = self._translate_subqueries(
@@ -361,6 +466,7 @@ class SchemaFreeTranslator:
         budget: Optional[Budget],
         degrade: bool,
         steps: list[str],
+        gen_stats: Optional[GenerationStats] = None,
     ) -> tuple[dict[TreeKey, TreeMappings], ExtendedViewGraph, list[JoinNetwork], str]:
         """Produce join networks, degrading instead of failing.
 
@@ -378,11 +484,11 @@ class SchemaFreeTranslator:
         # ---- rung 1: full top-k MTJN search --------------------------
         try:
             rung_budget = budget.slice(0.55) if budget is not None else None
-            with self._stage_guard("map"):
+            with self._stage_guard("map"), self._timed("map"):
                 mappings = self.mapper.map_trees(trees, rung_budget)
             self._check_mappings(trees, mappings)
             self._fire("network", rung_budget)
-            with self._stage_guard("network"):
+            with self._stage_guard("network"), self._timed("network"):
                 user_views = self._fragment_views(
                     extraction.fragments, trees, mappings, extraction
                 )
@@ -396,9 +502,10 @@ class SchemaFreeTranslator:
                     self.similarity,
                     self.config,
                     budget=rung_budget,
+                    context=self.context,
                 )
                 generator = MTJNGenerator(
-                    xgraph, self.config, budget=rung_budget
+                    xgraph, self.config, budget=rung_budget, stats=gen_stats
                 )
                 networks = generator.generate(k)
                 self.last_stats = generator.stats
@@ -436,11 +543,11 @@ class SchemaFreeTranslator:
             if mappings is None:
                 # mapping was interrupted mid-rung: redo it unbudgeted
                 # (polynomial in schema size, unlike the network search)
-                with self._stage_guard("map"):
+                with self._stage_guard("map"), self._timed("map"):
                     mappings = self.mapper.map_trees(trees)
             self._check_mappings(trees, mappings)
             reduced = self._truncate_mappings(mappings, 2)
-            with self._stage_guard("network"):
+            with self._stage_guard("network"), self._timed("network"):
                 xgraph = ExtendedViewGraph(
                     ViewGraph(self.database.catalog),  # views pruned
                     trees,
@@ -448,12 +555,15 @@ class SchemaFreeTranslator:
                     self.similarity,
                     self.config,
                     budget=rung_budget,
+                    context=self.context,
                 )
                 config = dataclasses.replace(
                     self.config,
                     max_expansions=min(self.config.max_expansions, 2000),
                 )
-                generator = MTJNGenerator(xgraph, config, budget=rung_budget)
+                generator = MTJNGenerator(
+                    xgraph, config, budget=rung_budget, stats=gen_stats
+                )
                 networks = generator.generate(1)
                 self.last_stats = generator.stats
             if networks:
@@ -468,13 +578,14 @@ class SchemaFreeTranslator:
 
         # ---- rungs 3 & 4: greedy path, then partial composition -----
         singles = self._truncate_mappings(mappings, 1)
-        with self._stage_guard("network"):
+        with self._stage_guard("network"), self._timed("network"):
             xgraph = ExtendedViewGraph(
                 ViewGraph(self.database.catalog),
                 trees,
                 singles,
                 self.similarity,
                 self.config,
+                context=self.context,
             )
             if budget is not None and budget.time_exceeded():
                 steps.append("greedy join path skipped: deadline passed")

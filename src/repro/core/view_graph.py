@@ -26,7 +26,7 @@ import heapq
 import itertools
 import math
 from dataclasses import dataclass, field
-from typing import Iterable, Optional, Sequence
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence
 
 from ..catalog import Catalog, ForeignKey, normalize
 from .config import DEFAULT_CONFIG, TranslatorConfig
@@ -34,6 +34,9 @@ from .mapper import TreeMappings
 from .relation_tree import RelationTree, TreeKey
 from .resilience import Budget
 from .similarity import SimilarityEvaluator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .context import TranslationContext
 
 # ---------------------------------------------------------------------------
 # views
@@ -212,6 +215,7 @@ class ExtendedViewGraph:
         evaluator: SimilarityEvaluator,
         config: TranslatorConfig = DEFAULT_CONFIG,
         budget: Optional[Budget] = None,
+        context: Optional["TranslationContext"] = None,
     ) -> None:
         self.view_graph = view_graph
         self.catalog = view_graph.catalog
@@ -219,6 +223,7 @@ class ExtendedViewGraph:
         self.mappings = mappings
         self.config = config
         self.budget = budget
+        self.context = context if context is not None else evaluator.context
         self._evaluator = evaluator
         self.nodes: list[XNode] = []
         self._nodes_by_relation: dict[str, list[XNode]] = {}
@@ -295,11 +300,27 @@ class ExtendedViewGraph:
             )
         return 1.0 - (1.0 - c) * (1.0 - best)
 
+    def _fk_edges(self) -> Iterable[tuple[str, str, ForeignKey, tuple]]:
+        """(source key, target key, fk, fk.key) per FK-PK pair; the
+        shared context pre-normalizes these once per database."""
+        if (
+            self.context is not None
+            and self.context.database.catalog is self.catalog
+        ):
+            return self.context.fk_edges
+        return (
+            (
+                normalize(fk.source_relation),
+                normalize(fk.target_relation),
+                fk,
+                fk.key,
+            )
+            for fk in self.catalog.foreign_keys
+        )
+
     def _build_edges(self) -> None:
         built = 0
-        for fk in self.catalog.foreign_keys:
-            source_key = normalize(fk.source_relation)
-            target_key = normalize(fk.target_relation)
+        for source_key, target_key, fk, fk_key in self._fk_edges():
             for left in self._nodes_by_relation.get(source_key, ()):
                 for right in self._nodes_by_relation.get(target_key, ()):
                     if left.node_id == right.node_id:
@@ -313,7 +334,7 @@ class ExtendedViewGraph:
                         left_attribute=fk.source_attribute,
                         right_attribute=fk.target_attribute,
                         weight=self.edge_weight(left, right),
-                        fk_id=fk.key,
+                        fk_id=fk_key,
                     )
                     self.edges.append(edge)
                     self._adjacency.setdefault(left.node_id, []).append(edge)

@@ -39,6 +39,19 @@ class Database:
             for fk in catalog.foreign_keys
         }
         self._executor = Executor(self)
+        self._data_version = 0
+
+    @property
+    def data_version(self) -> int:
+        """Monotone counter bumped on every mutation.
+
+        Consumers that derive state from table contents (notably
+        :class:`repro.core.context.TranslationContext`, which caches
+        column samples and condition-satisfaction results) compare this
+        against the version they were built at and invalidate when it
+        moved.
+        """
+        return self._data_version
 
     # ------------------------------------------------------------------
     # data loading
@@ -60,6 +73,7 @@ class Database:
                 value = row[target_attr]
                 if value is not None:
                     values.add(value)
+        self._data_version += 1
         return row
 
     def insert_many(

@@ -1,0 +1,164 @@
+"""Tests for the shared TranslationContext: reuse semantics, cross-query
+memoization, invalidation, and the batched translate_many API."""
+
+import pytest
+
+from repro import (
+    Catalog,
+    Database,
+    DataType,
+    SchemaFreeTranslator,
+    TranslationContext,
+    TranslatorConfig,
+)
+from repro.datasets import make_course_database
+from repro.workloads import COURSE_QUERIES
+
+
+@pytest.fixture(scope="module")
+def course_db():
+    return make_course_database()
+
+
+def make_tiny_db():
+    catalog = Catalog("tiny")
+    catalog.create_relation(
+        "person",
+        [("person_id", DataType.INTEGER), ("name", DataType.TEXT)],
+        primary_key=["person_id"],
+    )
+    db = Database(catalog)
+    db.insert("person", [1, "Ada"])
+    db.insert("person", [2, "Grace"])
+    return db
+
+
+class TestContextReuse:
+    def test_neighbors_built_once_at_construction(self, fig1_db):
+        translator = SchemaFreeTranslator(fig1_db)
+        context = translator.context
+        assert context.stats.neighbor_builds == len(fig1_db.catalog)
+        translator.translate("SELECT actor?.name?")
+        translator.translate("SELECT movie?.title?")
+        assert context.stats.neighbor_builds == len(fig1_db.catalog)
+
+    def test_samples_shared_across_queries(self, fig1_db):
+        translator = SchemaFreeTranslator(fig1_db)
+        context = translator.context
+        translator.translate("SELECT name? WHERE gender? = 'male'")
+        builds = context.stats.sample_builds
+        assert builds > 0
+        translator.translate("SELECT name? WHERE gender? = 'female'")
+        # same columns probed again: no sample is materialised twice
+        assert context.stats.sample_builds == builds
+        assert context.stats.sample_hits > 0
+
+    def test_tree_similarity_memoized_across_queries(self, fig1_db):
+        translator = SchemaFreeTranslator(fig1_db)
+        context = translator.context
+        translator.translate("SELECT actor?.name? WHERE actor?.gender? = 'male'")
+        misses = context.stats.tree_sim_misses
+        hits = context.stats.tree_sim_hits
+        translator.translate("SELECT actor?.name? WHERE actor?.gender? = 'male'")
+        # a structurally identical query is a pure memo hit
+        assert context.stats.tree_sim_misses == misses
+        assert context.stats.tree_sim_hits > hits
+
+    def test_context_shared_across_translators(self, fig1_db):
+        context = TranslationContext(fig1_db)
+        first = SchemaFreeTranslator(fig1_db, context=context)
+        second = SchemaFreeTranslator(fig1_db, context=context)
+        assert first.context is second.context
+        first.translate("SELECT actor?.name?")
+        misses = context.stats.tree_sim_misses
+        second.translate("SELECT actor?.name?")
+        assert context.stats.tree_sim_misses == misses
+
+    def test_memo_hits_reported_in_translation_stats(self, fig1_db):
+        translator = SchemaFreeTranslator(fig1_db)
+        translator.translate("SELECT actor?.name?")
+        second = translator.translate("SELECT actor?.name?")
+        stats = second[0].stats
+        assert stats is not None
+        assert stats.memo.get("tree_sim_hits", 0) > 0
+        assert stats.memo.get("tree_sim_misses", 0) == 0
+
+    def test_stage_times_recorded(self, fig1_db):
+        translator = SchemaFreeTranslator(fig1_db)
+        translations = translator.translate(
+            "SELECT count(actor?.name?) WHERE director_name? = 'James Cameron'"
+        )
+        stats = translations[0].stats
+        assert {"parse", "map", "network", "compose"} <= set(stats.stages)
+        assert stats.total_seconds > 0
+        assert stats.candidates > 0
+        assert translator.last_translation_stats is stats
+
+    def test_insert_invalidates_data_derived_caches(self):
+        db = make_tiny_db()
+        translator = SchemaFreeTranslator(db)
+        context = translator.context
+        sql = "SELECT name? WHERE name? = 'Alan'"
+        translator.translate(sql)
+        assert context.stats.invalidations == 0
+        assert "Alan" not in context.column_sample("person", "name")
+        db.insert("person", [3, "Alan"])
+        translator.translate(sql)
+        assert context.stats.invalidations == 1
+        # the sample was rebuilt and the new tuple is visible to it
+        assert "Alan" in context.column_sample("person", "name")
+
+    def test_wrong_database_rejected(self, fig1_db):
+        other = make_tiny_db()
+        context = TranslationContext(other)
+        with pytest.raises(ValueError):
+            SchemaFreeTranslator(fig1_db, context=context)
+
+    def test_wrong_config_rejected(self, fig1_db):
+        context = TranslationContext(fig1_db, TranslatorConfig(sigma=0.9))
+        with pytest.raises(ValueError):
+            SchemaFreeTranslator(fig1_db, context=context)
+
+    def test_scoring_order_is_a_permutation(self, fig1_db):
+        from repro.core.relation_tree import build_relation_trees
+        from repro.core.triples import extract
+        from repro.sqlkit import parse
+
+        context = TranslationContext(fig1_db)
+        tree = build_relation_trees(extract(parse("SELECT movie?.title?")))[0]
+        ordered = context.scoring_order(tree)
+        assert sorted(r.key for r in ordered) == sorted(
+            r.key for r in fig1_db.catalog
+        )
+        assert ordered[0].name == "Movie"
+
+
+class TestTranslateMany:
+    def test_matches_per_query_translate_on_courses48(self, course_db):
+        queries = [
+            q.sf_sql or q.gold_sql
+            for q in COURSE_QUERIES
+            if q.bucket() in ("2-4", "5")
+        ][:14]
+        batch = SchemaFreeTranslator(course_db).translate_many(
+            queries, top_k=3
+        )
+        for sql, batched in zip(queries, batch):
+            fresh = SchemaFreeTranslator(course_db).translate(sql, top_k=3)
+            assert [t.sql for t in batched] == [t.sql for t in fresh]
+            assert [t.weight for t in batched] == [t.weight for t in fresh]
+
+    def test_batch_stats_aggregate(self, fig1_db):
+        translator = SchemaFreeTranslator(fig1_db)
+        queries = [
+            "SELECT actor?.name?",
+            "SELECT movie?.title?",
+            "SELECT actor?.name?",
+        ]
+        results = translator.translate_many(queries)
+        assert len(results) == 3
+        stats = translator.last_translation_stats
+        assert stats.queries == 3
+        assert stats.total_seconds > 0
+        # the third query repeats the first: the batch saw memo hits
+        assert stats.memo.get("tree_sim_hits", 0) > 0

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro import Catalog, Database, DataType
 from repro.core import TranslatorConfig
 from repro.core.mapper import RelationTreeMapper
 from repro.core.relation_tree import build_relation_trees
@@ -70,6 +71,40 @@ class TestMappingSets:
         person = mapping.candidate_for("person")
         assert person is not None
         assert list(person.attribute_map.values()) == ["name"]
+
+
+class TestSigmaTies:
+    """Candidates tied with the maximum always belong to MAP(rt).
+
+    Definition 1 uses a strict inequality — Sim > sigma * max — which
+    with sigma = 1.0 (or any exact tie at the top) would drop *every*
+    co-maximal candidate: nothing is strictly greater than the maximum.
+    """
+
+    @pytest.fixture()
+    def twin_db(self):
+        # two relations that score identically against the tree alpha?.val?
+        catalog = Catalog("twins")
+        for name in ("alpha_one", "alpha_two"):
+            catalog.create_relation(
+                name,
+                [("id", DataType.INTEGER), ("val", DataType.TEXT)],
+                primary_key=["id"],
+            )
+        return Database(catalog)
+
+    def test_sigma_one_keeps_co_maximal_candidates(self, twin_db):
+        mapper = RelationTreeMapper(twin_db, TranslatorConfig(sigma=1.0))
+        mapping = mapper.map_tree(trees_for("SELECT alpha?.val?")[0])
+        names = sorted(m.relation.name for m in mapping.candidates)
+        assert names == ["alpha_one", "alpha_two"]
+        sims = [m.similarity for m in mapping.candidates]
+        assert sims[0] == sims[1] > 0.0
+
+    def test_top_ties_kept_at_default_sigma(self, twin_db):
+        mapper = RelationTreeMapper(twin_db)
+        mapping = mapper.map_tree(trees_for("SELECT alpha?.val?")[0])
+        assert len(mapping.candidates) == 2
 
 
 class TestPaperMappings:

@@ -125,6 +125,14 @@ class TestSimilarityProperties:
     def test_symmetric(self, a, b):
         assert string_similarity(a, b) == string_similarity(b, a)
 
+    @given(identifiers, identifiers)
+    def test_symmetric_under_mixed_case(self, a, b):
+        # the cache key is canonicalised (lower-case, ordered args), so
+        # no argument order or casing can poison the cache asymmetrically
+        assert string_similarity(a.upper(), b) == string_similarity(
+            b.upper(), a
+        )
+
     @given(identifiers)
     def test_identity_is_one(self, a):
         assert string_similarity(a, a) == 1.0

@@ -2,11 +2,14 @@
 
 import pytest
 
+from repro import Catalog, Database, DataType
 from repro.core import TranslatorConfig
 from repro.core.relation_tree import build_relation_trees
 from repro.core.similarity import (
+    ConditionChecker,
     SimilarityEvaluator,
     qgrams,
+    stride_sample,
     string_similarity,
 )
 from repro.core.triples import extract
@@ -48,6 +51,51 @@ class TestStringSimilarity:
     def test_similar_beats_dissimilar(self):
         assert string_similarity("director", "directors") > string_similarity(
             "director", "company"
+        )
+
+    def test_symmetry_survives_mixed_case(self):
+        # the cache key is canonicalised (lower-cased, ordered), so the
+        # asymmetric-argument cache-poisoning bug cannot recur
+        a = string_similarity("Produce_Company", "company")
+        b = string_similarity("COMPANY", "produce_company")
+        assert a == b > 0.0
+
+
+class TestStrideSampling:
+    def test_small_input_kept_whole(self):
+        assert stride_sample([1, 2, 3], 10) == [1, 2, 3]
+
+    def test_sample_spans_whole_sequence(self):
+        sample = stride_sample(list(range(100)), 10)
+        assert len(sample) == 10
+        # evidence must come from the whole column, not its first rows
+        assert max(sample) >= 90
+        assert sample == sorted(sample)  # deterministic, order-preserving
+
+    def test_zero_limit_means_unlimited(self):
+        assert stride_sample(list(range(5)), 0) == [0, 1, 2, 3, 4]
+
+    def test_late_tuples_can_satisfy_conditions(self):
+        # regression: sampling the first condition_sample distinct values
+        # misclassified conditions satisfied only by late-inserted tuples
+        catalog = Catalog("late")
+        catalog.create_relation(
+            "person",
+            [("person_id", DataType.INTEGER), ("name", DataType.TEXT)],
+            primary_key=["person_id"],
+        )
+        db = Database(catalog)
+        for i in range(60):
+            db.insert("person", [i, "needle" if i == 54 else f"filler_{i:03d}"])
+        checker = ConditionChecker(db, TranslatorConfig(condition_sample=10))
+        trees = build_relation_trees(
+            extract(parse("SELECT x WHERE name? = 'needle'"))
+        )
+        tree = next(t for t in trees if t.key == ("attr", "name"))
+        condition = tree.attribute_trees[0].conditions[0]
+        person = db.catalog.relation("person")
+        assert checker.status(condition, person, person.attribute("name")) == (
+            "satisfied"
         )
 
 
