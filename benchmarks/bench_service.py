@@ -1,0 +1,141 @@
+"""Serial-vs-concurrent throughput benchmark for the query service.
+
+Runs the shipped workloads through :class:`repro.service.QueryService`
+twice —
+
+* **serial** — one worker, so the service machinery (admission,
+  budgets, breaker bookkeeping) runs but nothing overlaps;
+* **concurrent** — ``--workers`` threads sharing one lock-protected
+  :class:`~repro.core.context.TranslationContext` per database.
+
+Every concurrent response is checked byte-for-byte against its serial
+counterpart — concurrency changes throughput, never results.  The
+JSON report (per-workload timings plus the full service snapshot:
+aggregate stats, breaker states, context memo counters) is written to
+``SERVICE_stats.json``; CI uploads it as an artifact next to
+``BENCH_translate.json``.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_service.py
+    PYTHONPATH=src python benchmarks/bench_service.py \
+        --workers 8 --repeat 4 --output /tmp/service.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from typing import Callable
+
+from repro import Database
+from repro.service import QueryService, ServiceConfig
+from repro.workloads import (
+    COURSE_QUERIES,
+    SOPHISTICATED_QUERIES,
+    TEXTBOOK_QUERIES,
+    WorkloadQuery,
+)
+from repro.datasets import make_course_database, make_movie_database
+
+#: workload name -> (database factory, query list)
+WORKLOADS: dict[str, tuple[Callable[[], Database], list[WorkloadQuery]]] = {
+    "textbook": (make_movie_database, TEXTBOOK_QUERIES),
+    "sophisticated": (make_movie_database, SOPHISTICATED_QUERIES),
+    "courses48": (make_course_database, COURSE_QUERIES),
+}
+
+
+def queries_of(workload: list[WorkloadQuery], repeat: int) -> list[str]:
+    return [q.sf_sql or q.gold_sql for q in workload] * repeat
+
+
+def run_service(
+    database: Database, queries: list[str], workers: int
+) -> tuple[float, list, dict]:
+    config = ServiceConfig(workers=workers, queue_limit=len(queries))
+    with QueryService(database, config) as service:
+        started = time.perf_counter()
+        responses = service.run(queries)
+        elapsed = time.perf_counter() - started
+        snapshot = service.snapshot()
+    return elapsed, responses, snapshot
+
+
+def check_identical(serial: list, concurrent: list) -> None:
+    """Shared-context concurrency must never change a single byte."""
+    for a, b in zip(serial, concurrent):
+        if a.sql != b.sql or a.outcome != b.outcome:
+            raise AssertionError(
+                f"concurrent response diverged from serial for "
+                f"{a.query!r}:\n  serial: {a.outcome} {a.sql}\n"
+                f"  concurrent: {b.outcome} {b.sql}"
+            )
+
+
+def bench_workload(name: str, workers: int, repeat: int) -> dict:
+    factory, workload = WORKLOADS[name]
+    queries = queries_of(workload, repeat)
+    serial_seconds, serial_responses, _ = run_service(factory(), queries, 1)
+    conc_seconds, conc_responses, snapshot = run_service(
+        factory(), queries, workers
+    )
+    check_identical(serial_responses, conc_responses)
+    speedup = serial_seconds / conc_seconds if conc_seconds > 0 else float("inf")
+    row = {
+        "queries": len(queries),
+        "workers": workers,
+        "serial_seconds": round(serial_seconds, 4),
+        "concurrent_seconds": round(conc_seconds, 4),
+        "speedup": round(speedup, 2),
+        "identical": True,
+        "snapshot": snapshot,
+    }
+    print(
+        f"{name:>14}: {len(queries):>3} queries  "
+        f"serial {serial_seconds:7.3f}s  "
+        f"x{workers} workers {conc_seconds:7.3f}s  "
+        f"speedup {speedup:5.2f}x"
+    )
+    return row
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--workloads",
+        nargs="+",
+        choices=sorted(WORKLOADS),
+        default=["textbook", "sophisticated", "courses48"],
+        help="workloads to benchmark (default: all)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=8, help="concurrent worker threads"
+    )
+    parser.add_argument(
+        "--repeat",
+        type=int,
+        default=2,
+        help="times each workload's query list is submitted",
+    )
+    parser.add_argument(
+        "--output",
+        default="SERVICE_stats.json",
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+
+    report = {
+        name: bench_workload(name, args.workers, args.repeat)
+        for name in args.workloads
+    }
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -37,6 +37,12 @@ from .core import (
 )
 from .engine import Database, EngineError, Result
 from .errors import Diagnostic, ReproError
+from .service import (
+    QueryService,
+    ServiceConfig,
+    ServiceOverloaded,
+    ServiceResponse,
+)
 from .sqlkit import SqlSyntaxError, parse, render
 
 __version__ = "1.0.0"
@@ -53,9 +59,13 @@ __all__ = [
     "EngineError",
     "ReproError",
     "ForeignKey",
+    "QueryService",
     "Relation",
     "Result",
     "SchemaError",
+    "ServiceConfig",
+    "ServiceOverloaded",
+    "ServiceResponse",
     "SchemaFreeTranslator",
     "SqlSyntaxError",
     "Translation",

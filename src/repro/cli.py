@@ -1,8 +1,9 @@
-"""Interactive Schema-free SQL shell.
+"""Interactive Schema-free SQL shell and batch service front end.
 
 Usage::
 
     python -m repro [--dataset movies|courses|courses-alt] [--top-k N]
+    python -m repro --batch queries.txt --workers 8 --deadline 0.5
 
 Type Schema-free SQL (or plain SQL) at the prompt; the shell shows the
 best translation and its answer.  Dot-commands:
@@ -21,11 +22,22 @@ best translation and its answer.  Dot-commands:
 With ``--stats`` (or ``.stats on``) every query prints its translation
 statistics: per-stage wall time, candidates and expansions charged, and
 the shared context's memo hits/misses.
+
+Batch mode (``--batch FILE``) reads one query per line (``#`` comments
+and blank lines ignored) and routes the whole file through the
+concurrent :class:`repro.service.QueryService`: ``--workers`` threads,
+``--deadline`` seconds per request, ``--queue-limit`` admission bound.
+Each request reports its outcome, degradation-ladder rung, retry count
+and (on failure) the structured diagnostic; ``--service-stats FILE``
+dumps the service counters as JSON.  Exit codes: 0 all ok, 6 when any
+request was shed by admission control, otherwise the code of the first
+failure (2 syntax / 3 translation / 4 engine / 5 internal).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional
 
@@ -51,6 +63,8 @@ EXIT_SYNTAX = 2
 EXIT_TRANSLATION = 3
 EXIT_ENGINE = 4
 EXIT_INTERNAL = 5
+#: batch mode: at least one request shed by admission control
+EXIT_OVERLOADED = 6
 
 
 def exit_code_for(error: Optional[BaseException]) -> int:
@@ -247,6 +261,88 @@ class Shell:
         print(f"({len(result.rows)} row(s))", file=out)
 
 
+def read_batch_file(path: str) -> list[str]:
+    """Queries from a batch file: one per line, ``#`` comments ignored."""
+    queries = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line and not line.startswith("#"):
+                queries.append(line)
+    return queries
+
+
+def run_batch(
+    database: Database,
+    queries: list[str],
+    workers: int,
+    deadline: Optional[float],
+    queue_limit: int,
+    top_k: int,
+    stats_path: Optional[str] = None,
+    out=None,
+) -> int:
+    """Route a query batch through the concurrent service.
+
+    Prints one outcome line per request (rung used, retries, shed) plus
+    the diagnostic block for failures, and returns the batch exit code.
+    """
+    from .service import QueryService, ServiceConfig
+
+    if out is None:
+        out = sys.stdout
+    config = ServiceConfig(
+        workers=max(1, workers),
+        queue_limit=max(0, queue_limit),
+        deadline=deadline,
+        top_k=max(1, top_k),
+    )
+    with QueryService(database, config) as service:
+        responses = service.run(queries)
+        snapshot = service.snapshot()
+
+    first_error: Optional[BaseException] = None
+    any_shed = False
+    for response in responses:
+        marks = [f"rung={response.rung or '-'}"]
+        if response.retries:
+            marks.append(f"retries={response.retries}")
+        if response.breaker_state and response.breaker_state != "closed":
+            marks.append(f"breaker={response.breaker_state}")
+        print(
+            f"[{response.request_id}] {response.outcome:<8} "
+            f"{' '.join(marks)}  {response.query}",
+            file=out,
+        )
+        if response.ok:
+            print(f"    -> {response.sql}", file=out)
+            if response.degraded:
+                steps = "; ".join(response.translations[0].degradation)
+                print(f"    [degraded: {steps}]", file=out)
+        else:
+            any_shed = any_shed or response.shed
+            if first_error is None and not response.shed:
+                first_error = response.error
+            print(f"    error: {response.error}", file=out)
+            if response.diagnostic is not None:
+                for line in response.diagnostic.render().splitlines():
+                    print(f"    | {line}", file=out)
+    stats = snapshot["stats"]
+    print(
+        f"batch: {stats['completed']} ok, {stats['failed']} failed, "
+        f"{stats['shed']} shed, {stats['retries']} retries "
+        f"({config.workers} workers)",
+        file=out,
+    )
+    if stats_path:
+        with open(stats_path, "w", encoding="utf-8") as handle:
+            json.dump(snapshot, handle, indent=2, default=str)
+        print(f"service stats written to {stats_path}", file=out)
+    if any_shed:
+        return EXIT_OVERLOADED
+    return exit_code_for(first_error)
+
+
 def main(argv: Optional[list[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description="Schema-free SQL interactive shell"
@@ -277,6 +373,37 @@ def main(argv: Optional[list[str]] = None) -> int:
         help="print per-query translation statistics (stage timings, "
         "search counters, cache hits)",
     )
+    parser.add_argument(
+        "--batch",
+        metavar="FILE",
+        help="translate a file of queries (one per line) through the "
+        "concurrent query service, then exit",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="service worker threads for --batch (default: 4)",
+    )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="per-request deadline in seconds for --batch "
+        "(default: none)",
+    )
+    parser.add_argument(
+        "--queue-limit",
+        type=int,
+        default=32,
+        help="admission-control queue bound for --batch; requests "
+        "beyond workers + limit are shed (default: 32)",
+    )
+    parser.add_argument(
+        "--service-stats",
+        metavar="FILE",
+        help="with --batch, write the service stats snapshot as JSON",
+    )
     args = parser.parse_args(argv)
 
     if args.load:
@@ -287,6 +414,18 @@ def main(argv: Optional[list[str]] = None) -> int:
     else:
         database = DATASETS[args.dataset]()
         dataset_label = args.dataset
+
+    if args.batch is not None:
+        return run_batch(
+            database,
+            read_batch_file(args.batch),
+            workers=args.workers,
+            deadline=args.deadline,
+            queue_limit=args.queue_limit,
+            top_k=args.top_k,
+            stats_path=args.service_stats,
+        )
+
     shell = Shell(database, top_k=max(1, args.top_k), show_stats=args.stats)
 
     if args.execute is not None:

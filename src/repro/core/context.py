@@ -34,6 +34,7 @@ semantics and :class:`TranslationStats` can report cache effectiveness.
 from __future__ import annotations
 
 import dataclasses
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Optional, Sequence
 
@@ -225,6 +226,15 @@ class TranslationContext:
     creates one automatically when none is passed.  All state is derived,
     so sharing is always safe: the worst case of a stale context is a
     rebuild, guarded by :meth:`ensure_current`.
+
+    The data-derived caches (and their :class:`ContextStats` counters)
+    are protected by one lock, so a context can be shared by the
+    per-worker translators of a concurrent query service: a sample is
+    built at most once per invalidation epoch, and invalidation is
+    atomic with respect to in-flight lookups.  Memoized values are pure
+    functions of (database contents, key), so two threads that race on
+    the same miss compute the same value — sharing never changes
+    translation outcomes.
     """
 
     def __init__(
@@ -233,6 +243,7 @@ class TranslationContext:
         self.database = database
         self.config = config
         self.stats = ContextStats()
+        self._lock = threading.Lock()
         self._data_version = database.data_version
         # -- schema-derived (immutable for the database's lifetime) ----
         self.relations: tuple[Relation, ...] = tuple(database.catalog)
@@ -272,13 +283,14 @@ class TranslationContext:
         column samples, condition statuses, and tree similarities (whose
         condition factor reads the data) all go stale on insert.
         """
-        if self.database.data_version == self._data_version:
-            return
-        self._samples.clear()
-        self._tree_sim_memo.clear()
-        self._condition_memo.clear()
-        self._data_version = self.database.data_version
-        self.stats.invalidations += 1
+        with self._lock:
+            if self.database.data_version == self._data_version:
+                return
+            self._samples.clear()
+            self._tree_sim_memo.clear()
+            self._condition_memo.clear()
+            self._data_version = self.database.data_version
+            self.stats.invalidations += 1
 
     # ------------------------------------------------------------------
     # schema-derived lookups
@@ -312,42 +324,50 @@ class TranslationContext:
         """Deterministic distinct-value sample of one column, built once
         and shared by every condition check until the data changes."""
         key = (normalize(relation), normalize(attribute))
-        cached = self._samples.get(key)
-        if cached is not None:
-            self.stats.sample_hits += 1
-            return cached
-        values = self.database.column_values(relation, attribute)
-        distinct = list(dict.fromkeys(v for v in values if v is not None))
-        sample = stride_sample(distinct, self.config.condition_sample)
-        self._samples[key] = sample
-        self.stats.sample_builds += 1
-        return sample
+        with self._lock:
+            cached = self._samples.get(key)
+            if cached is not None:
+                self.stats.sample_hits += 1
+                return cached
+            # build under the lock: serialises the (cheap, deterministic)
+            # sample construction so concurrent workers never build the
+            # same column twice and the build counter stays exact
+            values = self.database.column_values(relation, attribute)
+            distinct = list(dict.fromkeys(v for v in values if v is not None))
+            sample = stride_sample(distinct, self.config.condition_sample)
+            self._samples[key] = sample
+            self.stats.sample_builds += 1
+            return sample
 
     def condition_status(self, key: tuple) -> Optional[str]:
-        cached = self._condition_memo.get(key)
-        if cached is not None:
-            self.stats.condition_hits += 1
-        else:
-            self.stats.condition_misses += 1
-        return cached
+        with self._lock:
+            cached = self._condition_memo.get(key)
+            if cached is not None:
+                self.stats.condition_hits += 1
+            else:
+                self.stats.condition_misses += 1
+            return cached
 
     def remember_condition(self, key: tuple, status: str) -> None:
-        self._condition_memo[key] = status
+        with self._lock:
+            self._condition_memo[key] = status
 
     def cached_tree_similarity(
         self, key: tuple[TreeFingerprint, str]
     ) -> Optional[tuple[float, dict]]:
-        cached = self._tree_sim_memo.get(key)
-        if cached is not None:
-            self.stats.tree_sim_hits += 1
-        else:
-            self.stats.tree_sim_misses += 1
-        return cached
+        with self._lock:
+            cached = self._tree_sim_memo.get(key)
+            if cached is not None:
+                self.stats.tree_sim_hits += 1
+            else:
+                self.stats.tree_sim_misses += 1
+            return cached
 
     def remember_tree_similarity(
         self, key: tuple[TreeFingerprint, str], value: tuple[float, dict]
     ) -> None:
-        self._tree_sim_memo[key] = value
+        with self._lock:
+            self._tree_sim_memo[key] = value
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -20,6 +20,7 @@ in ``repro.testing.faults``) can advance time deterministically.
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Any, Callable, Optional
 
@@ -42,6 +43,12 @@ class Budget:
     unlimited.  Stages call :meth:`check` (time) and
     :meth:`charge_candidates` / :meth:`charge_expansions` (quota), all of
     which raise :class:`BudgetExceeded` once the budget is spent.
+
+    Budgets are thread-safe: every budget and all of its :meth:`slice`
+    descendants share one lock, so charging a child and noting the charge
+    on its ancestors is a single atomic step.  Parent counter totals are
+    therefore exact even when several worker threads hammer sliced
+    children of the same request budget concurrently.
     """
 
     def __init__(
@@ -66,6 +73,8 @@ class Budget:
         #: parent's caps), so the top-level budget totals the work done
         #: across every degradation rung — TranslationStats reads it
         self._parent = parent
+        #: one lock per slice family (the root allocates, children share)
+        self._lock = threading.Lock() if parent is None else parent._lock
 
     # ------------------------------------------------------------------
     # introspection
@@ -112,33 +121,49 @@ class Budget:
             self.exhaust(stage, f"deadline of {self.deadline:.3f}s passed")
 
     def _note(self, candidates: int = 0, expansions: int = 0) -> None:
-        """Count work charged to a child slice (never raises)."""
+        """Count work charged to a child slice (never raises).
+
+        Callers must hold the family lock; the whole ancestor chain
+        shares it, so the recursion stays lock-free.
+        """
         self.candidates += candidates
         self.expansions += expansions
         if self._parent is not None:
             self._parent._note(candidates, expansions)
 
     def charge_candidates(self, n: int = 1, stage: str = "map") -> None:
-        self.candidates += n
-        if self._parent is not None:
-            self._parent._note(candidates=n)
-        if self.max_candidates is not None and self.candidates > self.max_candidates:
+        with self._lock:
+            self.candidates += n
+            if self._parent is not None:
+                self._parent._note(candidates=n)
+            over = (
+                self.max_candidates is not None
+                and self.candidates > self.max_candidates
+            )
+            total = self.candidates
+        if over:
             self.exhaust(
                 stage,
                 f"candidate budget exhausted "
-                f"({self.candidates} > {self.max_candidates})",
+                f"({total} > {self.max_candidates})",
             )
         self.check(stage)
 
     def charge_expansions(self, n: int = 1, stage: str = "network") -> None:
-        self.expansions += n
-        if self._parent is not None:
-            self._parent._note(expansions=n)
-        if self.max_expansions is not None and self.expansions > self.max_expansions:
+        with self._lock:
+            self.expansions += n
+            if self._parent is not None:
+                self._parent._note(expansions=n)
+            over = (
+                self.max_expansions is not None
+                and self.expansions > self.max_expansions
+            )
+            total = self.expansions
+        if over:
             self.exhaust(
                 stage,
                 f"expansion budget exhausted "
-                f"({self.expansions} > {self.max_expansions})",
+                f"({total} > {self.max_expansions})",
             )
         self.check(stage)
 

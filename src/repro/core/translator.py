@@ -40,7 +40,7 @@ from .mapper import RelationTreeMapper, TreeMappings
 from .mtjn import GenerationStats, MTJNGenerator
 from .query_log import QueryLog, views_from_sql
 from .relation_tree import RelationTree, TreeKey, build_relation_trees
-from .resilience import Budget, BudgetExceeded
+from .resilience import LADDER, Budget, BudgetExceeded
 from .similarity import SimilarityEvaluator
 from .triples import ExtractionResult, JoinFragment, extract
 from .view_graph import ExtendedViewGraph, View, ViewGraph, ViewJoin, XNode
@@ -63,6 +63,10 @@ class Translation:
     #: per-stage wall time and search counters for the translate() call
     #: that produced this interpretation (shared by its siblings)
     stats: Optional[TranslationStats] = None
+    #: the degradation-ladder rung that produced this interpretation
+    #: (one of resilience.LADDER; for set operations, the weaker of the
+    #: two operands' rungs)
+    rung: str = "full"
 
     @property
     def is_degraded(self) -> bool:
@@ -178,6 +182,7 @@ class SchemaFreeTranslator:
         top_k: Optional[int] = None,
         budget: Optional[Budget] = None,
         degrade: Optional[bool] = None,
+        start_rung: str = "full",
     ) -> list[Translation]:
         """Translate to full SQL; returns the top-k interpretations.
 
@@ -189,11 +194,21 @@ class SchemaFreeTranslator:
         returned translations' ``degradation`` / ``diagnostic`` fields.
         Every failure raises a :class:`~repro.errors.ReproError`.
 
+        ``start_rung`` pins the ladder: translation starts at that rung
+        (one of :data:`~repro.core.resilience.LADDER`) instead of the
+        full top-k search.  The query service's circuit breaker uses
+        this to keep serving cheap translations while a database is
+        under budget pressure.
+
         Every call is instrumented: the returned translations carry a
         shared :class:`TranslationStats` (per-stage wall time, candidate
         and expansion counters, memo effectiveness), also available as
         ``last_translation_stats`` — including after a failure.
         """
+        if start_rung not in LADDER:
+            raise ValueError(
+                f"unknown ladder rung {start_rung!r}; expected one of {LADDER}"
+            )
         if degrade is None:
             degrade = budget is not None
         self.context.ensure_current()
@@ -220,7 +235,9 @@ class SchemaFreeTranslator:
                 with self._stage_guard("parse"), self._timed("parse"):
                     query = parse(query)
             k = top_k or self.config.top_k
-            translations = self._translate_query(query, {}, k, meter, degrade)
+            translations = self._translate_query(
+                query, {}, k, meter, degrade, start_rung
+            )
             for translation in translations:
                 translation.stats = stats
             return translations
@@ -262,6 +279,7 @@ class SchemaFreeTranslator:
         top_k: Optional[int] = None,
         budget: Optional[Budget] = None,
         degrade: Optional[bool] = None,
+        start_rung: str = "full",
     ) -> list[list[Translation]]:
         """Translate a whole workload over one shared context and budget.
 
@@ -279,7 +297,11 @@ class SchemaFreeTranslator:
         for query in queries:
             results.append(
                 self.translate(
-                    query, top_k=top_k, budget=budget, degrade=degrade
+                    query,
+                    top_k=top_k,
+                    budget=budget,
+                    degrade=degrade,
+                    start_rung=start_rung,
                 )
             )
             if self.last_translation_stats is not None:
@@ -292,9 +314,10 @@ class SchemaFreeTranslator:
         query: Union[str, ast.Node],
         budget: Optional[Budget] = None,
         degrade: Optional[bool] = None,
+        start_rung: str = "full",
     ) -> Translation:
         translations = self.translate(
-            query, top_k=1, budget=budget, degrade=degrade
+            query, top_k=1, budget=budget, degrade=degrade, start_rung=start_rung
         )
         if not translations:
             text = query if isinstance(query, str) else render(query)
@@ -327,13 +350,14 @@ class SchemaFreeTranslator:
         k: int,
         budget: Optional[Budget] = None,
         degrade: bool = False,
+        start_rung: str = "full",
     ) -> list[Translation]:
         if isinstance(query, ast.SetOp):
             left = self._translate_query(
-                query.left, outer_bindings, 1, budget, degrade
+                query.left, outer_bindings, 1, budget, degrade, start_rung
             )
             right = self._translate_query(
-                query.right, outer_bindings, 1, budget, degrade
+                query.right, outer_bindings, 1, budget, degrade, start_rung
             )
             if not left or not right:
                 side = "left" if not left else "right"
@@ -350,11 +374,15 @@ class SchemaFreeTranslator:
                 query.op, left[0].query, right[0].query, all=query.all
             )
             degradation = left[0].degradation + right[0].degradation
+            rung = max(
+                left[0].rung, right[0].rung, key=LADDER.index
+            )
             return [
                 Translation(
                     combined,
                     left[0].weight * right[0].weight,
                     degradation=degradation,
+                    rung=rung,
                 )
             ]
         if not isinstance(query, ast.Select):
@@ -366,7 +394,9 @@ class SchemaFreeTranslator:
                     token=type(query).__name__,
                 ),
             )
-        return self._translate_block(query, outer_bindings, k, budget, degrade)
+        return self._translate_block(
+            query, outer_bindings, k, budget, degrade, start_rung
+        )
 
     def _translate_block(
         self,
@@ -375,6 +405,7 @@ class SchemaFreeTranslator:
         k: int,
         budget: Optional[Budget] = None,
         degrade: bool = False,
+        start_rung: str = "full",
     ) -> list[Translation]:
         with self._stage_guard("parse"), self._timed("parse"):
             extraction = extract(select)
@@ -395,14 +426,14 @@ class SchemaFreeTranslator:
             # nested sub-queries still need resolving
             rewritten = self._rewrite_outer_only(select, outer_bindings)
             rewritten = self._translate_subqueries(
-                rewritten, outer_bindings, k, budget, degrade
+                rewritten, outer_bindings, k, budget, degrade, start_rung
             )
             return [Translation(rewritten, 1.0)]
 
         steps: list[str] = []
         gen_stats = GenerationStats()
         mappings, xgraph, networks, rung = self._generate_networks(
-            trees, extraction, k, budget, degrade, steps, gen_stats
+            trees, extraction, k, budget, degrade, steps, gen_stats, start_rung
         )
         if self._active_stats is not None:
             for key, value in gen_stats.as_dict().items():
@@ -441,7 +472,7 @@ class SchemaFreeTranslator:
                 inner_context = dict(outer_bindings)
                 inner_context.update(composed.bindings)
                 final = self._translate_subqueries(
-                    composed.select, inner_context, 1, budget, degrade
+                    composed.select, inner_context, 1, budget, degrade, start_rung
                 )
                 translations.append(
                     Translation(
@@ -450,6 +481,7 @@ class SchemaFreeTranslator:
                         network,
                         degradation=tuple(steps),
                         diagnostic=diagnostic,
+                        rung=rung,
                     )
                 )
         translations.sort(key=lambda t: -t.weight)
@@ -467,6 +499,7 @@ class SchemaFreeTranslator:
         degrade: bool,
         steps: list[str],
         gen_stats: Optional[GenerationStats] = None,
+        start_rung: str = "full",
     ) -> tuple[dict[TreeKey, TreeMappings], ExtendedViewGraph, list[JoinNetwork], str]:
         """Produce join networks, degrading instead of failing.
 
@@ -476,107 +509,125 @@ class SchemaFreeTranslator:
         ``steps``.  Mapping failures (a tree matching nothing) stay fatal
         on every rung — there is nothing sensible to compose without a
         relation.
+
+        ``start_rung`` skips the rungs above it entirely (the circuit
+        breaker's load-shedding mode); the skip is recorded as a
+        degradation step so callers can see the translation was pinned.
         """
         required = [tree.key for tree in trees]
         mappings: Optional[dict[TreeKey, TreeMappings]] = None
+        start = LADDER.index(start_rung)
+        if start:
+            steps.append(
+                f"ladder pinned at {start_rung!r}: "
+                f"skipping {', '.join(LADDER[:start])}"
+            )
         self._fire("map", budget)
 
         # ---- rung 1: full top-k MTJN search --------------------------
-        try:
-            rung_budget = budget.slice(0.55) if budget is not None else None
-            with self._stage_guard("map"), self._timed("map"):
-                mappings = self.mapper.map_trees(trees, rung_budget)
-            self._check_mappings(trees, mappings)
-            self._fire("network", rung_budget)
-            with self._stage_guard("network"), self._timed("network"):
-                user_views = self._fragment_views(
-                    extraction.fragments, trees, mappings, extraction
-                )
-                session_graph = ViewGraph(
-                    self.database.catalog, self.view_graph.views + user_views
-                )
-                xgraph = ExtendedViewGraph(
-                    session_graph,
-                    trees,
-                    mappings,
-                    self.similarity,
-                    self.config,
-                    budget=rung_budget,
-                    context=self.context,
-                )
-                generator = MTJNGenerator(
-                    xgraph, self.config, budget=rung_budget, stats=gen_stats
-                )
-                networks = generator.generate(k)
-                self.last_stats = generator.stats
-            if networks:
-                return mappings, xgraph, networks, "full"
-            labels = ", ".join(tree.label for tree in trees)
-            raise NoJoinNetworkError(
-                f"no join network connects all relation trees ({labels})",
-                diagnostic=Diagnostic(
-                    stage="network",
-                    message="search exhausted without a total join network",
-                    token=labels,
-                    candidates=sum(
-                        len(mappings[key].candidates) for key in mappings
+        if start <= LADDER.index("full"):
+            try:
+                rung_budget = budget.slice(0.55) if budget is not None else None
+                with self._stage_guard("map"), self._timed("map"):
+                    mappings = self.mapper.map_trees(trees, rung_budget)
+                self._check_mappings(trees, mappings)
+                self._fire("network", rung_budget)
+                with self._stage_guard("network"), self._timed("network"):
+                    user_views = self._fragment_views(
+                        extraction.fragments, trees, mappings, extraction
+                    )
+                    session_graph = ViewGraph(
+                        self.database.catalog, self.view_graph.views + user_views
+                    )
+                    xgraph = ExtendedViewGraph(
+                        session_graph,
+                        trees,
+                        mappings,
+                        self.similarity,
+                        self.config,
+                        budget=rung_budget,
+                        context=self.context,
+                    )
+                    generator = MTJNGenerator(
+                        xgraph, self.config, budget=rung_budget, stats=gen_stats
+                    )
+                    networks = generator.generate(k)
+                    self.last_stats = generator.stats
+                if networks:
+                    return mappings, xgraph, networks, "full"
+                labels = ", ".join(tree.label for tree in trees)
+                raise NoJoinNetworkError(
+                    f"no join network connects all relation trees ({labels})",
+                    diagnostic=Diagnostic(
+                        stage="network",
+                        message="search exhausted without a total join network",
+                        token=labels,
+                        candidates=sum(
+                            len(mappings[key].candidates) for key in mappings
+                        ),
+                        detail={"expanded": generator.stats.expanded},
                     ),
-                    detail={"expanded": generator.stats.expanded},
-                ),
-            )
-        except BudgetExceeded as exc:
-            if not degrade:
-                raise
-            steps.append(f"full search abandoned: {exc}")
-        except NoJoinNetworkError as exc:
-            if not degrade:
-                raise
-            steps.append(f"full search failed: {exc}")
+                )
+            except BudgetExceeded as exc:
+                if not degrade:
+                    raise
+                steps.append(f"full search abandoned: {exc}")
+            except NoJoinNetworkError as exc:
+                if not degrade:
+                    raise
+                steps.append(f"full search failed: {exc}")
 
         # ---- rung 2: reduced search ---------------------------------
-        try:
-            rung_budget = (
-                budget.slice(0.6, counter_scale=0.5)
-                if budget is not None
-                else None
-            )
-            if mappings is None:
-                # mapping was interrupted mid-rung: redo it unbudgeted
-                # (polynomial in schema size, unlike the network search)
-                with self._stage_guard("map"), self._timed("map"):
-                    mappings = self.mapper.map_trees(trees)
-            self._check_mappings(trees, mappings)
-            reduced = self._truncate_mappings(mappings, 2)
-            with self._stage_guard("network"), self._timed("network"):
-                xgraph = ExtendedViewGraph(
-                    ViewGraph(self.database.catalog),  # views pruned
-                    trees,
-                    reduced,
-                    self.similarity,
-                    self.config,
-                    budget=rung_budget,
-                    context=self.context,
+        if start <= LADDER.index("reduced"):
+            try:
+                rung_budget = (
+                    budget.slice(0.6, counter_scale=0.5)
+                    if budget is not None
+                    else None
                 )
-                config = dataclasses.replace(
-                    self.config,
-                    max_expansions=min(self.config.max_expansions, 2000),
-                )
-                generator = MTJNGenerator(
-                    xgraph, config, budget=rung_budget, stats=gen_stats
-                )
-                networks = generator.generate(1)
-                self.last_stats = generator.stats
-            if networks:
-                steps.append(
-                    "reduced search succeeded "
-                    "(k=1, ≤2 mappings per tree, views pruned)"
-                )
-                return reduced, xgraph, networks, "reduced"
-            steps.append("reduced search found no join network")
-        except BudgetExceeded as exc:
-            steps.append(f"reduced search abandoned: {exc}")
+                if mappings is None:
+                    # mapping was interrupted mid-rung: redo it unbudgeted
+                    # (polynomial in schema size, unlike the network search)
+                    with self._stage_guard("map"), self._timed("map"):
+                        mappings = self.mapper.map_trees(trees)
+                self._check_mappings(trees, mappings)
+                reduced = self._truncate_mappings(mappings, 2)
+                with self._stage_guard("network"), self._timed("network"):
+                    xgraph = ExtendedViewGraph(
+                        ViewGraph(self.database.catalog),  # views pruned
+                        trees,
+                        reduced,
+                        self.similarity,
+                        self.config,
+                        budget=rung_budget,
+                        context=self.context,
+                    )
+                    config = dataclasses.replace(
+                        self.config,
+                        max_expansions=min(self.config.max_expansions, 2000),
+                    )
+                    generator = MTJNGenerator(
+                        xgraph, config, budget=rung_budget, stats=gen_stats
+                    )
+                    networks = generator.generate(1)
+                    self.last_stats = generator.stats
+                if networks:
+                    steps.append(
+                        "reduced search succeeded "
+                        "(k=1, ≤2 mappings per tree, views pruned)"
+                    )
+                    return reduced, xgraph, networks, "reduced"
+                steps.append("reduced search found no join network")
+            except BudgetExceeded as exc:
+                steps.append(f"reduced search abandoned: {exc}")
 
         # ---- rungs 3 & 4: greedy path, then partial composition -----
+        if mappings is None:
+            # every search rung was pinned away: map now (polynomial),
+            # so the cheap rungs below still have relations to place
+            with self._stage_guard("map"), self._timed("map"):
+                mappings = self.mapper.map_trees(trees)
+            self._check_mappings(trees, mappings)
         singles = self._truncate_mappings(mappings, 1)
         with self._stage_guard("network"), self._timed("network"):
             xgraph = ExtendedViewGraph(
@@ -587,7 +638,9 @@ class SchemaFreeTranslator:
                 self.config,
                 context=self.context,
             )
-            if budget is not None and budget.time_exceeded():
+            if start > LADDER.index("greedy"):
+                pass  # pinned at "partial": no join search at all
+            elif budget is not None and budget.time_exceeded():
                 steps.append("greedy join path skipped: deadline passed")
             else:
                 network = self._greedy_network(xgraph, required)
@@ -795,13 +848,14 @@ class SchemaFreeTranslator:
         k: int,
         budget: Optional[Budget] = None,
         degrade: bool = False,
+        start_rung: str = "full",
     ) -> ast.Select:
         """Replace each first-level sub-query with its best translation."""
 
         def rewrite(node: ast.Node) -> Optional[ast.Node]:
             if isinstance(node, ast.SUBQUERY_NODES):
                 translated = self._translate_query(
-                    node.query, context, 1, budget, degrade
+                    node.query, context, 1, budget, degrade, start_rung
                 )
                 if not translated:
                     raise TranslationError(

@@ -10,6 +10,7 @@ the tuples in the attribute").
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Iterable, Mapping, Optional, Sequence, Union
 
 from ..catalog import Catalog, DataType, Relation, coerce, normalize
@@ -40,6 +41,11 @@ class Database:
         }
         self._executor = Executor(self)
         self._data_version = 0
+        #: serialises mutations: PK/FK index updates, the row append and
+        #: the data_version bump are one atomic step, so concurrent
+        #: readers (and TranslationContext.ensure_current) never observe
+        #: a row without its version bump or a half-updated index
+        self._write_lock = threading.RLock()
 
     @property
     def data_version(self) -> int:
@@ -61,19 +67,24 @@ class Database:
         relation_name: str,
         values: Union[Mapping[str, Any], Sequence[Any]],
     ) -> Row:
-        """Insert one tuple, given as a mapping or a positional sequence."""
+        """Insert one tuple, given as a mapping or a positional sequence.
+
+        Thread-safe: the whole constraint-check/append/version-bump
+        sequence runs under the database's write lock.
+        """
         relation = self.catalog.relation(relation_name)
         row = self._build_row(relation, values)
-        self._check_primary_key(relation, row)
-        if self.enforce_foreign_keys:
-            self._check_foreign_keys(relation, row)
-        self._tables[relation.key].append(row)
-        for (target_rel, target_attr), values in self._fk_target_index.items():
-            if target_rel == relation.key:
-                value = row[target_attr]
-                if value is not None:
-                    values.add(value)
-        self._data_version += 1
+        with self._write_lock:
+            self._check_primary_key(relation, row)
+            if self.enforce_foreign_keys:
+                self._check_foreign_keys(relation, row)
+            self._tables[relation.key].append(row)
+            for (target_rel, target_attr), values in self._fk_target_index.items():
+                if target_rel == relation.key:
+                    value = row[target_attr]
+                    if value is not None:
+                        values.add(value)
+            self._data_version += 1
         return row
 
     def insert_many(

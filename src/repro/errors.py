@@ -30,8 +30,9 @@ from dataclasses import dataclass, field
 from typing import Any, Optional
 
 #: Pipeline stage names used throughout diagnostics (Figure 3 of the
-#: paper, plus the execution engine and the budget/ladder machinery).
-STAGES = ("parse", "map", "network", "compose", "execute", "budget")
+#: paper, plus the execution engine, the budget/ladder machinery and the
+#: query service's admission control).
+STAGES = ("parse", "map", "network", "compose", "execute", "budget", "admission")
 
 
 @dataclass

@@ -1,0 +1,34 @@
+"""Concurrent serving layer over the schema-free translation pipeline.
+
+See :mod:`repro.service.service` for the architecture overview.
+"""
+
+from .breaker import CLOSED, HALF_OPEN, OPEN, BreakerConfig, CircuitBreaker
+from .retry import NO_RETRY, RetryPolicy, jitter_fraction
+from .service import (
+    DEFAULT_DATABASE,
+    QueryService,
+    ServiceConfig,
+    ServiceOverloaded,
+    ServiceRequest,
+    ServiceResponse,
+    ServiceStats,
+)
+
+__all__ = [
+    "BreakerConfig",
+    "CircuitBreaker",
+    "CLOSED",
+    "DEFAULT_DATABASE",
+    "HALF_OPEN",
+    "NO_RETRY",
+    "OPEN",
+    "QueryService",
+    "RetryPolicy",
+    "ServiceConfig",
+    "ServiceOverloaded",
+    "ServiceRequest",
+    "ServiceResponse",
+    "ServiceStats",
+    "jitter_fraction",
+]

@@ -1,0 +1,180 @@
+"""Per-database circuit breaker over the degradation ladder.
+
+Classic breakers fail fast when a dependency is down.  Ours has a
+cheaper option: the translator's degradation ladder (``full → reduced →
+greedy → partial``) means a database under budget pressure can still be
+served, just at a weaker rung.  The breaker therefore doesn't reject
+requests — it *pins* them:
+
+* **closed** — requests run at full strength.  ``failure_threshold``
+  consecutive budget-pressure failures (a ``BudgetExceeded`` escaping,
+  a deadline timeout, or a translation that only survived by abandoning
+  budgeted rungs) trip the breaker.
+* **open** — new requests are admitted at ``pinned_rung`` (default
+  ``"greedy"``): the translator skips the expensive search rungs
+  outright instead of burning budget rediscovering that they time out.
+  After ``cooldown`` seconds on the breaker's (injectable) clock, one
+  request is promoted to a **half-open probe**.
+* **half-open** — the probe runs at full strength while everyone else
+  stays pinned.  A clean probe closes the breaker; a budget-pressure
+  probe re-opens it and restarts the cooldown.
+
+All transitions are recorded in ``transitions`` (a ``(from, to,
+reason)`` trace) so tests can assert the exact state machine walk, and
+everything is lock-protected and clock-injected — no wall-clock sleeps
+anywhere.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..core.resilience import LADDER
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Tuning knobs for one :class:`CircuitBreaker`."""
+
+    #: consecutive budget-pressure failures that trip the breaker
+    failure_threshold: int = 3
+    #: seconds (on the breaker's clock) before a half-open probe
+    cooldown: float = 1.0
+    #: ladder rung pinned while the breaker is open
+    pinned_rung: str = "greedy"
+
+    def __post_init__(self) -> None:
+        if self.pinned_rung not in LADDER:
+            raise ValueError(
+                f"unknown ladder rung {self.pinned_rung!r}; "
+                f"expected one of {LADDER}"
+            )
+        if self.failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+
+
+class CircuitBreaker:
+    """Budget-pressure breaker for one database."""
+
+    def __init__(
+        self,
+        config: BreakerConfig = BreakerConfig(),
+        clock: Callable[[], float] = time.monotonic,
+        name: str = "default",
+    ) -> None:
+        self.config = config
+        self.clock = clock
+        self.name = name
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at: Optional[float] = None
+        self._probe_in_flight = False
+        #: (from_state, to_state, reason) transition trace
+        self.transitions: list[tuple[str, str, str]] = []
+        #: times the breaker tripped closed→open or half-open→open
+        self.trip_count = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def _transition(self, to: str, reason: str) -> None:
+        """Record a state change.  Caller holds the lock."""
+        self.transitions.append((self._state, to, reason))
+        if to == OPEN:
+            self.trip_count += 1
+            self._opened_at = self.clock()
+        self._state = to
+
+    # ------------------------------------------------------------------
+    def admit(self) -> tuple[str, bool]:
+        """Admission decision for one new request.
+
+        Returns ``(start_rung, is_probe)``: the ladder rung the request
+        must start at, and whether it is the half-open recovery probe
+        (the caller must report the probe's outcome via :meth:`record`
+        with ``probe=True``).
+        """
+        with self._lock:
+            if self._state == CLOSED:
+                return "full", False
+            if (
+                self._state == OPEN
+                and not self._probe_in_flight
+                and self._opened_at is not None
+                and self.clock() - self._opened_at >= self.config.cooldown
+            ):
+                self._transition(HALF_OPEN, "cooldown elapsed: probing")
+                self._probe_in_flight = True
+                return "full", True
+            if self._state == HALF_OPEN and not self._probe_in_flight:
+                # previous probe completed without closing us (e.g. its
+                # request was shed): send another
+                self._probe_in_flight = True
+                return "full", True
+            return self.config.pinned_rung, False
+
+    def record(self, success: bool, probe: bool = False) -> None:
+        """Report one finished request.
+
+        ``success`` means "no budget pressure": the request neither
+        timed out nor raised ``BudgetExceeded`` nor degraded because a
+        budgeted rung was abandoned.  Requests that failed for
+        *non*-budget reasons (syntax errors, unmappable trees) should
+        not be reported at all — they say nothing about load.
+        """
+        with self._lock:
+            if probe:
+                self._probe_in_flight = False
+            if success:
+                if probe and self._state == HALF_OPEN:
+                    self._transition(CLOSED, "probe succeeded")
+                    self._consecutive_failures = 0
+                elif self._state == CLOSED:
+                    self._consecutive_failures = 0
+                # a pinned request succeeding at the pinned rung is not
+                # evidence the *full* rung recovered: only probes close
+            else:
+                if probe and self._state == HALF_OPEN:
+                    self._transition(OPEN, "probe failed: re-opening")
+                elif self._state == CLOSED:
+                    self._consecutive_failures += 1
+                    if (
+                        self._consecutive_failures
+                        >= self.config.failure_threshold
+                    ):
+                        self._transition(
+                            OPEN,
+                            f"{self._consecutive_failures} consecutive "
+                            "budget-pressure failures",
+                        )
+                # failures while OPEN leave the state alone: the breaker
+                # is already shedding work
+
+    def abstain(self, probe: bool = False) -> None:
+        """Report a request whose outcome says nothing about load (e.g.
+        a syntax error): releases the probe slot, changes no state."""
+        with self._lock:
+            if probe:
+                self._probe_in_flight = False
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "name": self.name,
+                "state": self._state,
+                "consecutive_failures": self._consecutive_failures,
+                "trip_count": self.trip_count,
+                "pinned_rung": self.config.pinned_rung,
+                "transitions": list(self.transitions),
+            }

@@ -1,0 +1,550 @@
+"""Concurrent schema-free query service.
+
+:class:`QueryService` wraps one or more databases (each with a shared,
+lock-protected :class:`~repro.core.context.TranslationContext`) behind a
+thread pool and gives the translation pipeline the serving-layer
+behaviours a production front end needs:
+
+* **admission control** — a bounded queue (``workers`` running +
+  ``queue_limit`` waiting).  A request that would exceed it is *shed*
+  immediately with a typed :class:`ServiceOverloaded` diagnostic instead
+  of queueing unboundedly;
+* **deadlines** — each request gets a :class:`~repro.core.resilience.
+  Budget` with the request deadline (measured from admission, so queue
+  wait counts) and the configured search caps; every retry attempt runs
+  under a fresh :meth:`~repro.core.resilience.Budget.slice` of it, so
+  the attempt inherits exactly the time that remains;
+* **retries** — transient faults are retried under
+  :class:`~repro.service.retry.RetryPolicy` with exponential backoff
+  and deterministic jitter.  The backoff "sleep" and the budget clock
+  are both injectable: built with a
+  :class:`~repro.testing.faults.FaultInjector` the service reuses its
+  virtual clock, so backoff and timeout paths are testable without
+  wall-clock sleeping;
+* **circuit breaking** — a per-database
+  :class:`~repro.service.breaker.CircuitBreaker` watches for budget
+  pressure and, once tripped, pins new requests to a lower rung of the
+  degradation ladder (the translator's ``start_rung``), probing
+  half-open recovery after a cooldown.
+
+Translator instances are **per worker thread** (their scratch state is
+not shared); the per-database context *is* shared, which is safe because
+PR 3 made its caches lock-protected and its memoized values are pure —
+concurrent serving returns byte-identical results to a serial pass.
+
+Typical use::
+
+    from repro.service import QueryService, ServiceConfig
+
+    with QueryService(db, ServiceConfig(workers=8, deadline=0.5)) as svc:
+        responses = svc.run(["SELECT name? WHERE title? = 'Titanic'", ...])
+        for r in responses:
+            print(r.request_id, r.outcome, r.rung, r.sql)
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Optional, Sequence, Union
+
+from ..core.config import DEFAULT_CONFIG, TranslatorConfig
+from ..core.context import TranslationContext
+from ..core.resilience import Budget, BudgetExceeded
+from ..core.translator import SchemaFreeTranslator, Translation
+from ..engine import Database
+from ..errors import Diagnostic, ReproError
+from .breaker import BreakerConfig, CircuitBreaker
+from .retry import RetryPolicy
+
+DEFAULT_DATABASE = "default"
+
+#: degradation-step substrings that mean "a budgeted rung was abandoned"
+#: (as opposed to rungs skipped by pinning or failing for non-budget
+#: reasons) — the breaker's failure signal
+_BUDGET_PRESSURE_MARKERS = ("abandoned:", "deadline passed")
+
+
+class ServiceOverloaded(ReproError):
+    """Admission control rejected the request (queue full)."""
+
+
+@dataclass
+class ServiceConfig:
+    """Tuning knobs for one :class:`QueryService`."""
+
+    #: worker threads translating concurrently
+    workers: int = 4
+    #: requests allowed to *wait* beyond the ones being worked on;
+    #: submissions past ``workers + queue_limit`` in flight are shed
+    queue_limit: int = 32
+    #: default per-request deadline in seconds (None = no deadline)
+    deadline: Optional[float] = None
+    #: search caps applied to every request budget
+    max_candidates: Optional[int] = None
+    max_expansions: Optional[int] = None
+    #: interpretations returned per request
+    top_k: int = 1
+    #: walk the degradation ladder instead of failing on budget exhaustion
+    degrade: bool = True
+    translator: TranslatorConfig = DEFAULT_CONFIG
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    breaker: BreakerConfig = field(default_factory=BreakerConfig)
+    #: test/instrumentation seam: called in the worker thread as each
+    #: admitted request starts processing (e.g. to block workers and
+    #: exercise admission control deterministically)
+    request_hook: Optional[Callable[["ServiceRequest"], None]] = None
+
+
+@dataclass(frozen=True)
+class ServiceRequest:
+    """One admitted unit of work."""
+
+    request_id: int
+    query: str
+    database: str = DEFAULT_DATABASE
+    top_k: Optional[int] = None
+    deadline: Optional[float] = None
+
+
+@dataclass
+class ServiceResponse:
+    """Everything the service knows about one finished request."""
+
+    request_id: int
+    query: str
+    database: str
+    ok: bool
+    translations: Optional[list[Translation]] = None
+    rung: Optional[str] = None
+    retries: int = 0
+    shed: bool = False
+    probe: bool = False
+    breaker_state: Optional[str] = None
+    error: Optional[ReproError] = None
+    elapsed: float = 0.0
+
+    @property
+    def sql(self) -> Optional[str]:
+        if self.translations:
+            return self.translations[0].sql
+        return None
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.translations) and self.translations[0].is_degraded
+
+    @property
+    def outcome(self) -> str:
+        """One-word summary: ok / degraded / shed / failed."""
+        if self.shed:
+            return "shed"
+        if not self.ok:
+            return "failed"
+        return "degraded" if self.degraded else "ok"
+
+    @property
+    def diagnostic(self) -> Optional[Diagnostic]:
+        if self.error is not None and self.error.diagnostic is not None:
+            return self.error.diagnostic
+        if self.translations and self.translations[0].diagnostic is not None:
+            return self.translations[0].diagnostic
+        return None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "request_id": self.request_id,
+            "query": self.query,
+            "database": self.database,
+            "outcome": self.outcome,
+            "rung": self.rung,
+            "retries": self.retries,
+            "breaker_state": self.breaker_state,
+            "sql": self.sql,
+            "error": None if self.error is None else str(self.error),
+            "elapsed": round(self.elapsed, 6),
+        }
+
+
+@dataclass
+class ServiceStats:
+    """Aggregate counters, updated under the service lock."""
+
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    shed: int = 0
+    retries: int = 0
+    probes: int = 0
+    rungs: dict[str, int] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "shed": self.shed,
+            "retries": self.retries,
+            "probes": self.probes,
+            "rungs": dict(self.rungs),
+        }
+
+
+class _DatabaseState:
+    """Shared per-database serving state: context + breaker."""
+
+    def __init__(
+        self,
+        name: str,
+        database: Database,
+        config: ServiceConfig,
+        clock: Callable[[], float],
+    ) -> None:
+        self.name = name
+        self.database = database
+        self.context = TranslationContext(database, config.translator)
+        self.breaker = CircuitBreaker(config.breaker, clock=clock, name=name)
+
+
+class QueryService:
+    """A thread-pooled, admission-controlled schema-free query service."""
+
+    def __init__(
+        self,
+        databases: Union[Database, Mapping[str, Database]],
+        config: Optional[ServiceConfig] = None,
+        faults=None,  # Optional[repro.testing.faults.FaultInjector]
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self.faults = faults
+        # reuse the fault injector's virtual clock and use its advance()
+        # as the backoff sleeper, so injected delays count against
+        # deadlines and retry schedules run without wall-clock sleeping
+        self.clock: Callable[[], float] = (
+            faults.clock if faults is not None else time.monotonic
+        )
+        self._sleep: Callable[[float], None] = (
+            faults.advance if faults is not None else time.sleep
+        )
+        if isinstance(databases, Database):
+            databases = {DEFAULT_DATABASE: databases}
+        if not databases:
+            raise ValueError("QueryService needs at least one database")
+        self._states: dict[str, _DatabaseState] = {
+            name: _DatabaseState(name, db, self.config, self.clock)
+            for name, db in databases.items()
+        }
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._next_id = 0
+        self.stats = ServiceStats()
+        #: deterministic-per-request event trace:
+        #: ("shed", id) / ("retry", id, attempt, delay) / ("probe", id)
+        self.events: list[tuple] = []
+        capacity = self.config.workers + self.config.queue_limit
+        self._slots = threading.Semaphore(capacity)
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.config.workers,
+            thread_name_prefix="repro-service",
+        )
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Drain in-flight work and stop the pool (idempotent)."""
+        if not self._closed:
+            self._closed = True
+            self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def breaker(self, database: str = DEFAULT_DATABASE) -> CircuitBreaker:
+        return self._states[database].breaker
+
+    def context(self, database: str = DEFAULT_DATABASE) -> TranslationContext:
+        return self._states[database].context
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-serialisable service state (stats + breakers + memo)."""
+        with self._lock:
+            stats = self.stats.as_dict()
+        return {
+            "config": {
+                "workers": self.config.workers,
+                "queue_limit": self.config.queue_limit,
+                "deadline": self.config.deadline,
+                "max_candidates": self.config.max_candidates,
+                "max_expansions": self.config.max_expansions,
+                "retries": self.config.retry.max_retries,
+                "breaker_threshold": self.config.breaker.failure_threshold,
+                "breaker_pinned_rung": self.config.breaker.pinned_rung,
+            },
+            "stats": stats,
+            "breakers": {
+                name: state.breaker.snapshot()
+                for name, state in self._states.items()
+            },
+            "memo": {
+                name: state.context.stats.as_dict()
+                for name, state in self._states.items()
+            },
+        }
+
+    def _event(self, *event: Any) -> None:
+        with self._lock:
+            self.events.append(tuple(event))
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        query: str,
+        database: str = DEFAULT_DATABASE,
+        top_k: Optional[int] = None,
+        deadline: Optional[float] = None,
+    ) -> "Future[ServiceResponse]":
+        """Submit one query; never blocks.
+
+        Returns a future resolving to a :class:`ServiceResponse`.  When
+        admission control sheds the request the future is already
+        resolved with ``shed=True`` and a :class:`ServiceOverloaded`
+        error — load shedding is bounded-latency by construction.
+        """
+        if database not in self._states:
+            raise KeyError(f"unknown database {database!r}")
+        with self._lock:
+            self._next_id += 1
+            request_id = self._next_id
+            self.stats.submitted += 1
+        request = ServiceRequest(
+            request_id=request_id,
+            query=query,
+            database=database,
+            top_k=top_k,
+            deadline=self.config.deadline if deadline is None else deadline,
+        )
+        if not self._slots.acquire(blocking=False):
+            return self._shed(request)
+        # the deadline clock starts at admission: queue wait counts
+        budget = Budget(
+            deadline=request.deadline,
+            max_candidates=self.config.max_candidates,
+            max_expansions=self.config.max_expansions,
+            clock=self.clock,
+        )
+        try:
+            return self._pool.submit(self._process, request, budget)
+        except RuntimeError:
+            self._slots.release()
+            raise
+
+    def run(
+        self,
+        queries: Sequence[str],
+        database: str = DEFAULT_DATABASE,
+        top_k: Optional[int] = None,
+        deadline: Optional[float] = None,
+    ) -> list[ServiceResponse]:
+        """Submit a whole batch and gather responses in request order."""
+        futures = [
+            self.submit(query, database=database, top_k=top_k, deadline=deadline)
+            for query in queries
+        ]
+        return [future.result() for future in futures]
+
+    def translate_one(
+        self,
+        query: str,
+        database: str = DEFAULT_DATABASE,
+        top_k: Optional[int] = None,
+        deadline: Optional[float] = None,
+    ) -> ServiceResponse:
+        """Synchronous single-query convenience wrapper."""
+        return self.submit(
+            query, database=database, top_k=top_k, deadline=deadline
+        ).result()
+
+    def _shed(self, request: ServiceRequest) -> "Future[ServiceResponse]":
+        error = ServiceOverloaded(
+            f"service overloaded: {self.config.workers} workers busy and "
+            f"{self.config.queue_limit} requests already queued",
+            diagnostic=Diagnostic(
+                stage="admission",
+                message="bounded queue full; request shed",
+                detail={
+                    "workers": self.config.workers,
+                    "queue_limit": self.config.queue_limit,
+                },
+            ),
+        )
+        state = self._states[request.database]
+        response = ServiceResponse(
+            request_id=request.request_id,
+            query=request.query,
+            database=request.database,
+            ok=False,
+            shed=True,
+            breaker_state=state.breaker.state,
+            error=error,
+        )
+        with self._lock:
+            self.stats.shed += 1
+            self.events.append(("shed", request.request_id))
+        future: "Future[ServiceResponse]" = Future()
+        future.set_result(response)
+        return future
+
+    # ------------------------------------------------------------------
+    # worker side
+    # ------------------------------------------------------------------
+    def _translator(self, state: _DatabaseState) -> SchemaFreeTranslator:
+        """The calling worker thread's translator for one database.
+
+        Translator scratch state (``last_*`` fields, active stats) is
+        not thread-safe, so each worker owns private instances; they all
+        share the database's lock-protected context, so memoization
+        still spans the whole service.
+        """
+        cache = getattr(self._local, "translators", None)
+        if cache is None:
+            cache = {}
+            self._local.translators = cache
+        translator = cache.get(state.name)
+        if translator is None:
+            translator = SchemaFreeTranslator(
+                state.database,
+                self.config.translator,
+                faults=self.faults,
+                context=state.context,
+            )
+            cache[state.name] = translator
+        return translator
+
+    def _process(self, request: ServiceRequest, budget: Budget) -> ServiceResponse:
+        try:
+            if self.config.request_hook is not None:
+                self.config.request_hook(request)
+            return self._process_inner(request, budget)
+        finally:
+            self._slots.release()
+
+    def _process_inner(
+        self, request: ServiceRequest, budget: Budget
+    ) -> ServiceResponse:
+        state = self._states[request.database]
+        start_rung, probe = state.breaker.admit()
+        if probe:
+            with self._lock:
+                self.stats.probes += 1
+                self.events.append(("probe", request.request_id))
+        translator = self._translator(state)
+        started = self.clock()
+        retries = 0
+        while True:
+            attempt = retries + 1
+            try:
+                translations = translator.translate(
+                    request.query,
+                    top_k=request.top_k or self.config.top_k,
+                    budget=budget.slice(),
+                    degrade=self.config.degrade,
+                    start_rung=start_rung,
+                )
+            except BudgetExceeded as exc:
+                # ran out even after degrading: breaker-visible failure
+                state.breaker.record(False, probe)
+                return self._finish(
+                    request, state, started, retries, probe,
+                    ok=False, error=exc, rung=start_rung,
+                )
+            except ReproError as exc:
+                if (
+                    self.config.retry.is_retryable(exc)
+                    and retries < self.config.retry.max_retries
+                    and not budget.time_exceeded()
+                ):
+                    delay = self.config.retry.backoff(
+                        request.request_id, attempt
+                    )
+                    with self._lock:
+                        self.stats.retries += 1
+                        self.events.append(
+                            ("retry", request.request_id, attempt, delay)
+                        )
+                    self._sleep(delay)
+                    retries += 1
+                    continue
+                # non-budget failures say nothing about load: the
+                # breaker only hears about budget pressure (below)
+                return self._finish(
+                    request, state, started, retries, probe,
+                    ok=False, error=exc, rung=None,
+                )
+            pressure = self._budget_pressure(translations)
+            state.breaker.record(not pressure, probe)
+            rung = translations[0].rung if translations else start_rung
+            return self._finish(
+                request, state, started, retries, probe,
+                ok=True, translations=translations, rung=rung,
+            )
+
+    @staticmethod
+    def _budget_pressure(translations: list[Translation]) -> bool:
+        """Did this result only survive by abandoning budgeted rungs?"""
+        for translation in translations[:1]:
+            for step in translation.degradation:
+                if any(m in step for m in _BUDGET_PRESSURE_MARKERS):
+                    return True
+        return False
+
+    def _finish(
+        self,
+        request: ServiceRequest,
+        state: _DatabaseState,
+        started: float,
+        retries: int,
+        probe: bool,
+        ok: bool,
+        translations: Optional[list[Translation]] = None,
+        error: Optional[ReproError] = None,
+        rung: Optional[str] = None,
+    ) -> ServiceResponse:
+        if not ok and probe:
+            # a probe that failed for non-budget reasons still has to
+            # release the probe slot without closing the breaker; budget
+            # failures were already recorded against it
+            if error is not None and not isinstance(error, BudgetExceeded):
+                state.breaker.abstain(probe)
+        response = ServiceResponse(
+            request_id=request.request_id,
+            query=request.query,
+            database=request.database,
+            ok=ok,
+            translations=translations,
+            rung=rung,
+            retries=retries,
+            probe=probe,
+            breaker_state=state.breaker.state,
+            error=error,
+            elapsed=self.clock() - started,
+        )
+        with self._lock:
+            if ok:
+                self.stats.completed += 1
+                if rung is not None:
+                    self.stats.rungs[rung] = self.stats.rungs.get(rung, 0) + 1
+            else:
+                self.stats.failed += 1
+        return response

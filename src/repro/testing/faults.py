@@ -19,11 +19,20 @@ Faults trigger on the *n*-th visit to their stage (``trigger``, 1-based)
 and by default fire exactly once; ``repeat=True`` keeps firing from the
 trigger-th visit onward, which is how tests starve every rung of the
 degradation ladder at once.  Everything is counter-based — no wall
-clocks, threads or randomness — so injected runs are fully reproducible.
+clocks or randomness — so injected runs are fully reproducible.
+
+The injector is thread-aware: sites are keyed by their stable stage
+name and the visit counter, the per-fault fired count, the fired log and
+the virtual-clock offset are all updated under one lock.  When several
+service workers hit the same site concurrently, exactly one of them
+observes the trigger-th visit, so ``should_fire`` schedules (one firing
+per once-only fault, total visit counts) stay deterministic even though
+*which* worker draws the fault is scheduler-dependent.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Optional, Union
@@ -67,6 +76,7 @@ class FaultInjector:
     def __init__(self) -> None:
         self._faults: list[Fault] = []
         self._offset = 0.0
+        self._lock = threading.Lock()
         self.visits: dict[str, int] = {}
         self.log: list[tuple[str, str]] = []  # (stage, kind) of fired faults
 
@@ -80,8 +90,11 @@ class FaultInjector:
         return time.monotonic() + self._offset
 
     def advance(self, seconds: float) -> None:
-        """Advance the virtual clock directly (test convenience)."""
-        self._offset += seconds
+        """Advance the virtual clock directly.  Also what the query
+        service uses as its backoff "sleep", so retry schedules are
+        testable without wall-clock waiting."""
+        with self._lock:
+            self._offset += seconds
 
     # ------------------------------------------------------------------
     # registration
@@ -120,26 +133,39 @@ class FaultInjector:
         return self.inject(Fault(stage, "budget", trigger=trigger, repeat=repeat))
 
     def reset(self) -> None:
-        self._faults.clear()
-        self.visits.clear()
-        self.log.clear()
-        self._offset = 0.0
+        with self._lock:
+            self._faults.clear()
+            self.visits.clear()
+            self.log.clear()
+            self._offset = 0.0
 
     # ------------------------------------------------------------------
     # firing
     # ------------------------------------------------------------------
     def fire(self, stage: str, budget: Optional[Budget] = None) -> None:
-        """Called by the translator at each stage entry."""
-        visit = self.visits.get(stage, 0) + 1
-        self.visits[stage] = visit
-        for fault in self._faults:
-            if fault.stage != stage or not fault.should_fire(visit):
-                continue
-            fault.fired += 1
-            self.log.append((stage, fault.kind))
-            if fault.kind == "delay":
-                self._offset += fault.delay
-            elif fault.kind == "error":
+        """Called by the translator at each stage entry.
+
+        The visit bump, the should-fire decision, the fired count and
+        the log append happen atomically under the injector's lock, so a
+        once-only fault fires exactly once no matter how many threads
+        race through its site.  Raising (and exhausting budgets) happens
+        *outside* the lock — those paths call back into budget locks.
+        """
+        with self._lock:
+            visit = self.visits.get(stage, 0) + 1
+            self.visits[stage] = visit
+            firing: list[Fault] = []
+            for fault in self._faults:
+                if fault.stage != stage or not fault.should_fire(visit):
+                    continue
+                fault.fired += 1
+                self.log.append((stage, fault.kind))
+                if fault.kind == "delay":
+                    self._offset += fault.delay
+                else:
+                    firing.append(fault)
+        for fault in firing:
+            if fault.kind == "error":
                 error = fault.error
                 if error is None:
                     error = InjectedFault(

@@ -123,3 +123,69 @@ class TestMain:
 
     def test_dataset_registry(self):
         assert set(DATASETS) == {"movies", "courses", "courses-alt"}
+
+
+class TestBatchMode:
+    def write_batch(self, tmp_path, lines):
+        path = tmp_path / "batch.txt"
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        return str(path)
+
+    def test_batch_reports_per_request_outcomes(self, tmp_path, capsys):
+        path = self.write_batch(
+            tmp_path,
+            [
+                "# comment lines and blanks are skipped",
+                "",
+                "SELECT name? WHERE director_name? = 'James Cameron'",
+                "SELECT title? WHERE actor?.name? = 'Tom Hanks'",
+            ],
+        )
+        exit_code = main(
+            ["--dataset", "movies", "--batch", path, "--workers", "2"]
+        )
+        text = capsys.readouterr().out
+        assert exit_code == 0
+        assert "[1] ok" in text and "[2] ok" in text
+        assert "rung=full" in text
+        assert text.count("-> SELECT") == 2
+        assert "2 ok, 0 failed, 0 shed" in text
+
+    def test_batch_failure_renders_diagnostic_and_exit_code(
+        self, tmp_path, capsys
+    ):
+        path = self.write_batch(
+            tmp_path,
+            [
+                "SELECT name? WHERE director_name? = 'James Cameron'",
+                "SELECT name? WHERE",  # syntax error
+            ],
+        )
+        exit_code = main(["--dataset", "movies", "--batch", path])
+        text = capsys.readouterr().out
+        assert exit_code == 2  # syntax error dominates the batch code
+        assert "[2] failed" in text
+        assert "error:" in text
+        assert "| stage: parse" in text
+
+    def test_batch_writes_service_stats(self, tmp_path, capsys):
+        import json as jsonlib
+
+        path = self.write_batch(
+            tmp_path, ["SELECT name? WHERE director_name? = 'James Cameron'"]
+        )
+        stats_path = tmp_path / "svc.json"
+        exit_code = main(
+            [
+                "--dataset",
+                "movies",
+                "--batch",
+                path,
+                "--service-stats",
+                str(stats_path),
+            ]
+        )
+        assert exit_code == 0
+        snapshot = jsonlib.loads(stats_path.read_text(encoding="utf-8"))
+        assert snapshot["stats"]["completed"] == 1
+        assert snapshot["breakers"]["default"]["state"] == "closed"

@@ -85,3 +85,64 @@ class TestDatabaseRoundTrip:
             "SELECT title? WHERE director?.name? = 'Steven Spielberg'"
         )
         assert loaded.execute(best.query).rows == [("The Terminal",)]
+
+
+class TestServiceOverReloadedDatabase:
+    """The query service must treat a reloaded database exactly like the
+    original — same translations, and a *fresh* data version so stale
+    context caches can never leak across a reload."""
+
+    QUERIES = [
+        "SELECT name? WHERE director_name? = 'James Cameron'",
+        "SELECT title? WHERE actor?.name? = 'Tom Hanks'",
+        "SELECT company?.name? WHERE movie?.title? = 'Avatar'",
+    ]
+
+    def test_service_results_identical_after_reload(self, fig1_db, tmp_path):
+        from repro import QueryService
+
+        save_database(fig1_db, tmp_path / "dump")
+        loaded = load_database(tmp_path / "dump")
+        with QueryService(fig1_db) as original_service:
+            original = original_service.run(self.QUERIES)
+        with QueryService(loaded) as reloaded_service:
+            reloaded = reloaded_service.run(self.QUERIES)
+        for before, after in zip(original, reloaded):
+            assert after.ok and before.ok
+            assert after.sql == before.sql
+            assert after.rung == before.rung == "full"
+            # and the SQL actually executes identically on both stores
+            assert (
+                loaded.execute(after.translations[0].query).rows
+                == fig1_db.execute(before.translations[0].query).rows
+            )
+
+    def test_loaded_database_has_fresh_data_version(self, fig1_db, tmp_path):
+        save_database(fig1_db, tmp_path / "dump")
+        loaded = load_database(tmp_path / "dump")
+        total_rows = sum(
+            loaded.count(relation.name) for relation in loaded.catalog
+        )
+        assert total_rows > 0
+        # versions count inserts from zero: a reload replays every row,
+        # so the loaded store starts at its own row count, independent of
+        # whatever version the saved database had reached
+        assert loaded.data_version == total_rows
+
+    def test_insert_into_loaded_db_invalidates_service_context(
+        self, fig1_db, tmp_path
+    ):
+        from repro import QueryService
+
+        save_database(fig1_db, tmp_path / "dump")
+        loaded = load_database(tmp_path / "dump")
+        with QueryService(loaded) as service:
+            warm = service.translate_one(self.QUERIES[0])
+            assert warm.ok
+            assert service.context().stats.invalidations == 0
+            loaded.insert("Person", [99, "Ang Lee", "male"])
+            fresh = service.translate_one(self.QUERIES[0])
+            assert fresh.ok
+            # the shared context noticed the new data version and rebuilt
+            assert service.context().stats.invalidations == 1
+            assert fresh.sql == warm.sql

@@ -1,0 +1,491 @@
+"""Unit tests for the concurrent query service.
+
+Everything here is deterministic and sleep-free: clocks are either
+manual counters or the fault injector's virtual clock, and backoff
+"sleeps" advance that clock instead of waiting.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import (
+    Database,
+    QueryService,
+    ServiceOverloaded,
+    SqlSyntaxError,
+    TranslationError,
+)
+from repro.service import (
+    CLOSED,
+    HALF_OPEN,
+    NO_RETRY,
+    OPEN,
+    BreakerConfig,
+    CircuitBreaker,
+    RetryPolicy,
+    ServiceConfig,
+    jitter_fraction,
+)
+from repro.testing.faults import FaultInjector, InjectedFault
+
+from tests.conftest import make_fig1_catalog, populate_fig1
+
+CAMERON = "SELECT name? WHERE director_name? = 'James Cameron'"
+HANKS = "SELECT title? WHERE actor?.name? = 'Tom Hanks'"
+
+
+def make_db() -> Database:
+    db = Database(make_fig1_catalog())
+    populate_fig1(db)
+    return db
+
+
+# ---------------------------------------------------------------------------
+# retry policy
+# ---------------------------------------------------------------------------
+
+
+class TestRetryPolicy:
+    def test_backoff_is_deterministic(self):
+        policy = RetryPolicy()
+        assert policy.backoff(7, 1) == policy.backoff(7, 1)
+        assert policy.backoff(7, 2) == policy.backoff(7, 2)
+
+    def test_jitter_spreads_requests(self):
+        fractions = {jitter_fraction(rid, 1) for rid in range(50)}
+        assert len(fractions) > 25  # not all collapsing onto one value
+
+    def test_backoff_grows_exponentially_then_caps(self):
+        policy = RetryPolicy(base=0.1, cap=0.4, jitter=0.0)
+        assert policy.backoff(1, 1) == pytest.approx(0.1)
+        assert policy.backoff(1, 2) == pytest.approx(0.2)
+        assert policy.backoff(1, 3) == pytest.approx(0.4)
+        assert policy.backoff(1, 10) == pytest.approx(0.4)  # capped
+
+    def test_jitter_bounded_by_fraction(self):
+        policy = RetryPolicy(base=0.1, cap=10.0, jitter=0.1)
+        for rid in range(20):
+            raw = 0.1
+            assert raw <= policy.backoff(rid, 1) <= raw * 1.1
+
+    def test_retryable_classification(self):
+        policy = RetryPolicy()
+        assert policy.is_retryable(InjectedFault("boom"))
+        assert not policy.is_retryable(TranslationError("nope"))
+        assert NO_RETRY.max_retries == 0
+
+
+# ---------------------------------------------------------------------------
+# circuit breaker state machine (manual clock, no sleeps)
+# ---------------------------------------------------------------------------
+
+
+class ManualClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestCircuitBreaker:
+    def make(self, threshold=3, cooldown=5.0, rung="greedy"):
+        clock = ManualClock()
+        breaker = CircuitBreaker(
+            BreakerConfig(
+                failure_threshold=threshold,
+                cooldown=cooldown,
+                pinned_rung=rung,
+            ),
+            clock=clock,
+        )
+        return breaker, clock
+
+    def test_starts_closed_full_strength(self):
+        breaker, _ = self.make()
+        assert breaker.state == CLOSED
+        assert breaker.admit() == ("full", False)
+
+    def test_trips_after_threshold_consecutive_failures(self):
+        breaker, _ = self.make(threshold=3)
+        breaker.record(False)
+        breaker.record(False)
+        assert breaker.state == CLOSED
+        breaker.record(False)
+        assert breaker.state == OPEN
+        assert breaker.trip_count == 1
+        assert breaker.admit() == ("greedy", False)
+
+    def test_success_resets_consecutive_count(self):
+        breaker, _ = self.make(threshold=2)
+        breaker.record(False)
+        breaker.record(True)
+        breaker.record(False)
+        assert breaker.state == CLOSED  # never 2 in a row
+
+    def test_half_open_probe_after_cooldown(self):
+        breaker, clock = self.make(threshold=1, cooldown=5.0)
+        breaker.record(False)
+        assert breaker.state == OPEN
+        # before cooldown: still pinned
+        clock.advance(4.9)
+        assert breaker.admit() == ("greedy", False)
+        clock.advance(0.2)
+        assert breaker.admit() == ("full", True)  # the probe
+        assert breaker.state == HALF_OPEN
+        # others stay pinned while the probe is in flight
+        assert breaker.admit() == ("greedy", False)
+
+    def test_probe_success_closes(self):
+        breaker, clock = self.make(threshold=1, cooldown=1.0)
+        breaker.record(False)
+        clock.advance(1.0)
+        _, probe = breaker.admit()
+        assert probe
+        breaker.record(True, probe=True)
+        assert breaker.state == CLOSED
+        assert breaker.admit() == ("full", False)
+
+    def test_probe_failure_reopens_and_restarts_cooldown(self):
+        breaker, clock = self.make(threshold=1, cooldown=5.0)
+        breaker.record(False)
+        clock.advance(5.0)
+        _, probe = breaker.admit()
+        assert probe
+        breaker.record(False, probe=True)
+        assert breaker.state == OPEN
+        assert breaker.trip_count == 2
+        # cooldown restarted at the re-open
+        clock.advance(4.0)
+        assert breaker.admit() == ("greedy", False)
+        clock.advance(1.0)
+        assert breaker.admit() == ("full", True)
+
+    def test_abstain_releases_probe_without_closing(self):
+        breaker, clock = self.make(threshold=1, cooldown=1.0)
+        breaker.record(False)
+        clock.advance(1.0)
+        _, probe = breaker.admit()
+        assert probe
+        breaker.abstain(probe=True)
+        assert breaker.state == HALF_OPEN
+        # the next admit sends another probe
+        assert breaker.admit() == ("full", True)
+
+    def test_transition_trace_is_exact(self):
+        breaker, clock = self.make(threshold=1, cooldown=1.0)
+        breaker.record(False)
+        clock.advance(1.0)
+        breaker.admit()
+        breaker.record(True, probe=True)
+        states = [(a, b) for a, b, _ in breaker.transitions]
+        assert states == [
+            (CLOSED, OPEN),
+            (OPEN, HALF_OPEN),
+            (HALF_OPEN, CLOSED),
+        ]
+
+    def test_open_failures_do_not_stack_trips(self):
+        breaker, _ = self.make(threshold=1)
+        breaker.record(False)
+        breaker.record(False)
+        breaker.record(False)
+        assert breaker.trip_count == 1
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            BreakerConfig(pinned_rung="bogus")
+        with pytest.raises(ValueError):
+            BreakerConfig(failure_threshold=0)
+
+
+# ---------------------------------------------------------------------------
+# admission control and load shedding
+# ---------------------------------------------------------------------------
+
+
+class TestAdmission:
+    def test_sheds_beyond_bounded_queue(self):
+        gate = threading.Event()
+        config = ServiceConfig(
+            workers=1,
+            queue_limit=1,
+            request_hook=lambda request: gate.wait(timeout=30),
+        )
+        with QueryService(make_db(), config) as service:
+            first = service.submit(CAMERON)
+            second = service.submit(HANKS)
+            third = service.submit(CAMERON)  # capacity (1+1) exceeded
+            shed = third.result(timeout=1)
+            assert shed.shed
+            assert shed.outcome == "shed"
+            assert isinstance(shed.error, ServiceOverloaded)
+            assert shed.error.diagnostic.stage == "admission"
+            gate.set()
+            assert first.result(timeout=30).ok
+            assert second.result(timeout=30).ok
+        assert service.stats.shed == 1
+        assert service.stats.completed == 2
+        assert ("shed", 3) in service.events
+
+    def test_slot_released_after_completion(self):
+        config = ServiceConfig(workers=1, queue_limit=0)
+        with QueryService(make_db(), config) as service:
+            for _ in range(3):  # sequential: the single slot is reused
+                assert service.translate_one(CAMERON).ok
+        assert service.stats.shed == 0
+
+    def test_run_preserves_submission_order(self):
+        with QueryService(make_db(), ServiceConfig(workers=4)) as service:
+            queries = [CAMERON, HANKS, CAMERON, HANKS]
+            responses = service.run(queries)
+        assert [r.query for r in responses] == queries
+        assert [r.request_id for r in responses] == [1, 2, 3, 4]
+
+    def test_unknown_database_rejected(self):
+        with QueryService(make_db()) as service:
+            with pytest.raises(KeyError):
+                service.submit(CAMERON, database="nope")
+
+    def test_needs_at_least_one_database(self):
+        with pytest.raises(ValueError):
+            QueryService({})
+
+
+# ---------------------------------------------------------------------------
+# retries on transient faults (virtual clock, no sleeping)
+# ---------------------------------------------------------------------------
+
+
+class TestRetries:
+    def test_transient_fault_retried_to_success(self):
+        injector = FaultInjector()
+        injector.inject_error("map", trigger=1)  # first map visit only
+        config = ServiceConfig(workers=1, retry=RetryPolicy(max_retries=2))
+        with QueryService(make_db(), config, faults=injector) as service:
+            response = service.translate_one(CAMERON)
+        assert response.ok
+        assert response.retries == 1
+        assert response.rung == "full"
+        # the backoff was the deterministic schedule, on the virtual clock
+        expected = config.retry.backoff(response.request_id, 1)
+        assert ("retry", response.request_id, 1, expected) in service.events
+        assert response.elapsed >= expected  # virtual time, not wall time
+        assert service.stats.retries == 1
+
+    def test_retries_exhausted_fails_typed(self):
+        injector = FaultInjector()
+        injector.inject_error("map", repeat=True)
+        config = ServiceConfig(workers=1, retry=RetryPolicy(max_retries=2))
+        with QueryService(make_db(), config, faults=injector) as service:
+            response = service.translate_one(CAMERON)
+        assert not response.ok
+        assert response.retries == 2
+        assert isinstance(response.error, InjectedFault)
+        assert service.stats.failed == 1
+        assert service.stats.retries == 2
+
+    def test_non_transient_errors_fail_fast(self):
+        config = ServiceConfig(workers=1, retry=RetryPolicy(max_retries=3))
+        with QueryService(make_db(), config) as service:
+            response = service.translate_one("SELECT name? WHERE")
+        assert not response.ok
+        assert response.retries == 0
+        assert isinstance(response.error, SqlSyntaxError)
+
+    def test_no_retry_policy(self):
+        injector = FaultInjector()
+        injector.inject_error("map", trigger=1)
+        config = ServiceConfig(workers=1, retry=NO_RETRY)
+        with QueryService(make_db(), config, faults=injector) as service:
+            response = service.translate_one(CAMERON)
+        assert not response.ok
+        assert response.retries == 0
+
+
+# ---------------------------------------------------------------------------
+# deadlines mapped onto budgets
+# ---------------------------------------------------------------------------
+
+
+class TestDeadlines:
+    def test_injected_delay_exhausts_deadline_and_degrades(self):
+        injector = FaultInjector()
+        # every map entry costs 10 virtual seconds: the 0.5s deadline is
+        # gone before the full search starts
+        injector.inject_delay("map", seconds=10.0, repeat=True)
+        config = ServiceConfig(
+            workers=1,
+            deadline=0.5,
+            retry=NO_RETRY,
+            breaker=BreakerConfig(failure_threshold=1000),
+        )
+        with QueryService(make_db(), config, faults=injector) as service:
+            response = service.translate_one(CAMERON)
+        assert response.ok  # degraded, not failed
+        assert response.rung != "full"
+        steps = " ".join(response.translations[0].degradation)
+        assert "abandoned" in steps or "deadline passed" in steps
+
+    def test_deadline_none_never_degrades(self):
+        with QueryService(make_db(), ServiceConfig(workers=1)) as service:
+            response = service.translate_one(CAMERON)
+        assert response.ok
+        assert response.rung == "full"
+        assert not response.degraded
+
+
+# ---------------------------------------------------------------------------
+# circuit breaker wired into the service
+# ---------------------------------------------------------------------------
+
+
+def pressure_injector(failures: int) -> FaultInjector:
+    """An injector whose first *failures* requests lose their full-search
+    budget (each fault fires once, on consecutive network visits)."""
+    injector = FaultInjector()
+    for visit in range(1, failures + 1):
+        injector.inject_budget_exhaustion("network", trigger=visit)
+    return injector
+
+
+class TestBreakerIntegration:
+    def make_service(self, failures=2, threshold=2, cooldown=60.0):
+        injector = pressure_injector(failures)
+        config = ServiceConfig(
+            workers=1,
+            retry=NO_RETRY,
+            breaker=BreakerConfig(
+                failure_threshold=threshold,
+                cooldown=cooldown,
+                pinned_rung="greedy",
+            ),
+        )
+        return QueryService(make_db(), config, faults=injector), injector
+
+    def test_budget_pressure_trips_and_pins(self):
+        service, _ = self.make_service(failures=2, threshold=2)
+        with service:
+            # two budget-pressured requests: degraded to "reduced", and
+            # each counts as a breaker failure
+            for _ in range(2):
+                response = service.translate_one(CAMERON)
+                assert response.ok
+                assert response.rung == "reduced"
+            assert service.breaker().state == OPEN
+            # new requests are pinned to the greedy rung
+            pinned = service.translate_one(CAMERON)
+            assert pinned.ok
+            assert pinned.rung == "greedy"
+            assert pinned.breaker_state == OPEN
+            steps = " ".join(pinned.translations[0].degradation)
+            assert "ladder pinned at 'greedy'" in steps
+        assert service.breaker().trip_count == 1
+        assert service.stats.rungs == {"reduced": 2, "greedy": 1}
+
+    def test_half_open_probe_recovers(self):
+        service, injector = self.make_service(
+            failures=2, threshold=2, cooldown=30.0
+        )
+        with service:
+            for _ in range(2):
+                service.translate_one(CAMERON)
+            assert service.breaker().state == OPEN
+            # cooldown not elapsed: still pinned
+            assert service.translate_one(CAMERON).rung == "greedy"
+            injector.advance(30.0)
+            # the faults are exhausted, so the probe runs clean at full
+            probe = service.translate_one(CAMERON)
+            assert probe.probe
+            assert probe.ok
+            assert probe.rung == "full"
+            assert service.breaker().state == CLOSED
+            # and service is back to full strength
+            assert service.translate_one(CAMERON).rung == "full"
+        states = [(a, b) for a, b, _ in service.breaker().transitions]
+        assert states == [
+            (CLOSED, OPEN),
+            (OPEN, HALF_OPEN),
+            (HALF_OPEN, CLOSED),
+        ]
+        assert service.stats.probes == 1
+
+    def test_failed_probe_reopens(self):
+        # 3 pressure faults: two trip the breaker, the third hits the probe
+        service, injector = self.make_service(
+            failures=3, threshold=2, cooldown=30.0
+        )
+        with service:
+            for _ in range(2):
+                service.translate_one(CAMERON)
+            assert service.breaker().state == OPEN
+            injector.advance(30.0)
+            probe = service.translate_one(CAMERON)
+            assert probe.probe
+            assert probe.rung == "reduced"  # still under pressure
+            assert service.breaker().state == OPEN
+            assert service.breaker().trip_count == 2
+
+    def test_per_database_breakers_are_independent(self):
+        injector = pressure_injector(2)
+        config = ServiceConfig(
+            workers=1,
+            retry=NO_RETRY,
+            breaker=BreakerConfig(failure_threshold=2, cooldown=60.0),
+        )
+        databases = {"a": make_db(), "b": make_db()}
+        with QueryService(databases, config, faults=injector) as service:
+            for _ in range(2):
+                service.translate_one(CAMERON, database="a")
+            assert service.breaker("a").state == OPEN
+            assert service.breaker("b").state == CLOSED
+            # b still serves at full strength (faults exhausted by a)
+            response = service.translate_one(CAMERON, database="b")
+            assert response.rung == "full"
+            assert service.breaker("b").state == CLOSED
+
+    def test_user_errors_do_not_trip_breaker(self):
+        config = ServiceConfig(
+            workers=1, breaker=BreakerConfig(failure_threshold=1)
+        )
+        with QueryService(make_db(), config) as service:
+            for _ in range(3):
+                response = service.translate_one("SELECT name? WHERE")
+                assert not response.ok
+            assert service.breaker().state == CLOSED
+
+
+# ---------------------------------------------------------------------------
+# response / snapshot surface
+# ---------------------------------------------------------------------------
+
+
+class TestResponseSurface:
+    def test_response_to_dict_round_trips_json(self):
+        import json
+
+        with QueryService(make_db(), ServiceConfig(workers=1)) as service:
+            response = service.translate_one(CAMERON)
+        data = json.loads(json.dumps(response.to_dict()))
+        assert data["outcome"] == "ok"
+        assert data["rung"] == "full"
+        assert data["sql"].startswith("SELECT")
+
+    def test_snapshot_has_stats_breakers_memo(self):
+        with QueryService(make_db(), ServiceConfig(workers=2)) as service:
+            service.run([CAMERON, HANKS])
+            snapshot = service.snapshot()
+        assert snapshot["stats"]["completed"] == 2
+        assert snapshot["breakers"]["default"]["state"] == CLOSED
+        assert "tree_sim_misses" in snapshot["memo"]["default"]
+
+    def test_close_is_idempotent(self):
+        service = QueryService(make_db(), ServiceConfig(workers=1))
+        service.close()
+        service.close()
