@@ -14,6 +14,14 @@ counterpart — the context memoizes, it must never change outcomes.
 Results (per-workload timings, speedups, and the warm pass's memo
 counters) are written to ``BENCH_translate.json``.
 
+The warm pass is also re-run with structured tracing *enabled* (a real
+:class:`~repro.obs.Tracer` exporting into a ring buffer) to measure the
+observability layer's overhead: ``traced_seconds`` /
+``tracing_overhead`` land in the report, and the disabled path (the
+default ``NULL_TRACER``) is compared against the committed baseline
+``BENCH_translate.json`` — pass ``--max-regression 0.05`` to fail the
+run when the tracing-disabled warm path regressed more than 5%.
+
 Run from the repository root::
 
     PYTHONPATH=src python benchmarks/bench_translate.py
@@ -25,12 +33,14 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import time
 from typing import Callable
 
 from repro import Database, SchemaFreeTranslator
 from repro.core.similarity import clear_string_caches
 from repro.datasets import make_course_database, make_movie_database
+from repro.obs import RingBufferExporter, Tracer
 from repro.workloads import (
     COURSE_QUERIES,
     SOPHISTICATED_QUERIES,
@@ -76,6 +86,19 @@ def run_warm(database: Database, queries: list[str]) -> tuple[float, list, dict]
     return elapsed, results, stats.as_dict() if stats is not None else {}
 
 
+def run_warm_traced(
+    database: Database, queries: list[str]
+) -> tuple[float, list]:
+    """The warm pass again, with tracing enabled into a ring buffer."""
+    tracer = Tracer(exporters=[RingBufferExporter(capacity=4096)])
+    translator = SchemaFreeTranslator(database, tracer=tracer)
+    translator.translate_many(queries, top_k=TOP_K)  # warm the context
+    started = time.perf_counter()
+    results = translator.translate_many(queries, top_k=TOP_K)
+    elapsed = time.perf_counter() - started
+    return elapsed, results
+
+
 def check_identical(cold: list, warm: list) -> None:
     """The context memoizes — it must never change a single byte."""
     for query_cold, query_warm in zip(cold, warm):
@@ -95,12 +118,19 @@ def bench_workload(name: str) -> dict:
     cold_seconds, cold_results = run_cold(database, queries)
     warm_seconds, warm_results, warm_stats = run_warm(database, queries)
     check_identical(cold_results, warm_results)
+    traced_seconds, traced_results = run_warm_traced(database, queries)
+    check_identical(warm_results, traced_results)
     speedup = cold_seconds / warm_seconds if warm_seconds > 0 else float("inf")
+    overhead = (
+        traced_seconds / warm_seconds - 1.0 if warm_seconds > 0 else 0.0
+    )
     row = {
         "queries": len(queries),
         "top_k": TOP_K,
         "cold_seconds": round(cold_seconds, 4),
         "warm_seconds": round(warm_seconds, 4),
+        "traced_seconds": round(traced_seconds, 4),
+        "tracing_overhead": round(overhead, 4),
         "speedup": round(speedup, 2),
         "identical": True,
         "warm_stats": warm_stats,
@@ -108,9 +138,39 @@ def bench_workload(name: str) -> dict:
     print(
         f"{name:>14}: {len(queries):>2} queries  "
         f"cold {cold_seconds:7.3f}s  warm {warm_seconds:7.3f}s  "
+        f"traced {traced_seconds:7.3f}s ({overhead:+6.1%})  "
         f"speedup {speedup:5.2f}x"
     )
     return row
+
+
+def check_regression(
+    report: dict, baseline_path: str, max_regression: float
+) -> list[str]:
+    """Compare tracing-disabled warm timings against the committed
+    baseline; returns one message per workload that regressed more
+    than ``max_regression`` (fraction, e.g. 0.05)."""
+    if not os.path.exists(baseline_path):
+        print(f"no baseline at {baseline_path}; skipping regression check")
+        return []
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+    failures = []
+    for name, row in report.items():
+        base = baseline.get(name, {}).get("warm_seconds")
+        if not base:
+            continue
+        regression = row["warm_seconds"] / base - 1.0
+        print(
+            f"{name:>14}: warm path {regression:+6.1%} vs baseline "
+            f"({base:.3f}s -> {row['warm_seconds']:.3f}s)"
+        )
+        if regression > max_regression:
+            failures.append(
+                f"{name}: tracing-disabled warm path regressed "
+                f"{regression:.1%} (> {max_regression:.0%})"
+            )
+    return failures
 
 
 def main(argv=None) -> int:
@@ -127,14 +187,34 @@ def main(argv=None) -> int:
         default="BENCH_translate.json",
         help="where to write the JSON report",
     )
+    parser.add_argument(
+        "--baseline",
+        default="BENCH_translate.json",
+        help="baseline report to compare warm timings against",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="fail when the tracing-disabled warm path is this much "
+        "slower than the baseline (e.g. 0.05 for 5%%)",
+    )
     args = parser.parse_args(argv)
 
     report = {name: bench_workload(name) for name in args.workloads}
+    failures = []
+    if args.max_regression is not None:
+        failures = check_regression(
+            report, args.baseline, args.max_regression
+        )
     with open(args.output, "w") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")
     print(f"wrote {args.output}")
-    return 0
+    for failure in failures:
+        print(f"REGRESSION: {failure}")
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

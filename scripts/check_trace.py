@@ -1,0 +1,243 @@
+"""Validate observability artifacts: a span JSONL trace + metrics JSON.
+
+Stdlib-only checker used by the CI "observability" job after
+``benchmarks/trace_workload.py`` produced its artifacts::
+
+    python scripts/check_trace.py TRACE_textbook.jsonl METRICS_textbook.json
+
+Span schema (one JSON object per line, the contract of
+:class:`repro.obs.JsonlExporter` / ``Span.to_dict``, documented in
+``docs/OBSERVABILITY.md``):
+
+* ``name`` — non-empty string;
+* ``trace_id`` / ``span_id`` — positive ints, ``span_id`` unique
+  across the file;
+* ``parent_id`` — int or null; when the parent span appears in the
+  file it must share the child's ``trace_id``;
+* ``start`` / ``end`` / ``duration`` — numbers with ``end >= start``
+  and ``duration == end - start`` (to exporter rounding);
+* ``status`` — ``"ok"`` or ``"error"``;
+* ``attributes`` — object; ``events`` — list of
+  ``{"name", "time", "attributes"}`` with times inside the span.
+
+Metrics schema (``MetricsRegistry.snapshot()``): a name →
+``{"kind", "help", "values"}`` object where names match
+``repro_<area>_<name>[_<unit>]``, kind is counter/gauge/histogram,
+and histogram values carry ``buckets``/``inf``/``sum``/``count``.
+
+Exits 0 when everything validates, 1 with one line per problem
+otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+
+STATUSES = ("ok", "error")
+METRIC_KINDS = ("counter", "gauge", "histogram")
+METRIC_NAME = re.compile(r"^repro(_[a-z][a-z0-9]*)+$")
+#: spans the textbook workload must have produced at least once
+EXPECTED_SPANS = ("service.request", "translate", "parse", "map", "compose")
+
+
+def _is_number(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def check_span_record(record, lineno: int, errors: list[str]) -> None:
+    where = f"line {lineno}"
+    if not isinstance(record, dict):
+        errors.append(f"{where}: span record is not an object")
+        return
+    name = record.get("name")
+    if not isinstance(name, str) or not name:
+        errors.append(f"{where}: 'name' must be a non-empty string")
+    for field in ("trace_id", "span_id"):
+        value = record.get(field)
+        if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+            errors.append(f"{where}: {field!r} must be a positive int")
+    parent = record.get("parent_id")
+    if parent is not None and (
+        not isinstance(parent, int) or isinstance(parent, bool)
+    ):
+        errors.append(f"{where}: 'parent_id' must be an int or null")
+    start, end, duration = (
+        record.get("start"),
+        record.get("end"),
+        record.get("duration"),
+    )
+    for field, value in (("start", start), ("end", end), ("duration", duration)):
+        if not _is_number(value):
+            errors.append(f"{where}: {field!r} must be a number")
+    if _is_number(start) and _is_number(end):
+        if end < start:
+            errors.append(f"{where}: end ({end}) precedes start ({start})")
+        elif _is_number(duration) and abs((end - start) - duration) > 1e-4:
+            errors.append(
+                f"{where}: duration {duration} != end - start {end - start}"
+            )
+    if record.get("status") not in STATUSES:
+        errors.append(
+            f"{where}: status {record.get('status')!r} not in {STATUSES}"
+        )
+    if not isinstance(record.get("attributes"), dict):
+        errors.append(f"{where}: 'attributes' must be an object")
+    events = record.get("events")
+    if not isinstance(events, list):
+        errors.append(f"{where}: 'events' must be a list")
+        return
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            errors.append(f"{where}: event #{index} is not an object")
+            continue
+        if not isinstance(event.get("name"), str) or not event.get("name"):
+            errors.append(f"{where}: event #{index} has no name")
+        if not _is_number(event.get("time")):
+            errors.append(f"{where}: event #{index} has no numeric time")
+        elif _is_number(start) and _is_number(end):
+            if not (start - 1e-6 <= event["time"] <= end + 1e-6):
+                errors.append(
+                    f"{where}: event #{index} time {event['time']} "
+                    f"outside span [{start}, {end}]"
+                )
+        if not isinstance(event.get("attributes"), dict):
+            errors.append(f"{where}: event #{index} attributes not an object")
+
+
+def check_trace(path: str, errors: list[str]) -> None:
+    spans: dict[int, dict] = {}
+    names: set[str] = set()
+    try:
+        with open(path, encoding="utf-8") as handle:
+            lines = handle.readlines()
+    except OSError as exc:
+        errors.append(f"{path}: cannot read: {exc}")
+        return
+    if not lines:
+        errors.append(f"{path}: trace file is empty")
+        return
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            errors.append(f"line {lineno}: invalid JSON: {exc}")
+            continue
+        check_span_record(record, lineno, errors)
+        if isinstance(record, dict):
+            span_id = record.get("span_id")
+            if isinstance(span_id, int):
+                if span_id in spans:
+                    errors.append(
+                        f"line {lineno}: duplicate span_id {span_id}"
+                    )
+                spans[span_id] = record
+            if isinstance(record.get("name"), str):
+                names.add(record["name"])
+    # parent linkage: a child exported after its parent must agree on
+    # the trace; parents outside the ring/file are fine (None parent)
+    for record in spans.values():
+        parent = spans.get(record.get("parent_id"))
+        if parent is not None and parent.get("trace_id") != record.get(
+            "trace_id"
+        ):
+            errors.append(
+                f"span {record['span_id']}: trace_id "
+                f"{record.get('trace_id')} != parent's "
+                f"{parent.get('trace_id')}"
+            )
+    for expected in EXPECTED_SPANS:
+        if expected not in names:
+            errors.append(f"{path}: no {expected!r} span in trace")
+    print(f"{path}: {len(spans)} spans, {len(names)} distinct names")
+
+
+def check_histogram_value(name: str, labels: str, value, errors: list[str]) -> None:
+    where = f"{name}{{{labels}}}" if labels else name
+    if not isinstance(value, dict):
+        errors.append(f"{where}: histogram value is not an object")
+        return
+    for field in ("buckets", "inf", "sum", "count"):
+        if field not in value:
+            errors.append(f"{where}: histogram value missing {field!r}")
+    buckets = value.get("buckets")
+    if not isinstance(buckets, dict):
+        errors.append(f"{where}: 'buckets' must be an object")
+        return
+    observed = sum(v for v in buckets.values() if _is_number(v))
+    inf = value.get("inf", 0)
+    count = value.get("count", 0)
+    if _is_number(inf) and _is_number(count) and observed + inf != count:
+        errors.append(
+            f"{where}: bucket counts {observed} + inf {inf} != count {count}"
+        )
+
+
+def check_metrics(path: str, errors: list[str]) -> None:
+    try:
+        with open(path, encoding="utf-8") as handle:
+            snapshot = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        errors.append(f"{path}: cannot load: {exc}")
+        return
+    if not isinstance(snapshot, dict) or not snapshot:
+        errors.append(f"{path}: snapshot must be a non-empty object")
+        return
+    for name, metric in snapshot.items():
+        if not METRIC_NAME.match(name):
+            errors.append(f"{name}: does not match {METRIC_NAME.pattern}")
+        if not isinstance(metric, dict):
+            errors.append(f"{name}: metric entry is not an object")
+            continue
+        kind = metric.get("kind")
+        if kind not in METRIC_KINDS:
+            errors.append(f"{name}: kind {kind!r} not in {METRIC_KINDS}")
+        if not isinstance(metric.get("help"), str) or not metric.get("help"):
+            errors.append(f"{name}: missing help text")
+        values = metric.get("values")
+        if not isinstance(values, dict):
+            errors.append(f"{name}: 'values' must be an object")
+            continue
+        for labels, value in values.items():
+            if kind == "histogram":
+                check_histogram_value(name, labels, value, errors)
+            elif not _is_number(value):
+                errors.append(
+                    f"{name}{{{labels}}}: value {value!r} is not a number"
+                )
+    for required in (
+        "repro_translate_queries_total",
+        "repro_service_requests_total",
+    ):
+        if required not in snapshot:
+            errors.append(f"{path}: required metric {required} missing")
+    print(f"{path}: {len(snapshot)} metrics")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", help="span JSONL file to validate")
+    parser.add_argument(
+        "metrics", nargs="?", help="metrics JSON snapshot to validate"
+    )
+    args = parser.parse_args(argv)
+    errors: list[str] = []
+    check_trace(args.trace, errors)
+    if args.metrics:
+        check_metrics(args.metrics, errors)
+    for error in errors:
+        print(f"INVALID: {error}", file=sys.stderr)
+    if errors:
+        print(f"{len(errors)} problem(s) found", file=sys.stderr)
+        return 1
+    print("all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -37,6 +37,12 @@ from .core import (
 )
 from .engine import Database, EngineError, Result
 from .errors import Diagnostic, ReproError
+from .obs import (
+    MetricsRegistry,
+    RingBufferExporter,
+    Tracer,
+    render_trace,
+)
 from .service import (
     QueryService,
     ServiceConfig,
@@ -59,9 +65,13 @@ __all__ = [
     "EngineError",
     "ReproError",
     "ForeignKey",
+    "MetricsRegistry",
     "QueryService",
     "Relation",
     "Result",
+    "RingBufferExporter",
+    "Tracer",
+    "render_trace",
     "SchemaError",
     "ServiceConfig",
     "ServiceOverloaded",

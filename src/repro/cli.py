@@ -4,6 +4,7 @@ Usage::
 
     python -m repro [--dataset movies|courses|courses-alt] [--top-k N]
     python -m repro --batch queries.txt --workers 8 --deadline 0.5
+    python -m repro explain "SELECT title? WHERE gross? > 100"
 
 Type Schema-free SQL (or plain SQL) at the prompt; the shell shows the
 best translation and its answer.  Dot-commands:
@@ -23,6 +24,19 @@ With ``--stats`` (or ``.stats on``) every query prints its translation
 statistics: per-stage wall time, candidates and expansions charged, and
 the shared context's memo hits/misses.
 
+Observability (docs/OBSERVABILITY.md):
+
+* ``explain "<sf-sql>"`` — translate one query with tracing on and
+  render the span tree: per-stage durations, each relation tree's top
+  mapper candidates with their σ scores, the degradation-ladder rungs
+  attempted, and which rung produced the final SQL;
+* ``--trace`` — render the same span tree after every shell/one-shot
+  query;
+* ``--trace-out FILE`` — append every finished span as one JSON object
+  per line (works in shell, one-shot, and batch modes);
+* ``--metrics FILE`` — write a metrics snapshot on exit: Prometheus
+  text exposition when FILE ends in ``.prom``/``.txt``, JSON otherwise.
+
 Batch mode (``--batch FILE``) reads one query per line (``#`` comments
 and blank lines ignored) and routes the whole file through the
 concurrent :class:`repro.service.QueryService`: ``--workers`` threads,
@@ -31,7 +45,8 @@ Each request reports its outcome, degradation-ladder rung, retry count
 and (on failure) the structured diagnostic; ``--service-stats FILE``
 dumps the service counters as JSON.  Exit codes: 0 all ok, 6 when any
 request was shed by admission control, otherwise the code of the first
-failure (2 syntax / 3 translation / 4 engine / 5 internal).
+failure (2 syntax / 3 translation / 4 engine / 5 internal); the full
+table lives in ``repro.service``'s module docstring.
 """
 
 from __future__ import annotations
@@ -49,6 +64,14 @@ from .datasets import (
 )
 from .engine import Database, EngineError
 from .errors import ReproError
+from .obs import (
+    JsonlExporter,
+    MetricsRegistry,
+    RingBufferExporter,
+    Tracer,
+    record_translation,
+    render_trace,
+)
 from .sqlkit import SqlSyntaxError
 
 DATASETS = {
@@ -84,12 +107,22 @@ class Shell:
     """A small REPL over one database and one translator."""
 
     def __init__(
-        self, database: Database, top_k: int = 1, show_stats: bool = False
+        self,
+        database: Database,
+        top_k: int = 1,
+        show_stats: bool = False,
+        tracer=None,  # Optional[repro.obs.Tracer]
+        trace_ring: Optional[RingBufferExporter] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.database = database
-        self.translator = SchemaFreeTranslator(database)
+        self.translator = SchemaFreeTranslator(database, tracer=tracer)
         self.top_k = top_k
         self.show_stats = show_stats
+        #: when set (--trace), each query's span tree is rendered after
+        #: its results
+        self.trace_ring = trace_ring
+        self.metrics = metrics
         #: the last failure seen by ``_query``/``_why`` (drives one-shot
         #: exit codes; cleared at the start of every query)
         self.last_error: Optional[BaseException] = None
@@ -182,6 +215,28 @@ class Shell:
             print(f"unknown command {command!r}; try .help", file=out)
         return True
 
+    def _observe(self, translations, out, failed: bool = False) -> None:
+        """Per-query observability tail: fold the query into the metrics
+        registry and render its span tree when --trace is on."""
+        if self.metrics is not None:
+            if failed:
+                record_translation(
+                    self.metrics,
+                    self.translator.last_translation_stats,
+                    outcome="failed",
+                    rung="none",
+                )
+            elif translations and translations[0].stats is not None:
+                first = translations[0]
+                record_translation(
+                    self.metrics,
+                    first.stats,
+                    outcome="degraded" if first.is_degraded else "ok",
+                    rung=first.rung,
+                )
+        if self.trace_ring is not None:
+            print(render_trace(self.trace_ring.last_trace()), file=out)
+
     def _why(self, text: str, out) -> None:
         from .core import describe_translation
 
@@ -190,6 +245,7 @@ class Shell:
             translations = self.translator.translate(text, top_k=self.top_k)
         except ReproError as exc:
             self._report_error(exc, out)
+            self._observe(None, out, failed=True)
             return
         except Exception as exc:  # keep the REPL alive on translator bugs
             self._report_internal(exc, out, ".why")
@@ -228,6 +284,7 @@ class Shell:
             translations = self.translator.translate(text, top_k=self.top_k)
         except ReproError as exc:
             self._report_error(exc, out)
+            self._observe(None, out, failed=True)
             return
         except Exception as exc:  # keep the REPL alive on translator bugs
             self._report_internal(exc, out, "translation")
@@ -243,6 +300,7 @@ class Shell:
                 )
         if self.show_stats and translations and translations[0].stats:
             print(translations[0].stats.render(), file=out)
+        self._observe(translations, out)
         if not execute or not translations:
             return
         try:
@@ -281,6 +339,8 @@ def run_batch(
     top_k: int,
     stats_path: Optional[str] = None,
     out=None,
+    tracer=None,  # Optional[repro.obs.Tracer]
+    metrics: Optional[MetricsRegistry] = None,
 ) -> int:
     """Route a query batch through the concurrent service.
 
@@ -297,7 +357,9 @@ def run_batch(
         deadline=deadline,
         top_k=max(1, top_k),
     )
-    with QueryService(database, config) as service:
+    with QueryService(
+        database, config, tracer=tracer, metrics=metrics
+    ) as service:
         responses = service.run(queries)
         snapshot = service.snapshot()
 
@@ -343,7 +405,104 @@ def run_batch(
     return exit_code_for(first_error)
 
 
+def _load_database(dataset: str, load: Optional[str]) -> tuple[Database, str]:
+    if load:
+        from .engine.io import load_database
+
+        return load_database(load), load
+    return DATASETS[dataset](), dataset
+
+
+def write_metrics(registry: MetricsRegistry, path: str, out=None) -> None:
+    """Dump the registry: Prometheus text for ``.prom``/``.txt`` paths,
+    the JSON snapshot otherwise."""
+    with open(path, "w", encoding="utf-8") as handle:
+        if path.endswith((".prom", ".txt")):
+            handle.write(registry.render_text())
+        else:
+            json.dump(registry.snapshot(), handle, indent=2)
+    if out is not None:
+        print(f"metrics written to {path}", file=out)
+
+
+def run_explain(argv: Optional[list[str]] = None, out=None) -> int:
+    """The ``repro explain`` subcommand: translate one query with
+    tracing enabled and render the annotated span tree — per-stage
+    durations, each relation tree's top mapper candidates with σ
+    scores, the ladder rungs attempted, and the rung that produced the
+    final SQL."""
+    parser = argparse.ArgumentParser(
+        prog="repro explain",
+        description="Trace one schema-free query through the pipeline",
+    )
+    parser.add_argument("query", help="the Schema-free SQL query to explain")
+    parser.add_argument(
+        "--dataset",
+        choices=sorted(DATASETS),
+        default="movies",
+        help="which synthetic database to load (default: movies)",
+    )
+    parser.add_argument(
+        "--load",
+        metavar="DIR",
+        help="load a saved database instead of a built-in dataset",
+    )
+    parser.add_argument(
+        "--top-k", type=int, default=1, help="interpretations to produce"
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        help="also append the spans to FILE as JSON lines",
+    )
+    args = parser.parse_args(argv)
+    if out is None:
+        out = sys.stdout
+
+    database, _ = _load_database(args.dataset, args.load)
+    ring = RingBufferExporter()
+    exporters = [ring]
+    jsonl = JsonlExporter(args.trace_out) if args.trace_out else None
+    if jsonl is not None:
+        exporters.append(jsonl)
+    tracer = Tracer(exporters=exporters)
+    translator = SchemaFreeTranslator(database, tracer=tracer)
+    error: Optional[BaseException] = None
+    translations = []
+    try:
+        translations = translator.translate(
+            args.query, top_k=max(1, args.top_k)
+        )
+    except ReproError as exc:
+        error = exc
+        print(f"error: {exc}", file=out)
+        if exc.diagnostic is not None:
+            for line in exc.diagnostic.render().splitlines():
+                print(f"  | {line}", file=out)
+    finally:
+        if jsonl is not None:
+            jsonl.close()
+    for rank, translation in enumerate(translations, 1):
+        print(
+            f"[{rank}] w={translation.weight:.4f}  rung={translation.rung}  "
+            f"{translation.sql}",
+            file=out,
+        )
+        if translation.degradation:
+            print(
+                f"    [degraded: {'; '.join(translation.degradation)}]",
+                file=out,
+            )
+    print(file=out)
+    print(render_trace(ring.spans()), file=out)
+    return exit_code_for(error)
+
+
 def main(argv: Optional[list[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "explain":
+        return run_explain(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro", description="Schema-free SQL interactive shell"
     )
@@ -404,53 +563,91 @@ def main(argv: Optional[list[str]] = None) -> int:
         metavar="FILE",
         help="with --batch, write the service stats snapshot as JSON",
     )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="render each query's span tree after its results",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        help="append every finished span to FILE as JSON lines",
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="FILE",
+        help="write a metrics snapshot on exit (.prom/.txt: Prometheus "
+        "text exposition; otherwise JSON)",
+    )
     args = parser.parse_args(argv)
 
-    if args.load:
-        from .engine.io import load_database
+    database, dataset_label = _load_database(args.dataset, args.load)
 
-        database = load_database(args.load)
-        dataset_label = args.load
-    else:
-        database = DATASETS[args.dataset]()
-        dataset_label = args.dataset
+    tracer = None
+    ring: Optional[RingBufferExporter] = None
+    jsonl: Optional[JsonlExporter] = None
+    if args.trace or args.trace_out:
+        exporters = []
+        if args.trace:
+            ring = RingBufferExporter()
+            exporters.append(ring)
+        if args.trace_out:
+            jsonl = JsonlExporter(args.trace_out)
+            exporters.append(jsonl)
+        tracer = Tracer(exporters=exporters)
+    registry = MetricsRegistry() if args.metrics else None
 
-    if args.batch is not None:
-        return run_batch(
+    try:
+        if args.batch is not None:
+            return run_batch(
+                database,
+                read_batch_file(args.batch),
+                workers=args.workers,
+                deadline=args.deadline,
+                queue_limit=args.queue_limit,
+                top_k=args.top_k,
+                stats_path=args.service_stats,
+                tracer=tracer,
+                metrics=registry,
+            )
+
+        shell = Shell(
             database,
-            read_batch_file(args.batch),
-            workers=args.workers,
-            deadline=args.deadline,
-            queue_limit=args.queue_limit,
-            top_k=args.top_k,
-            stats_path=args.service_stats,
+            top_k=max(1, args.top_k),
+            show_stats=args.stats,
+            tracer=tracer,
+            trace_ring=ring,
+            metrics=registry,
         )
 
-    shell = Shell(database, top_k=max(1, args.top_k), show_stats=args.stats)
+        if args.execute is not None:
+            # one-shot mode: distinct nonzero exit codes per failure
+            # class (2 syntax, 3 translation, 4 engine, 5 internal)
+            shell.run_command(args.execute)
+            return exit_code_for(shell.last_error)
 
-    if args.execute is not None:
-        # one-shot mode: distinct nonzero exit codes per failure class
-        # (2 syntax, 3 translation, 4 engine, 5 internal)
-        shell.run_command(args.execute)
-        return exit_code_for(shell.last_error)
-
-    print(
-        f"Schema-free SQL shell — dataset {dataset_label!r} "
-        f"({len(database.catalog)} relations). Type .help for commands."
-    )
-    while True:
-        try:
-            line = input("sfsql> ")
-        except (EOFError, KeyboardInterrupt):
-            print()
-            return 0
-        try:
-            alive = shell.run_command(line)
-        except Exception as exc:  # last-ditch guard: the REPL survives
-            shell._report_internal(exc, sys.stdout, "the shell")
-            continue
-        if not alive:
-            return 0
+        print(
+            f"Schema-free SQL shell — dataset {dataset_label!r} "
+            f"({len(database.catalog)} relations). Type .help for commands."
+        )
+        while True:
+            try:
+                line = input("sfsql> ")
+            except (EOFError, KeyboardInterrupt):
+                print()
+                return 0
+            try:
+                alive = shell.run_command(line)
+            except Exception as exc:  # last-ditch guard: the REPL survives
+                shell._report_internal(exc, sys.stdout, "the shell")
+                continue
+            if not alive:
+                return 0
+    finally:
+        if jsonl is not None:
+            jsonl.close()
+        if registry is not None:
+            write_metrics(registry, args.metrics, out=sys.stdout)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -353,14 +353,27 @@ class TranslationContext:
             self._condition_memo[key] = status
 
     def cached_tree_similarity(
-        self, key: tuple[TreeFingerprint, str]
+        self, key: tuple[TreeFingerprint, str], count: bool = True
     ) -> Optional[tuple[float, dict]]:
+        """Memoized ``(score, attribute_map)`` for one (tree fingerprint,
+        relation) pair, or None.
+
+        ``count`` is the hit/miss accounting switch: the
+        :class:`~repro.core.similarity.SimilarityEvaluator` — the single
+        choke point for these counters — passes False when it replays a
+        key it already probed within the current translation (the
+        degradation ladder re-mapping after an abandoned rung, a
+        sub-query block repeating an outer tree), so each unique pair
+        counts exactly once per query and a cold-context query can never
+        report hits against itself.
+        """
         with self._lock:
             cached = self._tree_sim_memo.get(key)
-            if cached is not None:
-                self.stats.tree_sim_hits += 1
-            else:
-                self.stats.tree_sim_misses += 1
+            if count:
+                if cached is not None:
+                    self.stats.tree_sim_hits += 1
+                else:
+                    self.stats.tree_sim_misses += 1
             return cached
 
     def remember_tree_similarity(

@@ -16,6 +16,7 @@ from typing import TYPE_CHECKING, Optional
 
 from ..catalog import Relation
 from ..engine import Database
+from ..obs import NULL_TRACER
 from .config import DEFAULT_CONFIG, TranslatorConfig
 from .relation_tree import AttrKey, RelationTree, TreeKey
 from .resilience import Budget
@@ -66,6 +67,7 @@ class RelationTreeMapper:
         config: TranslatorConfig = DEFAULT_CONFIG,
         evaluator: Optional[SimilarityEvaluator] = None,
         context: Optional["TranslationContext"] = None,
+        tracer=None,  # Optional[repro.obs.Tracer]
     ) -> None:
         self.database = database
         self.config = config
@@ -75,6 +77,7 @@ class RelationTreeMapper:
             context = evaluator.context
         self.evaluator = evaluator
         self.context = context
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     def _scoring_order(self, tree: RelationTree):
         """Candidates best-affinity-first (budget-friendly), or catalog
@@ -87,35 +90,76 @@ class RelationTreeMapper:
     def map_tree(
         self, tree: RelationTree, budget: Optional[Budget] = None
     ) -> TreeMappings:
-        scored: list[RelationMapping] = []
-        for relation in self._scoring_order(tree):
-            if budget is not None:
-                # every relation scored against the tree is one candidate
-                budget.charge_candidates(1, stage="map")
-            similarity, attribute_map = self.evaluator.tree_similarity(
-                tree, relation
-            )
-            if similarity > 0.0:
-                scored.append(
-                    RelationMapping(relation, similarity, attribute_map)
+        with self.tracer.span("map.tree") as span:
+            probed = 0
+            scored: list[RelationMapping] = []
+            for relation in self._scoring_order(tree):
+                if budget is not None:
+                    # every relation scored against the tree is one candidate
+                    budget.charge_candidates(1, stage="map")
+                probed += 1
+                similarity, attribute_map = self.evaluator.tree_similarity(
+                    tree, relation
                 )
-        scored.sort(key=lambda m: (-m.similarity, m.relation.key))
-        if not scored:
-            return TreeMappings(tree, [])
-        best = scored[0].similarity
-        threshold = self.config.sigma * best
-        # Definition 1 uses a strict inequality, which with sigma = 1.0 (or
-        # exact score ties at the top) would drop co-maximal candidates:
-        # nothing is strictly greater than sigma * max when it *is* the
-        # max.  Candidates tied with the maximum always belong to MAP(rt).
-        kept = [
-            m
-            for m in scored
-            if m.similarity > threshold or m.similarity == best
-        ]
-        return TreeMappings(tree, kept[: self.config.max_mappings])
+                if similarity > 0.0:
+                    scored.append(
+                        RelationMapping(relation, similarity, attribute_map)
+                    )
+            scored.sort(key=lambda m: (-m.similarity, m.relation.key))
+            if not scored:
+                if span.enabled:
+                    span.set(tree=tree.label, scored=probed, kept=0)
+                return TreeMappings(tree, [])
+            best = scored[0].similarity
+            threshold = self.config.sigma * best
+            # Definition 1 uses a strict inequality, which with sigma = 1.0
+            # (or exact score ties at the top) would drop co-maximal
+            # candidates: nothing is strictly greater than sigma * max when
+            # it *is* the max.  Candidates tied with the maximum always
+            # belong to MAP(rt).
+            kept = [
+                m
+                for m in scored
+                if m.similarity > threshold or m.similarity == best
+            ]
+            mappings = TreeMappings(tree, kept[: self.config.max_mappings])
+            if span.enabled:
+                chosen = {id(m) for m in mappings.candidates}
+                span.set(
+                    tree=tree.label,
+                    evidence=str(tree),
+                    scored=probed,
+                    kept=len(mappings.candidates),
+                    sigma_threshold=round(threshold, 6),
+                    candidates=[
+                        {
+                            "relation": m.relation.name,
+                            "sigma": m.similarity,
+                            "kept": id(m) in chosen,
+                        }
+                        for m in scored[: max(8, len(mappings.candidates))]
+                    ],
+                )
+            return mappings
 
     def map_trees(
         self, trees: list[RelationTree], budget: Optional[Budget] = None
     ) -> dict[TreeKey, TreeMappings]:
-        return {tree.key: self.map_tree(tree, budget) for tree in trees}
+        with self.tracer.span("map") as span:
+            memo_base = (
+                self.context.stats.as_dict()
+                if span.enabled and self.context is not None
+                else None
+            )
+            result = {tree.key: self.map_tree(tree, budget) for tree in trees}
+            if span.enabled:
+                span.set(trees=len(trees))
+                if memo_base is not None:
+                    now = self.context.stats.as_dict()
+                    span.set(
+                        memo_hits=now["tree_sim_hits"]
+                        - memo_base["tree_sim_hits"],
+                        memo_misses=now["tree_sim_misses"]
+                        - memo_base["tree_sim_misses"],
+                    )
+            return result

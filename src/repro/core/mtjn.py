@@ -22,6 +22,7 @@ import itertools
 from dataclasses import asdict, dataclass, field
 from typing import Iterable, Optional, Sequence
 
+from ..obs import NULL_TRACER
 from .config import DEFAULT_CONFIG, TranslatorConfig
 from .join_network import JoinNetwork
 from .relation_tree import RelationTree, TreeKey
@@ -58,10 +59,12 @@ class MTJNGenerator:
         config: TranslatorConfig = DEFAULT_CONFIG,
         budget: Optional[Budget] = None,
         stats: Optional[GenerationStats] = None,
+        tracer=None,  # Optional[repro.obs.Tracer]
     ) -> None:
         self.graph = graph
         self.config = config
         self.budget = budget
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         # an injected accumulator lets the translator total the search
         # counters across degradation rungs (each rung is one generator)
         self.stats = stats if stats is not None else GenerationStats()
@@ -80,6 +83,22 @@ class MTJNGenerator:
     # ------------------------------------------------------------------
     def generate(self, k: Optional[int] = None) -> list[JoinNetwork]:
         k = k or self.config.top_k
+        with self.tracer.span("mtjn") as span:
+            base = self.stats.as_dict() if span.enabled else None
+            try:
+                networks = self._generate(k)
+            finally:
+                if span.enabled:
+                    now = self.stats.as_dict()
+                    span.set(
+                        k=k,
+                        **{key: now[key] - base[key] for key in now},
+                    )
+            if span.enabled:
+                span.set(networks=len(networks))
+            return networks
+
+    def _generate(self, k: int) -> list[JoinNetwork]:
         if not self._required:
             return []
         first_key = self._required[0]

@@ -343,6 +343,19 @@ class SimilarityEvaluator:
         self.context = context
         self.checker = ConditionChecker(database, config, context)
         self._neighbors: dict[str, list[Relation]] = {}
+        #: (fingerprint, relation) pairs probed since :meth:`begin_query`
+        #: — the dedup behind single-counted memo statistics
+        self._probed: set[tuple] = set()
+
+    def begin_query(self) -> None:
+        """Start a new per-query lookup-accounting window.
+
+        The translator calls this at the top of every ``translate()``;
+        an evaluator used standalone (without a translator) simply keeps
+        one window, which still guarantees each pair is counted at most
+        once.
+        """
+        self._probed.clear()
 
     # -- string helpers --------------------------------------------------
     def sim(self, a: str, b: str) -> float:
@@ -455,11 +468,20 @@ class SimilarityEvaluator:
         attached), keyed by the tree's canonical fingerprint: trees from
         different queries with the same root name, attribute names and
         condition predicates share one computation.
+
+        Memo statistics are counted *here*, once per unique pair per
+        query: replays within one translation (the degradation ladder
+        re-mapping after an abandoned rung, repeated sub-query trees)
+        still read the memo but are not recounted, so hit/miss totals
+        measure genuine cross-query cache effectiveness.
         """
         if self.context is None:
             return self._tree_similarity(tree, relation)
         key = (tree_fingerprint(tree), relation.key)
-        cached = self.context.cached_tree_similarity(key)
+        first_probe = key not in self._probed
+        if first_probe:
+            self._probed.add(key)
+        cached = self.context.cached_tree_similarity(key, count=first_probe)
         if cached is not None:
             score, attribute_map = cached
             return score, dict(attribute_map)

@@ -25,6 +25,7 @@ from typing import Iterable, Optional, Sequence, Union
 
 from ..engine import Database, Result
 from ..errors import Diagnostic, ReproError
+from ..obs import NULL_TRACER
 from ..sqlkit import ast, parse, render
 from .composer import (
     ComposedQuery,
@@ -87,6 +88,7 @@ class SchemaFreeTranslator:
         views: Iterable[View] = (),
         faults=None,  # Optional[repro.testing.faults.FaultInjector]
         context: Optional[TranslationContext] = None,
+        tracer=None,  # Optional[repro.obs.Tracer]
     ) -> None:
         self.database = database
         self.config = config
@@ -103,8 +105,11 @@ class SchemaFreeTranslator:
         self.context = context
         self._static_views: list[View] = list(views)
         self.view_graph = ViewGraph(database.catalog, self._static_views)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.similarity = SimilarityEvaluator(database, config, context)
-        self.mapper = RelationTreeMapper(database, config, self.similarity)
+        self.mapper = RelationTreeMapper(
+            database, config, self.similarity, tracer=self.tracer
+        )
         self.composer = Composer(database.catalog)
         self.query_log = QueryLog(database.catalog)
         self.faults = faults
@@ -212,6 +217,9 @@ class SchemaFreeTranslator:
         if degrade is None:
             degrade = budget is not None
         self.context.ensure_current()
+        # one memo-accounting window per query: ladder re-mapping and
+        # repeated sub-query trees must not double-count cache lookups
+        self.similarity.begin_query()
         stats = TranslationStats()
         meter = budget
         if meter is None and self.faults is None:
@@ -229,49 +237,76 @@ class SchemaFreeTranslator:
         started = time.perf_counter()
         self.last_degradation = []
         self.last_diagnostic = None
-        try:
-            if isinstance(query, str):
-                self._fire("parse", meter)
-                with self._stage_guard("parse"), self._timed("parse"):
-                    query = parse(query)
-            k = top_k or self.config.top_k
-            translations = self._translate_query(
-                query, {}, k, meter, degrade, start_rung
+        root = self.tracer.span("translate")
+        if root.enabled:
+            text = query if isinstance(query, str) else render(query)
+            root.set(
+                query=str(text)[:200],
+                database=self.database.catalog.name,
+                top_k=top_k or self.config.top_k,
+                start_rung=start_rung,
             )
-            for translation in translations:
-                translation.stats = stats
-            return translations
-        except ReproError as exc:
-            if exc.diagnostic is None:
-                exc.diagnostic = Diagnostic(
-                    stage="translate", message=str(exc)
+        with root:
+            try:
+                if isinstance(query, str):
+                    self._fire("parse", meter)
+                    with self._stage_guard("parse"), self._timed("parse"), \
+                            self.tracer.span("parse"):
+                        query = parse(query)
+                k = top_k or self.config.top_k
+                translations = self._translate_query(
+                    query, {}, k, meter, degrade, start_rung
                 )
-            if self.last_degradation and not exc.diagnostic.degradation:
-                exc.diagnostic.degradation = tuple(self.last_degradation)
-            self.last_diagnostic = exc.diagnostic
-            raise
-        except Exception as exc:  # re-raises as a typed ReproError
-            diagnostic = Diagnostic(
-                stage="translate",
-                message=f"unexpected {type(exc).__name__}: {exc}",
-                degradation=tuple(self.last_degradation),
-            )
-            self.last_diagnostic = diagnostic
-            raise TranslationError(
-                f"internal translation failure: {type(exc).__name__}: {exc}",
-                diagnostic=diagnostic,
-            ) from exc
-        finally:
-            stats.total_seconds = time.perf_counter() - started
-            if meter is not None:
-                stats.candidates = meter.candidates - base[0]
-                stats.expansions = meter.expansions - base[1]
-            memo_now = self.context.stats.as_dict()
-            stats.memo = {
-                key: memo_now[key] - memo_base.get(key, 0) for key in memo_now
-            }
-            self.last_translation_stats = stats
-            self._active_stats = previous_stats
+                for translation in translations:
+                    translation.stats = stats
+                if root.enabled and translations:
+                    root.set(
+                        rung=translations[0].rung,
+                        results=len(translations),
+                        weight=round(translations[0].weight, 6),
+                    )
+                return translations
+            except ReproError as exc:
+                if exc.diagnostic is None:
+                    exc.diagnostic = Diagnostic(
+                        stage="translate", message=str(exc)
+                    )
+                if self.last_degradation and not exc.diagnostic.degradation:
+                    exc.diagnostic.degradation = tuple(self.last_degradation)
+                self.last_diagnostic = exc.diagnostic
+                raise
+            except Exception as exc:  # re-raises as a typed ReproError
+                diagnostic = Diagnostic(
+                    stage="translate",
+                    message=f"unexpected {type(exc).__name__}: {exc}",
+                    degradation=tuple(self.last_degradation),
+                )
+                self.last_diagnostic = diagnostic
+                raise TranslationError(
+                    f"internal translation failure: "
+                    f"{type(exc).__name__}: {exc}",
+                    diagnostic=diagnostic,
+                ) from exc
+            finally:
+                stats.total_seconds = time.perf_counter() - started
+                if meter is not None:
+                    stats.candidates = meter.candidates - base[0]
+                    stats.expansions = meter.expansions - base[1]
+                memo_now = self.context.stats.as_dict()
+                stats.memo = {
+                    key: memo_now[key] - memo_base.get(key, 0)
+                    for key in memo_now
+                }
+                self.last_translation_stats = stats
+                self._active_stats = previous_stats
+                if root.enabled:
+                    root.set(
+                        candidates_charged=stats.candidates,
+                        expansions_charged=stats.expansions,
+                        degraded=bool(self.last_degradation),
+                        memo_hits=stats.memo.get("tree_sim_hits", 0),
+                        memo_misses=stats.memo.get("tree_sim_misses", 0),
+                    )
 
     def translate_many(
         self,
@@ -407,9 +442,15 @@ class SchemaFreeTranslator:
         degrade: bool = False,
         start_rung: str = "full",
     ) -> list[Translation]:
-        with self._stage_guard("parse"), self._timed("parse"):
+        with self._stage_guard("parse"), self._timed("parse"), \
+                self.tracer.span("extract") as extract_span:
             extraction = extract(select)
             all_trees = build_relation_trees(extraction)
+            if extract_span.enabled:
+                extract_span.set(
+                    trees=len(all_trees),
+                    labels=", ".join(tree.label for tree in all_trees),
+                )
         trees = [
             tree
             for tree in all_trees
@@ -452,7 +493,8 @@ class SchemaFreeTranslator:
         )
         self._fire("compose", budget)
         translations: list[Translation] = []
-        with self._stage_guard("compose"):
+        with self._stage_guard("compose"), \
+                self.tracer.span("compose") as compose_span:
             for network in networks:
                 weight = (
                     0.0
@@ -483,6 +525,12 @@ class SchemaFreeTranslator:
                         diagnostic=diagnostic,
                         rung=rung,
                     )
+                )
+            if compose_span.enabled:
+                compose_span.set(
+                    rung=rung,
+                    networks=len(networks),
+                    results=len(translations),
                 )
         translations.sort(key=lambda t: -t.weight)
         return translations
@@ -526,100 +574,140 @@ class SchemaFreeTranslator:
 
         # ---- rung 1: full top-k MTJN search --------------------------
         if start <= LADDER.index("full"):
-            try:
-                rung_budget = budget.slice(0.55) if budget is not None else None
-                with self._stage_guard("map"), self._timed("map"):
-                    mappings = self.mapper.map_trees(trees, rung_budget)
-                self._check_mappings(trees, mappings)
-                self._fire("network", rung_budget)
-                with self._stage_guard("network"), self._timed("network"):
-                    user_views = self._fragment_views(
-                        extraction.fragments, trees, mappings, extraction
+            with self.tracer.span("rung:full") as rung_span:
+                try:
+                    rung_budget = (
+                        budget.slice(0.55) if budget is not None else None
                     )
-                    session_graph = ViewGraph(
-                        self.database.catalog, self.view_graph.views + user_views
-                    )
-                    xgraph = ExtendedViewGraph(
-                        session_graph,
-                        trees,
-                        mappings,
-                        self.similarity,
-                        self.config,
-                        budget=rung_budget,
-                        context=self.context,
-                    )
-                    generator = MTJNGenerator(
-                        xgraph, self.config, budget=rung_budget, stats=gen_stats
-                    )
-                    networks = generator.generate(k)
-                    self.last_stats = generator.stats
-                if networks:
-                    return mappings, xgraph, networks, "full"
-                labels = ", ".join(tree.label for tree in trees)
-                raise NoJoinNetworkError(
-                    f"no join network connects all relation trees ({labels})",
-                    diagnostic=Diagnostic(
-                        stage="network",
-                        message="search exhausted without a total join network",
-                        token=labels,
-                        candidates=sum(
-                            len(mappings[key].candidates) for key in mappings
+                    with self._stage_guard("map"), self._timed("map"):
+                        mappings = self.mapper.map_trees(trees, rung_budget)
+                    self._check_mappings(trees, mappings)
+                    self._fire("network", rung_budget)
+                    with self._stage_guard("network"), self._timed("network"), \
+                            self.tracer.span("network") as net_span:
+                        user_views = self._fragment_views(
+                            extraction.fragments, trees, mappings, extraction
+                        )
+                        session_graph = ViewGraph(
+                            self.database.catalog,
+                            self.view_graph.views + user_views,
+                        )
+                        xgraph = ExtendedViewGraph(
+                            session_graph,
+                            trees,
+                            mappings,
+                            self.similarity,
+                            self.config,
+                            budget=rung_budget,
+                            context=self.context,
+                        )
+                        if net_span.enabled:
+                            net_span.set(**xgraph.summary())
+                        generator = MTJNGenerator(
+                            xgraph,
+                            self.config,
+                            budget=rung_budget,
+                            stats=gen_stats,
+                            tracer=self.tracer,
+                        )
+                        networks = generator.generate(k)
+                        self.last_stats = generator.stats
+                    if networks:
+                        if rung_span.enabled:
+                            rung_span.set(
+                                outcome="ok", networks=len(networks)
+                            )
+                        return mappings, xgraph, networks, "full"
+                    labels = ", ".join(tree.label for tree in trees)
+                    raise NoJoinNetworkError(
+                        f"no join network connects all relation trees "
+                        f"({labels})",
+                        diagnostic=Diagnostic(
+                            stage="network",
+                            message=(
+                                "search exhausted without a total join network"
+                            ),
+                            token=labels,
+                            candidates=sum(
+                                len(mappings[key].candidates)
+                                for key in mappings
+                            ),
+                            detail={"expanded": generator.stats.expanded},
                         ),
-                        detail={"expanded": generator.stats.expanded},
-                    ),
-                )
-            except BudgetExceeded as exc:
-                if not degrade:
-                    raise
-                steps.append(f"full search abandoned: {exc}")
-            except NoJoinNetworkError as exc:
-                if not degrade:
-                    raise
-                steps.append(f"full search failed: {exc}")
+                    )
+                except BudgetExceeded as exc:
+                    if not degrade:
+                        raise
+                    if rung_span.enabled:
+                        rung_span.set(outcome="budget-exhausted")
+                    steps.append(f"full search abandoned: {exc}")
+                except NoJoinNetworkError as exc:
+                    if not degrade:
+                        raise
+                    if rung_span.enabled:
+                        rung_span.set(outcome="no-network")
+                    steps.append(f"full search failed: {exc}")
 
         # ---- rung 2: reduced search ---------------------------------
         if start <= LADDER.index("reduced"):
-            try:
-                rung_budget = (
-                    budget.slice(0.6, counter_scale=0.5)
-                    if budget is not None
-                    else None
-                )
-                if mappings is None:
-                    # mapping was interrupted mid-rung: redo it unbudgeted
-                    # (polynomial in schema size, unlike the network search)
-                    with self._stage_guard("map"), self._timed("map"):
-                        mappings = self.mapper.map_trees(trees)
-                self._check_mappings(trees, mappings)
-                reduced = self._truncate_mappings(mappings, 2)
-                with self._stage_guard("network"), self._timed("network"):
-                    xgraph = ExtendedViewGraph(
-                        ViewGraph(self.database.catalog),  # views pruned
-                        trees,
-                        reduced,
-                        self.similarity,
-                        self.config,
-                        budget=rung_budget,
-                        context=self.context,
+            with self.tracer.span("rung:reduced") as rung_span:
+                try:
+                    rung_budget = (
+                        budget.slice(0.6, counter_scale=0.5)
+                        if budget is not None
+                        else None
                     )
-                    config = dataclasses.replace(
-                        self.config,
-                        max_expansions=min(self.config.max_expansions, 2000),
-                    )
-                    generator = MTJNGenerator(
-                        xgraph, config, budget=rung_budget, stats=gen_stats
-                    )
-                    networks = generator.generate(1)
-                    self.last_stats = generator.stats
-                if networks:
-                    steps.append(
-                        "reduced search succeeded "
-                        "(k=1, ≤2 mappings per tree, views pruned)"
-                    )
-                    return reduced, xgraph, networks, "reduced"
-                steps.append("reduced search found no join network")
-            except BudgetExceeded as exc:
-                steps.append(f"reduced search abandoned: {exc}")
+                    if mappings is None:
+                        # mapping was interrupted mid-rung: redo it
+                        # unbudgeted (polynomial in schema size, unlike
+                        # the network search)
+                        with self._stage_guard("map"), self._timed("map"):
+                            mappings = self.mapper.map_trees(trees)
+                    self._check_mappings(trees, mappings)
+                    reduced = self._truncate_mappings(mappings, 2)
+                    with self._stage_guard("network"), self._timed("network"), \
+                            self.tracer.span("network") as net_span:
+                        xgraph = ExtendedViewGraph(
+                            ViewGraph(self.database.catalog),  # views pruned
+                            trees,
+                            reduced,
+                            self.similarity,
+                            self.config,
+                            budget=rung_budget,
+                            context=self.context,
+                        )
+                        if net_span.enabled:
+                            net_span.set(**xgraph.summary())
+                        config = dataclasses.replace(
+                            self.config,
+                            max_expansions=min(
+                                self.config.max_expansions, 2000
+                            ),
+                        )
+                        generator = MTJNGenerator(
+                            xgraph,
+                            config,
+                            budget=rung_budget,
+                            stats=gen_stats,
+                            tracer=self.tracer,
+                        )
+                        networks = generator.generate(1)
+                        self.last_stats = generator.stats
+                    if networks:
+                        steps.append(
+                            "reduced search succeeded "
+                            "(k=1, ≤2 mappings per tree, views pruned)"
+                        )
+                        if rung_span.enabled:
+                            rung_span.set(outcome="ok", networks=1)
+                        return reduced, xgraph, networks, "reduced"
+                    if rung_span.enabled:
+                        rung_span.set(outcome="no-network")
+                    steps.append("reduced search found no join network")
+                except BudgetExceeded as exc:
+                    if rung_span.enabled:
+                        rung_span.set(outcome="budget-exhausted")
+                    steps.append(f"reduced search abandoned: {exc}")
 
         # ---- rungs 3 & 4: greedy path, then partial composition -----
         if mappings is None:
@@ -630,27 +718,38 @@ class SchemaFreeTranslator:
             self._check_mappings(trees, mappings)
         singles = self._truncate_mappings(mappings, 1)
         with self._stage_guard("network"), self._timed("network"):
-            xgraph = ExtendedViewGraph(
-                ViewGraph(self.database.catalog),
-                trees,
-                singles,
-                self.similarity,
-                self.config,
-                context=self.context,
-            )
+            with self.tracer.span("network") as net_span:
+                xgraph = ExtendedViewGraph(
+                    ViewGraph(self.database.catalog),
+                    trees,
+                    singles,
+                    self.similarity,
+                    self.config,
+                    context=self.context,
+                )
+                if net_span.enabled:
+                    net_span.set(**xgraph.summary())
             if start > LADDER.index("greedy"):
                 pass  # pinned at "partial": no join search at all
             elif budget is not None and budget.time_exceeded():
                 steps.append("greedy join path skipped: deadline passed")
             else:
-                network = self._greedy_network(xgraph, required)
-                if network is not None:
-                    steps.append(
-                        "greedy single join path (best mapping per tree)"
-                    )
-                    return singles, xgraph, [network], "greedy"
+                with self.tracer.span("rung:greedy") as rung_span:
+                    network = self._greedy_network(xgraph, required)
+                    if network is not None:
+                        if rung_span.enabled:
+                            rung_span.set(outcome="ok", networks=1)
+                        steps.append(
+                            "greedy single join path (best mapping per tree)"
+                        )
+                        return singles, xgraph, [network], "greedy"
+                    if rung_span.enabled:
+                        rung_span.set(outcome="disconnected")
                 steps.append("greedy join path could not connect all trees")
-            network = self._partial_network(xgraph, trees)
+            with self.tracer.span("rung:partial") as rung_span:
+                network = self._partial_network(xgraph, trees)
+                if rung_span.enabled:
+                    rung_span.set(outcome="ok", trees=len(trees))
         steps.append(
             "partial translation: best mapping per tree, join search skipped"
         )

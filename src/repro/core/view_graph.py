@@ -236,6 +236,15 @@ class ExtendedViewGraph:
         self._build_edges()
         self._build_view_instances()
 
+    def summary(self) -> dict[str, int]:
+        """Size counters for trace spans and EXPLAIN output."""
+        return {
+            "nodes": len(self.nodes),
+            "edges": len(self.edges),
+            "view_instances": len(self.view_instances),
+            "views": len(self.view_graph.views),
+        }
+
     # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------

@@ -1,0 +1,54 @@
+"""``repro.obs`` — zero-dependency observability for the pipeline.
+
+Three pieces (DESIGN.md §11, reference in docs/OBSERVABILITY.md):
+
+* :mod:`repro.obs.trace` — structured spans with an injectable clock,
+  a no-op :data:`NULL_TRACER` for the disabled path, and bounded
+  (ring-buffer) plus JSONL exporters;
+* :mod:`repro.obs.metrics` — counters / gauges / fixed-bucket
+  histograms with Prometheus text exposition and a JSON snapshot;
+* :mod:`repro.obs.render` — the annotated span-tree renderer behind
+  the ``repro explain`` subcommand.
+"""
+
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    record_translation,
+    validate_metric_name,
+)
+from .render import render_trace
+from .trace import (
+    NULL_SPAN,
+    NULL_TRACER,
+    JsonlExporter,
+    NullSpan,
+    NullTracer,
+    RingBufferExporter,
+    Span,
+    SpanExporter,
+    Tracer,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "JsonlExporter",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "NullSpan",
+    "NullTracer",
+    "RingBufferExporter",
+    "Span",
+    "SpanExporter",
+    "Tracer",
+    "record_translation",
+    "render_trace",
+    "validate_metric_name",
+]

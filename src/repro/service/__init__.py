@@ -1,6 +1,54 @@
 """Concurrent serving layer over the schema-free translation pipeline.
 
-See :mod:`repro.service.service` for the architecture overview.
+:class:`QueryService` runs translations on a thread pool with four
+behaviours a front end needs under load (DESIGN.md §10):
+
+* **admission control** — capacity is ``workers + queue_limit``
+  requests in flight; submissions past it are *shed* immediately with
+  a typed :class:`ServiceOverloaded` (bounded latency, no unbounded
+  queues);
+* **deadlines as budgets** — a per-request deadline becomes a
+  :class:`~repro.core.resilience.Budget` created *at admission*, so
+  queue wait counts against it and overruns degrade down the ladder
+  instead of failing;
+* **retries** — transient faults retry with exponential backoff and
+  deterministic per-request jitter (:class:`RetryPolicy`);
+* **a circuit breaker per database** — consecutive budget-pressure
+  failures open the breaker, which *pins* new requests to a cheap
+  ladder rung until a half-open probe recovers
+  (:class:`CircuitBreaker`).
+
+Every request's journey is observable: pass ``tracer=`` /
+``metrics=`` to :class:`QueryService` and each request gets one
+``service.request`` span carrying admission, queue-wait, retry and
+breaker events, plus the ``repro_service_*`` / ``repro_breaker_*``
+metric families — the full catalog is docs/OBSERVABILITY.md.
+
+**Exit codes.**  The CLI (``python -m repro``, see :mod:`repro.cli`)
+maps this layer's outcomes — and the translator's typed errors — onto
+one process exit code, the contract scripts and CI rely on:
+
+=====  ==========================================================
+code   meaning
+=====  ==========================================================
+0      success: every query translated (degraded still counts)
+1      unhandled failure *outside* the CLI's error guard (a crash
+       in Python startup or argument parsing; nothing typed)
+2      syntax error (:class:`~repro.sqlkit.SqlSyntaxError`)
+3      translation failure — no mapping / no join network
+       (:class:`~repro.core.TranslationError`)
+4      engine execution error (:class:`~repro.engine.EngineError`)
+5      internal error: any other :class:`~repro.errors.ReproError`
+6      batch mode only: at least one request was shed by admission
+       control (:class:`ServiceOverloaded`)
+=====  ==========================================================
+
+Codes 2–5 come from ``repro.cli.exit_code_for``; 6 dominates a batch
+run because shedding is a capacity signal, not a per-query verdict.
+The budget/degradation side of this table lives in
+:mod:`repro.core.resilience`.
+
+See :mod:`repro.service.service` for the threading architecture.
 """
 
 from .breaker import CLOSED, HALF_OPEN, OPEN, BreakerConfig, CircuitBreaker

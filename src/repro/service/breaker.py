@@ -68,10 +68,17 @@ class CircuitBreaker:
         config: BreakerConfig = BreakerConfig(),
         clock: Callable[[], float] = time.monotonic,
         name: str = "default",
+        on_transition: Optional[
+            Callable[[str, str, str, str], None]
+        ] = None,
     ) -> None:
         self.config = config
         self.clock = clock
         self.name = name
+        #: observer called as ``(name, from_state, to_state, reason)``
+        #: on every transition, while the breaker lock is held — keep it
+        #: cheap and never call back into the breaker from it
+        self.on_transition = on_transition
         self._lock = threading.Lock()
         self._state = CLOSED
         self._consecutive_failures = 0
@@ -90,11 +97,14 @@ class CircuitBreaker:
 
     def _transition(self, to: str, reason: str) -> None:
         """Record a state change.  Caller holds the lock."""
-        self.transitions.append((self._state, to, reason))
+        before = self._state
+        self.transitions.append((before, to, reason))
         if to == OPEN:
             self.trip_count += 1
             self._opened_at = self.clock()
         self._state = to
+        if self.on_transition is not None:
+            self.on_transition(self.name, before, to, reason)
 
     # ------------------------------------------------------------------
     def admit(self) -> tuple[str, bool]:

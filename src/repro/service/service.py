@@ -56,6 +56,7 @@ from ..core.resilience import Budget, BudgetExceeded
 from ..core.translator import SchemaFreeTranslator, Translation
 from ..engine import Database
 from ..errors import Diagnostic, ReproError
+from ..obs import NULL_SPAN, NULL_TRACER, MetricsRegistry, record_translation
 from .breaker import BreakerConfig, CircuitBreaker
 from .retry import RetryPolicy
 
@@ -201,11 +202,14 @@ class _DatabaseState:
         database: Database,
         config: ServiceConfig,
         clock: Callable[[], float],
+        on_transition: Optional[Callable[[str, str, str, str], None]] = None,
     ) -> None:
         self.name = name
         self.database = database
         self.context = TranslationContext(database, config.translator)
-        self.breaker = CircuitBreaker(config.breaker, clock=clock, name=name)
+        self.breaker = CircuitBreaker(
+            config.breaker, clock=clock, name=name, on_transition=on_transition
+        )
 
 
 class QueryService:
@@ -216,9 +220,13 @@ class QueryService:
         databases: Union[Database, Mapping[str, Database]],
         config: Optional[ServiceConfig] = None,
         faults=None,  # Optional[repro.testing.faults.FaultInjector]
+        tracer=None,  # Optional[repro.obs.Tracer]
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.config = config or ServiceConfig()
         self.faults = faults
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics
         # reuse the fault injector's virtual clock and use its advance()
         # as the backoff sleeper, so injected delays count against
         # deadlines and retry schedules run without wall-clock sleeping
@@ -233,7 +241,13 @@ class QueryService:
         if not databases:
             raise ValueError("QueryService needs at least one database")
         self._states: dict[str, _DatabaseState] = {
-            name: _DatabaseState(name, db, self.config, self.clock)
+            name: _DatabaseState(
+                name,
+                db,
+                self.config,
+                self.clock,
+                self._on_breaker_transition if metrics is not None else None,
+            )
             for name, db in databases.items()
         }
         self._lock = threading.Lock()
@@ -305,6 +319,25 @@ class QueryService:
         with self._lock:
             self.events.append(tuple(event))
 
+    #: numeric encoding for the breaker-state gauge
+    _BREAKER_STATE_VALUES = {"closed": 0, "half-open": 1, "open": 2}
+
+    def _on_breaker_transition(
+        self, name: str, before: str, to: str, reason: str
+    ) -> None:
+        """Breaker observer (called while the breaker lock is held)."""
+        metrics = self.metrics
+        if metrics is None:
+            return
+        metrics.counter(
+            "repro_breaker_transitions_total",
+            "Circuit-breaker state transitions, by database and edge",
+        ).inc(1, **{"database": name, "from": before, "to": to})
+        metrics.gauge(
+            "repro_breaker_state",
+            "Current breaker state (0=closed, 1=half-open, 2=open)",
+        ).set(self._BREAKER_STATE_VALUES.get(to, -1), database=name)
+
     # ------------------------------------------------------------------
     # submission
     # ------------------------------------------------------------------
@@ -335,8 +368,22 @@ class QueryService:
             top_k=top_k,
             deadline=self.config.deadline if deadline is None else deadline,
         )
+        # one span per request, started at submission so queue wait and
+        # admission-control outcomes land on the same trace; the worker
+        # thread adopts it via tracer.use_span so translator spans nest
+        span = self.tracer.start_span("service.request")
+        if span.enabled:
+            span.set(
+                request_id=request_id,
+                database=database,
+                query=query[:200],
+            )
+            if request.deadline is not None:
+                span.set(deadline=request.deadline)
         if not self._slots.acquire(blocking=False):
-            return self._shed(request)
+            return self._shed(request, span)
+        span.event("admitted")
+        admitted_at = self.clock()
         # the deadline clock starts at admission: queue wait counts
         budget = Budget(
             deadline=request.deadline,
@@ -345,9 +392,12 @@ class QueryService:
             clock=self.clock,
         )
         try:
-            return self._pool.submit(self._process, request, budget)
+            return self._pool.submit(
+                self._process, request, budget, span, admitted_at
+            )
         except RuntimeError:
             self._slots.release()
+            span.finish()
             raise
 
     def run(
@@ -376,7 +426,9 @@ class QueryService:
             query, database=database, top_k=top_k, deadline=deadline
         ).result()
 
-    def _shed(self, request: ServiceRequest) -> "Future[ServiceResponse]":
+    def _shed(
+        self, request: ServiceRequest, span=NULL_SPAN
+    ) -> "Future[ServiceResponse]":
         error = ServiceOverloaded(
             f"service overloaded: {self.config.workers} workers busy and "
             f"{self.config.queue_limit} requests already queued",
@@ -402,6 +454,20 @@ class QueryService:
         with self._lock:
             self.stats.shed += 1
             self.events.append(("shed", request.request_id))
+        span.event(
+            "shed",
+            workers=self.config.workers,
+            queue_limit=self.config.queue_limit,
+        )
+        if span.enabled:
+            span.set(outcome="shed", breaker_state=response.breaker_state)
+        span.fail(error)
+        span.finish()
+        if self.metrics is not None:
+            self.metrics.counter(
+                "repro_service_requests_total",
+                "Requests finished, by database and outcome",
+            ).inc(1, database=request.database, outcome="shed")
         future: "Future[ServiceResponse]" = Future()
         future.set_result(response)
         return future
@@ -428,20 +494,50 @@ class QueryService:
                 self.config.translator,
                 faults=self.faults,
                 context=state.context,
+                tracer=self.tracer,
             )
             cache[state.name] = translator
         return translator
 
-    def _process(self, request: ServiceRequest, budget: Budget) -> ServiceResponse:
+    def _process(
+        self,
+        request: ServiceRequest,
+        budget: Budget,
+        span=NULL_SPAN,
+        admitted_at: Optional[float] = None,
+    ) -> ServiceResponse:
+        if self.metrics is not None:
+            self.metrics.gauge(
+                "repro_service_inflight",
+                "Requests admitted and not yet finished",
+            ).inc()
         try:
-            if self.config.request_hook is not None:
-                self.config.request_hook(request)
-            return self._process_inner(request, budget)
+            # adopt the request span in this worker thread so every
+            # translator span nests under it on the same trace
+            with self.tracer.use_span(span):
+                if admitted_at is not None:
+                    wait = self.clock() - admitted_at
+                    span.event("dequeued", queue_wait=round(wait, 6))
+                    if self.metrics is not None:
+                        self.metrics.histogram(
+                            "repro_service_queue_wait_seconds",
+                            "Seconds between admission and a worker "
+                            "picking the request up",
+                        ).observe(wait)
+                if self.config.request_hook is not None:
+                    self.config.request_hook(request)
+                return self._process_inner(request, budget, span)
         finally:
+            span.finish()
+            if self.metrics is not None:
+                self.metrics.gauge(
+                    "repro_service_inflight",
+                    "Requests admitted and not yet finished",
+                ).dec()
             self._slots.release()
 
     def _process_inner(
-        self, request: ServiceRequest, budget: Budget
+        self, request: ServiceRequest, budget: Budget, span=NULL_SPAN
     ) -> ServiceResponse:
         state = self._states[request.database]
         start_rung, probe = state.breaker.admit()
@@ -449,6 +545,14 @@ class QueryService:
             with self._lock:
                 self.stats.probes += 1
                 self.events.append(("probe", request.request_id))
+            span.event("probe")
+            if self.metrics is not None:
+                self.metrics.counter(
+                    "repro_service_probes_total",
+                    "Half-open breaker probes dispatched",
+                ).inc(1, database=request.database)
+        if span.enabled and start_rung != "full":
+            span.set(pinned_rung=start_rung)
         translator = self._translator(state)
         started = self.clock()
         retries = 0
@@ -467,7 +571,7 @@ class QueryService:
                 state.breaker.record(False, probe)
                 return self._finish(
                     request, state, started, retries, probe,
-                    ok=False, error=exc, rung=start_rung,
+                    ok=False, error=exc, rung=start_rung, span=span,
                 )
             except ReproError as exc:
                 if (
@@ -483,6 +587,14 @@ class QueryService:
                         self.events.append(
                             ("retry", request.request_id, attempt, delay)
                         )
+                    span.event(
+                        "retry", attempt=attempt, delay=round(delay, 6)
+                    )
+                    if self.metrics is not None:
+                        self.metrics.counter(
+                            "repro_service_retries_total",
+                            "Retry attempts after transient failures",
+                        ).inc(1, database=request.database)
                     self._sleep(delay)
                     retries += 1
                     continue
@@ -490,14 +602,14 @@ class QueryService:
                 # breaker only hears about budget pressure (below)
                 return self._finish(
                     request, state, started, retries, probe,
-                    ok=False, error=exc, rung=None,
+                    ok=False, error=exc, rung=None, span=span,
                 )
             pressure = self._budget_pressure(translations)
             state.breaker.record(not pressure, probe)
             rung = translations[0].rung if translations else start_rung
             return self._finish(
                 request, state, started, retries, probe,
-                ok=True, translations=translations, rung=rung,
+                ok=True, translations=translations, rung=rung, span=span,
             )
 
     @staticmethod
@@ -520,6 +632,7 @@ class QueryService:
         translations: Optional[list[Translation]] = None,
         error: Optional[ReproError] = None,
         rung: Optional[str] = None,
+        span=NULL_SPAN,
     ) -> ServiceResponse:
         if not ok and probe:
             # a probe that failed for non-budget reasons still has to
@@ -547,4 +660,31 @@ class QueryService:
                     self.stats.rungs[rung] = self.stats.rungs.get(rung, 0) + 1
             else:
                 self.stats.failed += 1
+        if span.enabled:
+            span.set(
+                outcome=response.outcome,
+                retries=retries,
+                breaker_state=response.breaker_state,
+                elapsed=round(response.elapsed, 6),
+            )
+            if rung is not None:
+                span.set(rung=rung)
+            if not ok and error is not None:
+                span.fail(error)
+        if self.metrics is not None:
+            self.metrics.counter(
+                "repro_service_requests_total",
+                "Requests finished, by database and outcome",
+            ).inc(1, database=request.database, outcome=response.outcome)
+            self.metrics.histogram(
+                "repro_service_request_seconds",
+                "Seconds from worker pickup to response, per request",
+            ).observe(response.elapsed)
+            if ok and translations and translations[0].stats is not None:
+                record_translation(
+                    self.metrics,
+                    translations[0].stats,
+                    outcome=response.outcome,
+                    rung=rung or "full",
+                )
         return response

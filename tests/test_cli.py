@@ -189,3 +189,143 @@ class TestBatchMode:
         snapshot = jsonlib.loads(stats_path.read_text(encoding="utf-8"))
         assert snapshot["stats"]["completed"] == 1
         assert snapshot["breakers"]["default"]["state"] == "closed"
+
+
+class TestExplainSubcommand:
+    QUERY = "SELECT name? WHERE director_name? = 'James Cameron'"
+
+    def test_explain_renders_span_tree(self, capsys):
+        from repro.cli import run_explain
+
+        exit_code = main(["explain", self.QUERY, "--dataset", "movies"])
+        text = capsys.readouterr().out
+        assert exit_code == 0
+        assert "[1] w=" in text and "rung=full" in text
+        # the annotated trace: root span, rung attempts, mapper sigmas
+        assert "translate" in text
+        assert "rung:full" in text
+        assert "map.tree" in text
+        assert "σ=" in text
+        assert run_explain is not None  # direct entry point stays public
+
+    def test_explain_writes_jsonl(self, tmp_path, capsys):
+        import json as jsonlib
+
+        trace_path = tmp_path / "trace.jsonl"
+        exit_code = main(
+            ["explain", self.QUERY, "--trace-out", str(trace_path)]
+        )
+        capsys.readouterr()
+        assert exit_code == 0
+        records = [
+            jsonlib.loads(line)
+            for line in trace_path.read_text(encoding="utf-8").splitlines()
+        ]
+        assert any(r["name"] == "translate" for r in records)
+        assert all(r["status"] in ("ok", "error") for r in records)
+
+    def test_explain_syntax_error_exit_code(self, capsys):
+        exit_code = main(["explain", "SELECT name? WHERE"])
+        text = capsys.readouterr().out
+        assert exit_code == 2
+        assert "error:" in text
+
+
+class TestObservabilityFlags:
+    QUERY = "SELECT name? WHERE director_name? = 'James Cameron'"
+
+    def test_trace_flag_renders_tree_after_results(self, capsys):
+        exit_code = main(
+            ["--dataset", "movies", "--trace", "--execute", self.QUERY]
+        )
+        text = capsys.readouterr().out
+        assert exit_code == 0
+        assert "SELECT" in text  # the translation itself still prints
+        assert "translate" in text and "rung:full" in text
+
+    def test_trace_out_appends_spans(self, tmp_path, capsys):
+        import json as jsonlib
+
+        trace_path = tmp_path / "spans.jsonl"
+        exit_code = main(
+            [
+                "--dataset",
+                "movies",
+                "--trace-out",
+                str(trace_path),
+                "--execute",
+                self.QUERY,
+            ]
+        )
+        capsys.readouterr()
+        assert exit_code == 0
+        names = {
+            jsonlib.loads(line)["name"]
+            for line in trace_path.read_text(encoding="utf-8").splitlines()
+        }
+        assert {"translate", "parse", "map", "compose"} <= names
+
+    def test_metrics_json_snapshot(self, tmp_path, capsys):
+        import json as jsonlib
+
+        metrics_path = tmp_path / "metrics.json"
+        exit_code = main(
+            [
+                "--dataset",
+                "movies",
+                "--metrics",
+                str(metrics_path),
+                "--execute",
+                self.QUERY,
+            ]
+        )
+        text = capsys.readouterr().out
+        assert exit_code == 0
+        assert f"metrics written to {metrics_path}" in text
+        snapshot = jsonlib.loads(metrics_path.read_text(encoding="utf-8"))
+        queries = snapshot["repro_translate_queries_total"]["values"]
+        assert queries == {"outcome=ok,rung=full": 1}
+
+    def test_metrics_prometheus_exposition(self, tmp_path, capsys):
+        metrics_path = tmp_path / "metrics.prom"
+        exit_code = main(
+            [
+                "--dataset",
+                "movies",
+                "--metrics",
+                str(metrics_path),
+                "--execute",
+                self.QUERY,
+            ]
+        )
+        capsys.readouterr()
+        assert exit_code == 0
+        text = metrics_path.read_text(encoding="utf-8")
+        assert "# TYPE repro_translate_queries_total counter" in text
+        assert (
+            'repro_translate_queries_total{outcome="ok",rung="full"} 1'
+            in text
+        )
+        assert "repro_translate_total_seconds_bucket" in text
+
+    def test_metrics_cover_batch_service(self, tmp_path, capsys):
+        import json as jsonlib
+
+        batch = tmp_path / "batch.txt"
+        batch.write_text(self.QUERY + "\n", encoding="utf-8")
+        metrics_path = tmp_path / "metrics.json"
+        exit_code = main(
+            [
+                "--dataset",
+                "movies",
+                "--batch",
+                str(batch),
+                "--metrics",
+                str(metrics_path),
+            ]
+        )
+        capsys.readouterr()
+        assert exit_code == 0
+        snapshot = jsonlib.loads(metrics_path.read_text(encoding="utf-8"))
+        requests = snapshot["repro_service_requests_total"]["values"]
+        assert requests == {"database=default,outcome=ok": 1}

@@ -83,6 +83,35 @@ class TestContextReuse:
         assert stats.memo.get("tree_sim_hits", 0) > 0
         assert stats.memo.get("tree_sim_misses", 0) == 0
 
+    def test_degraded_cold_query_reports_no_memo_hits(self, fig1_db):
+        """Regression: rung-2 re-probing of (tree, relation) pairs the
+        interrupted full rung already scored used to be counted as memo
+        *hits*, inflating hit rates on every degraded query.  A cold
+        context has nothing memoized — the first probe of each pair in
+        a translate() call must count once, later re-probes not at all.
+        """
+        from repro.core.resilience import Budget
+
+        translator = SchemaFreeTranslator(fig1_db)
+        translations = translator.translate(
+            "SELECT name? WHERE director_name? = 'James Cameron'",
+            budget=Budget(max_candidates=10),
+        )
+        assert translations[0].rung != "full"  # the ladder did engage
+        memo = translator.last_translation_stats.memo
+        assert memo["tree_sim_hits"] == 0
+        assert memo["tree_sim_misses"] > 0
+
+    def test_batch_replay_memo_hits_mirror_misses(self, fig1_db):
+        """Replaying a query verbatim must report exactly one hit per
+        first-pass miss — not more (double counting), not fewer."""
+        translator = SchemaFreeTranslator(fig1_db)
+        query = "SELECT name? WHERE director_name? = 'James Cameron'"
+        translator.translate_many([query, query])
+        memo = translator.last_translation_stats.memo
+        assert memo["tree_sim_misses"] > 0
+        assert memo["tree_sim_hits"] == memo["tree_sim_misses"]
+
     def test_stage_times_recorded(self, fig1_db):
         translator = SchemaFreeTranslator(fig1_db)
         translations = translator.translate(
