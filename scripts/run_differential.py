@@ -1,0 +1,105 @@
+"""CI entry point for the cross-backend differential harness.
+
+Builds each shipped dataset, exports it to a real SQLite file, and runs
+the full workload end-to-end (SF-SQL → translate → execute) on both the
+in-memory engine and the SQLite backend, comparing row multisets per
+query (repro.testing.differential).  The per-query agreement report is
+written to ``DIFF_report.json`` and the exit status is non-zero when
+any query disagrees — including stale expectations.
+
+Run from the repository root::
+
+    PYTHONPATH=src python scripts/run_differential.py
+    PYTHONPATH=src python scripts/run_differential.py \
+        --workloads textbook --output /tmp/diff.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+from pathlib import Path
+from typing import Callable
+
+from repro import Database
+from repro.backends import MemoryBackend, SqliteBackend
+from repro.datasets import make_course_database, make_movie_database
+from repro.engine.io import export_to_sqlite
+from repro.testing import DifferentialHarness
+from repro.workloads import (
+    COURSE_QUERIES,
+    SOPHISTICATED_QUERIES,
+    TEXTBOOK_QUERIES,
+    WorkloadQuery,
+)
+
+#: workload name -> (database factory, query list)
+WORKLOADS: dict[str, tuple[Callable[[], Database], list[WorkloadQuery]]] = {
+    "textbook": (make_movie_database, TEXTBOOK_QUERIES),
+    "sophisticated": (make_movie_database, SOPHISTICATED_QUERIES),
+    "courses48": (make_course_database, COURSE_QUERIES),
+}
+
+#: known, documented semantic divergences (DESIGN.md §12) — none today.
+#: Declared divergences that stop diverging fail the run (stale-expectation).
+EXPECTATIONS: dict[str, dict[str, str]] = {
+    "textbook": {},
+    "sophisticated": {},
+    "courses48": {},
+}
+
+
+def run_workload(name: str, sqlite_dir: Path) -> dict:
+    factory, queries = WORKLOADS[name]
+    database = factory()
+    sqlite_path = sqlite_dir / f"{name}.sqlite"
+    export_to_sqlite(database, sqlite_path).close()
+    harness = DifferentialHarness(
+        MemoryBackend(database),
+        SqliteBackend(sqlite_path),
+        expectations=EXPECTATIONS.get(name),
+    )
+    report = harness.run(queries)
+    summary = ", ".join(f"{k}={v}" for k, v in sorted(report.summary().items()))
+    status = "ok" if report.ok else "DISAGREE"
+    print(f"{name:>14}: {len(report.records):>2} pairs  {status}  ({summary})")
+    for record in report.disagreements:
+        print(f"    {record.qid}: {record.status} — {record.detail}")
+    return report.as_dict()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--workloads",
+        nargs="+",
+        choices=sorted(WORKLOADS),
+        default=["textbook", "sophisticated", "courses48"],
+        help="workloads to check (default: all)",
+    )
+    parser.add_argument(
+        "--output",
+        default="DIFF_report.json",
+        help="where to write the JSON agreement report",
+    )
+    args = parser.parse_args(argv)
+
+    with tempfile.TemporaryDirectory(prefix="repro-diff-") as tmp:
+        report = {
+            name: run_workload(name, Path(tmp)) for name in args.workloads
+        }
+    ok = all(entry["ok"] for entry in report.values())
+    payload = {"ok": ok, "workloads": report}
+    with open(args.output, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+    if not ok:
+        print("DIFFERENTIAL FAILURE: backends disagree (see report)")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,6 +19,13 @@ Public API quick reference::
     print(db.execute(best.query).rows)
 """
 
+from .backends import (
+    Backend,
+    MemoryBackend,
+    SqliteBackend,
+    as_backend,
+    reflect_catalog,
+)
 from .catalog import Attribute, Catalog, DataType, ForeignKey, Relation, SchemaError
 from .core import (
     DEFAULT_CONFIG,
@@ -55,6 +62,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Attribute",
+    "Backend",
     "Budget",
     "BudgetExceeded",
     "Catalog",
@@ -65,8 +73,10 @@ __all__ = [
     "EngineError",
     "ReproError",
     "ForeignKey",
+    "MemoryBackend",
     "MetricsRegistry",
     "QueryService",
+    "SqliteBackend",
     "Relation",
     "Result",
     "RingBufferExporter",
@@ -86,7 +96,9 @@ __all__ = [
     "View",
     "ViewGraph",
     "ViewJoin",
+    "as_backend",
     "parse",
+    "reflect_catalog",
     "render",
     "views_from_sql",
 ]

@@ -1,0 +1,55 @@
+"""``repro.backends`` — pluggable execution backends (DESIGN.md §12).
+
+The paper's pipeline ends at "composing standard SQL" (§6.2); this
+package is where the composed SQL actually runs.  A :class:`Backend`
+protocol abstracts query execution and schema/statistics access, with
+two implementations:
+
+* :class:`MemoryBackend` — wraps the in-process :class:`repro.engine.
+  Database` (the default substrate for tests and the bundled datasets);
+* :class:`SqliteBackend` — stdlib ``sqlite3``: reflects the catalog
+  from ``PRAGMA`` metadata, sources translation statistics through
+  sampled ``SELECT``s, and executes dialect-lowered SQL with
+  engine-parity UDFs.
+
+:func:`as_backend` upgrades a raw Database (which satisfies the
+protocol structurally) into a MemoryBackend; anything already
+implementing the protocol passes through unchanged.  Cross-backend
+agreement is enforced by :mod:`repro.testing.differential`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..obs import MetricsRegistry, Tracer
+from .base import Backend
+from .dialect import UnsupportedSqlError, lower, to_sqlite_sql
+from .memory import MemoryBackend
+from .sqlite import SqliteBackend, map_declared_type, reflect_catalog
+
+__all__ = [
+    "Backend",
+    "MemoryBackend",
+    "SqliteBackend",
+    "UnsupportedSqlError",
+    "as_backend",
+    "lower",
+    "map_declared_type",
+    "reflect_catalog",
+    "to_sqlite_sql",
+]
+
+
+def as_backend(
+    source,
+    *,
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
+) -> Backend:
+    """Return *source* as a Backend, wrapping a raw Database if needed."""
+    from ..engine.database import Database
+
+    if isinstance(source, Database):
+        return MemoryBackend(source, tracer=tracer, metrics=metrics)
+    return source

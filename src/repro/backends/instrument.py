@@ -1,0 +1,54 @@
+"""Shared ``repro_backend_*`` metric emission for all backends.
+
+One metric family, labelled by backend kind and operation, so dashboards
+compare memory vs sqlite with a single query (docs/OBSERVABILITY.md):
+
+* ``repro_backend_op_seconds{backend,op}`` — latency histogram for
+  ``execute`` / ``sample`` / ``reflect``;
+* ``repro_backend_rows_total{backend,op}`` — rows returned;
+* ``repro_backend_errors_total{backend,op}`` — failed operations.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..obs import MetricsRegistry
+
+
+class BackendInstruments:
+    """Lazily-created instruments; a no-op when no registry is given."""
+
+    def __init__(self, metrics: Optional[MetricsRegistry], kind: str) -> None:
+        self._kind = kind
+        if metrics is None:
+            self._seconds = self._rows = self._errors = None
+        else:
+            self._seconds = metrics.histogram(
+                "repro_backend_op_seconds",
+                "Latency of backend operations (execute/sample/reflect).",
+            )
+            self._rows = metrics.counter(
+                "repro_backend_rows_total",
+                "Rows returned by backend operations.",
+            )
+            self._errors = metrics.counter(
+                "repro_backend_errors_total",
+                "Backend operations that raised.",
+            )
+
+    def observe(
+        self,
+        op: str,
+        seconds: float,
+        *,
+        rows: Optional[int] = None,
+        error: bool = False,
+    ) -> None:
+        if self._seconds is None:
+            return
+        self._seconds.observe(seconds, backend=self._kind, op=op)
+        if rows is not None:
+            self._rows.inc(rows, backend=self._kind, op=op)
+        if error:
+            self._errors.inc(1, backend=self._kind, op=op)

@@ -3,8 +3,16 @@
 Usage::
 
     python -m repro [--dataset movies|courses|courses-alt] [--top-k N]
+    python -m repro --backend sqlite --execute "SELECT title? WHERE gross? > 100"
     python -m repro --batch queries.txt --workers 8 --deadline 0.5
     python -m repro explain "SELECT title? WHERE gross? > 100"
+    python -m repro import mydb.sqlite
+
+``--backend sqlite`` exports the dataset to an in-memory SQLite
+database, reflects it back, and serves every query from SQLite;
+``import`` points the shell at an existing SQLite file with no
+hand-written schema (catalog and statistics are reflected — see
+README "Backends").
 
 Type Schema-free SQL (or plain SQL) at the prompt; the shell shows the
 best translation and its answer.  Dot-commands:
@@ -104,11 +112,11 @@ def exit_code_for(error: Optional[BaseException]) -> int:
     return EXIT_INTERNAL
 
 class Shell:
-    """A small REPL over one database and one translator."""
+    """A small REPL over one backend (or raw Database) and one translator."""
 
     def __init__(
         self,
-        database: Database,
+        database,  # Database or any repro.backends Backend
         top_k: int = 1,
         show_stats: bool = False,
         tracer=None,  # Optional[repro.obs.Tracer]
@@ -331,7 +339,7 @@ def read_batch_file(path: str) -> list[str]:
 
 
 def run_batch(
-    database: Database,
+    database,  # Database or any repro.backends Backend
     queries: list[str],
     workers: int,
     deadline: Optional[float],
@@ -411,6 +419,33 @@ def _load_database(dataset: str, load: Optional[str]) -> tuple[Database, str]:
 
         return load_database(load), load
     return DATASETS[dataset](), dataset
+
+
+def _as_sqlite(database: Database, label: str):
+    """Materialise *database* into an in-memory SQLite file and return a
+    reflected SqliteBackend over it (the ``--backend sqlite`` path)."""
+    from .backends import SqliteBackend
+    from .engine.io import export_to_sqlite
+
+    return SqliteBackend(export_to_sqlite(database, ":memory:"), name=label)
+
+
+def _shell_loop(shell: Shell, banner: str) -> int:
+    """The interactive REPL shared by the default and import entrypoints."""
+    print(banner)
+    while True:
+        try:
+            line = input("sfsql> ")
+        except (EOFError, KeyboardInterrupt):
+            print()
+            return 0
+        try:
+            alive = shell.run_command(line)
+        except Exception as exc:  # last-ditch guard: the REPL survives
+            shell._report_internal(exc, sys.stdout, "the shell")
+            continue
+        if not alive:
+            return 0
 
 
 def write_metrics(registry: MetricsRegistry, path: str, out=None) -> None:
@@ -498,11 +533,90 @@ def run_explain(argv: Optional[list[str]] = None, out=None) -> int:
     return exit_code_for(error)
 
 
+def run_import(argv: Optional[list[str]] = None, out=None) -> int:
+    """The ``repro import`` subcommand: reflect an existing SQLite file.
+
+    No hand-written schema: relations, attributes, types and FK edges
+    come from ``PRAGMA`` metadata (repro.backends.sqlite), translation
+    statistics from sampled SELECTs, and schema-free queries translate
+    and execute against the file end-to-end.
+    """
+    import os
+
+    parser = argparse.ArgumentParser(
+        prog="repro import",
+        description="Reflect a SQLite database and query it schema-free",
+    )
+    parser.add_argument("file", help="path to an existing SQLite database file")
+    parser.add_argument(
+        "--top-k", type=int, default=1, help="translations to show per query"
+    )
+    parser.add_argument(
+        "--execute",
+        metavar="SF_SQL",
+        help="translate and run one query non-interactively, then exit",
+    )
+    parser.add_argument(
+        "--schema",
+        action="store_true",
+        help="print the reflected catalog and exit",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print per-query translation statistics",
+    )
+    parser.add_argument(
+        "--sample-limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cap rows read per column for translation statistics "
+        "(default: whole column)",
+    )
+    args = parser.parse_args(argv)
+    if out is None:
+        out = sys.stdout
+
+    # sqlite3.connect() silently creates missing files, which would
+    # reflect as an empty catalog — catch the mistake here instead.
+    if not os.path.exists(args.file):
+        print(f"error: no such file: {args.file}", file=out)
+        return EXIT_ENGINE
+
+    from .backends import SqliteBackend
+
+    backend = SqliteBackend(args.file, sample_limit=args.sample_limit)
+    catalog = backend.catalog
+    print(
+        f"imported {args.file}: {len(catalog)} relations, "
+        f"{len(catalog.foreign_keys)} foreign keys",
+        file=out,
+    )
+    if args.schema:
+        shell = Shell(backend)
+        for relation in catalog:
+            shell._schema(relation.name, out)
+        return EXIT_OK
+
+    shell = Shell(backend, top_k=max(1, args.top_k), show_stats=args.stats)
+    if args.execute is not None:
+        shell.run_command(args.execute, out=out)
+        return exit_code_for(shell.last_error)
+    return _shell_loop(
+        shell,
+        f"Schema-free SQL shell — imported {args.file!r} "
+        f"({len(catalog)} relations). Type .help for commands.",
+    )
+
+
 def main(argv: Optional[list[str]] = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "explain":
         return run_explain(argv[1:])
+    if argv and argv[0] == "import":
+        return run_import(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro", description="Schema-free SQL interactive shell"
     )
@@ -520,6 +634,14 @@ def main(argv: Optional[list[str]] = None) -> int:
         metavar="DIR",
         help="load a database saved with repro.engine.io.save_database "
         "instead of a built-in dataset",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=("memory", "sqlite"),
+        default="memory",
+        help="execution backend: the in-process engine, or the dataset "
+        "exported to an in-memory SQLite database and reflected back "
+        "(default: memory)",
     )
     parser.add_argument(
         "--execute",
@@ -582,6 +704,9 @@ def main(argv: Optional[list[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     database, dataset_label = _load_database(args.dataset, args.load)
+    if args.backend == "sqlite":
+        database = _as_sqlite(database, dataset_label)
+        dataset_label = f"{dataset_label} (sqlite)"
 
     tracer = None
     ring: Optional[RingBufferExporter] = None
@@ -626,23 +751,11 @@ def main(argv: Optional[list[str]] = None) -> int:
             shell.run_command(args.execute)
             return exit_code_for(shell.last_error)
 
-        print(
+        return _shell_loop(
+            shell,
             f"Schema-free SQL shell — dataset {dataset_label!r} "
-            f"({len(database.catalog)} relations). Type .help for commands."
+            f"({len(database.catalog)} relations). Type .help for commands.",
         )
-        while True:
-            try:
-                line = input("sfsql> ")
-            except (EOFError, KeyboardInterrupt):
-                print()
-                return 0
-            try:
-                alive = shell.run_command(line)
-            except Exception as exc:  # last-ditch guard: the REPL survives
-                shell._report_internal(exc, sys.stdout, "the shell")
-                continue
-            if not alive:
-                return 0
     finally:
         if jsonl is not None:
             jsonl.close()

@@ -24,8 +24,14 @@ precomputed state it carries two cross-query memo tables:
 
 Schema-derived state (neighbors, name index, FK adjacency) is immutable
 for the database's lifetime; data-derived state (samples, both memo
-tables) is invalidated when ``Database.data_version`` moves — the
+tables) is invalidated when the backend's ``data_version`` moves — the
 translator calls :meth:`ensure_current` at the top of every translation.
+
+The context reads its substrate only through the :class:`repro.backends.
+base.Backend` protocol (``catalog``, ``column_values``, ``data_version``),
+so it builds identically over the in-memory engine or a reflected SQLite
+file; a raw :class:`repro.engine.Database` satisfies the protocol
+structurally.
 
 :class:`ContextStats` counts builds/hits/misses so tests can assert reuse
 semantics and :class:`TranslationStats` can report cache effectiveness.
@@ -36,11 +42,13 @@ from __future__ import annotations
 import dataclasses
 import threading
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Iterable, Optional, Sequence
 
 from ..catalog import Catalog, ForeignKey, Relation, normalize
-from ..engine import Database
 from .config import DEFAULT_CONFIG, TranslatorConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..backends.base import Backend
 from .relation_tree import RelationTree, TreeFingerprint
 from .similarity import qgrams, stride_sample
 
@@ -238,7 +246,7 @@ class TranslationContext:
     """
 
     def __init__(
-        self, database: Database, config: TranslatorConfig = DEFAULT_CONFIG
+        self, database: "Backend", config: TranslatorConfig = DEFAULT_CONFIG
     ) -> None:
         self.database = database
         self.config = config
@@ -279,7 +287,7 @@ class TranslationContext:
         """Drop data-derived caches if the database has been mutated.
 
         Schema-derived state (neighbors, name index, FK adjacency) never
-        changes — the catalog is fixed at ``Database`` construction — but
+        changes — the catalog is fixed for the backend's lifetime — but
         column samples, condition statuses, and tree similarities (whose
         condition factor reads the data) all go stale on insert.
         """

@@ -15,7 +15,6 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
 from ..catalog import Relation
-from ..engine import Database
 from ..obs import NULL_TRACER
 from .config import DEFAULT_CONFIG, TranslatorConfig
 from .relation_tree import AttrKey, RelationTree, TreeKey
@@ -23,6 +22,7 @@ from .resilience import Budget
 from .similarity import SimilarityEvaluator
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..backends.base import Backend
     from .context import TranslationContext
 
 
@@ -63,7 +63,7 @@ class RelationTreeMapper:
 
     def __init__(
         self,
-        database: Database,
+        database: "Backend",
         config: TranslatorConfig = DEFAULT_CONFIG,
         evaluator: Optional[SimilarityEvaluator] = None,
         context: Optional["TranslationContext"] = None,

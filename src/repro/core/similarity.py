@@ -23,7 +23,7 @@ from functools import lru_cache
 from typing import TYPE_CHECKING, Any, Optional, Sequence
 
 from ..catalog import Attribute, Relation
-from ..engine import Database, ExecutionError, NameResolutionError
+from ..engine import ExecutionError, NameResolutionError
 from ..engine.evaluator import Evaluator, Scope
 from ..sqlkit import ast, render
 from .config import DEFAULT_CONFIG, TranslatorConfig
@@ -31,6 +31,7 @@ from .relation_tree import AttributeTree, RelationTree, tree_fingerprint
 from .triples import Condition
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..backends.base import Backend
     from .context import TranslationContext
 
 # ---------------------------------------------------------------------------
@@ -177,7 +178,7 @@ class ConditionChecker:
 
     def __init__(
         self,
-        database: Database,
+        database: "Backend",
         config: TranslatorConfig,
         context: Optional["TranslationContext"] = None,
     ) -> None:
@@ -324,7 +325,7 @@ class SimilarityEvaluator:
 
     def __init__(
         self,
-        database: Database,
+        database: "Backend",
         config: TranslatorConfig = DEFAULT_CONFIG,
         context: Optional["TranslationContext"] = None,
     ) -> None:

@@ -21,9 +21,9 @@ import itertools
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Iterable, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence, Union
 
-from ..engine import Database, Result
+from ..engine import Result
 from ..errors import Diagnostic, ReproError
 from ..obs import NULL_TRACER
 from ..sqlkit import ast, parse, render
@@ -45,6 +45,9 @@ from .resilience import LADDER, Budget, BudgetExceeded
 from .similarity import SimilarityEvaluator
 from .triples import ExtractionResult, JoinFragment, extract
 from .view_graph import ExtendedViewGraph, View, ViewGraph, ViewJoin, XNode
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..backends.base import Backend
 
 
 @dataclass
@@ -83,7 +86,7 @@ class SchemaFreeTranslator:
 
     def __init__(
         self,
-        database: Database,
+        database: "Backend",
         config: TranslatorConfig = DEFAULT_CONFIG,
         views: Iterable[View] = (),
         faults=None,  # Optional[repro.testing.faults.FaultInjector]

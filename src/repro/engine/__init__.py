@@ -5,7 +5,13 @@ from .errors import EngineError, ExecutionError, IntegrityError, NameResolutionE
 from .evaluator import Evaluator, Scope, compare, like_match
 from .executor import Executor, Result
 from .functions import AGGREGATE_NAMES, SCALAR_FUNCTIONS, aggregate, is_aggregate
-from .io import catalog_from_dict, catalog_to_dict, load_database, save_database
+from .io import (
+    catalog_from_dict,
+    catalog_to_dict,
+    export_to_sqlite,
+    load_database,
+    save_database,
+)
 
 __all__ = [
     "AGGREGATE_NAMES",
@@ -22,6 +28,7 @@ __all__ = [
     "aggregate",
     "catalog_from_dict",
     "catalog_to_dict",
+    "export_to_sqlite",
     "load_database",
     "save_database",
     "compare",

@@ -149,6 +149,8 @@ class Evaluator:
                     return left // right if left % right == 0 else result
                 return result
             if op == "%":
+                if right == 0:
+                    raise ExecutionError("modulo by zero")
                 return left % right
         except TypeError as exc:
             raise ExecutionError(f"bad operands for {op!r}: {exc}") from exc

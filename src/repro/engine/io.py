@@ -16,13 +16,25 @@ from __future__ import annotations
 
 import datetime
 import json
+import sqlite3
 from pathlib import Path
 from typing import Union
 
-from ..catalog import Attribute, Catalog, DataType
+from ..catalog import Attribute, Catalog, DataType, Relation
 from .database import Database
 
 SCHEMA_FILE = "schema.json"
+
+#: Declared SQLite column types per engine type.  BOOLEAN and DATE keep
+#: their literal names so catalog reflection (repro.backends.sqlite)
+#: recovers the engine type instead of SQLite's integer/text affinity.
+_SQLITE_TYPES = {
+    DataType.INTEGER: "INTEGER",
+    DataType.FLOAT: "REAL",
+    DataType.TEXT: "TEXT",
+    DataType.BOOLEAN: "BOOLEAN",
+    DataType.DATE: "DATE",
+}
 
 
 def catalog_to_dict(catalog: Catalog) -> dict:
@@ -126,3 +138,68 @@ def load_database(
                 if line:
                     db.insert(relation.name, json.loads(line))
     return db
+
+
+def _create_table_sql(relation: Relation, catalog: Catalog) -> str:
+    from ..sqlkit.render import render_identifier
+
+    columns = []
+    for attribute in relation.attributes:
+        column = (
+            f"{render_identifier(attribute.name)} "
+            f"{_SQLITE_TYPES[attribute.data_type]}"
+        )
+        if not attribute.nullable:
+            column += " NOT NULL"
+        columns.append(column)
+    if relation.primary_key:
+        pk = ", ".join(render_identifier(c) for c in relation.primary_key)
+        columns.append(f"PRIMARY KEY ({pk})")
+    for fk in catalog.foreign_keys:
+        if fk.source_relation != relation.name:
+            continue
+        columns.append(
+            f"FOREIGN KEY ({render_identifier(fk.source_attribute)}) "
+            f"REFERENCES {render_identifier(fk.target_relation)} "
+            f"({render_identifier(fk.target_attribute)})"
+        )
+    body = ", ".join(columns)
+    return f"CREATE TABLE {render_identifier(relation.name)} ({body})"
+
+
+def export_to_sqlite(
+    db: Database, target: Union[str, Path, sqlite3.Connection]
+) -> sqlite3.Connection:
+    """Materialise *db* as a SQLite database and return the connection.
+
+    *target* is a filesystem path (an existing file is replaced),
+    ``":memory:"``, or an already-open connection.  Schema fidelity is
+    what catalog reflection needs to round-trip: declared types keep the
+    engine type names (BOOLEAN/DATE), NOT NULL and PRIMARY KEY survive,
+    and each single-column FK becomes a ``FOREIGN KEY ... REFERENCES``
+    clause.  DATE values are stored as ISO text, booleans as 0/1.
+    """
+    from ..sqlkit.render import render_identifier
+
+    if isinstance(target, sqlite3.Connection):
+        connection = target
+    else:
+        path = Path(target)
+        if str(target) != ":memory:" and path.exists():
+            path.unlink()
+        connection = sqlite3.connect(str(target), check_same_thread=False)
+    for relation in db.catalog:
+        connection.execute(_create_table_sql(relation, db.catalog))
+        placeholders = ", ".join("?" for _ in relation.attributes)
+        insert_sql = (
+            f"INSERT INTO {render_identifier(relation.name)} "
+            f"VALUES ({placeholders})"
+        )
+        rows = [
+            tuple(_encode(row[a.key]) for a in relation.attributes)
+            for row in db.rows(relation.name)
+        ]
+        if rows:
+            connection.executemany(insert_sql, rows)
+    connection.commit()
+    return connection

@@ -48,7 +48,7 @@ import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Callable, Mapping, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Any, Callable, Mapping, Optional, Sequence, Union
 
 from ..core.config import DEFAULT_CONFIG, TranslatorConfig
 from ..core.context import TranslationContext
@@ -58,6 +58,9 @@ from ..engine import Database
 from ..errors import Diagnostic, ReproError
 from ..obs import NULL_SPAN, NULL_TRACER, MetricsRegistry, record_translation
 from .breaker import BreakerConfig, CircuitBreaker
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..backends.base import Backend
 from .retry import RetryPolicy
 
 DEFAULT_DATABASE = "default"
@@ -199,7 +202,7 @@ class _DatabaseState:
     def __init__(
         self,
         name: str,
-        database: Database,
+        database: "Backend",
         config: ServiceConfig,
         clock: Callable[[], float],
         on_transition: Optional[Callable[[str, str, str, str], None]] = None,
@@ -217,7 +220,7 @@ class QueryService:
 
     def __init__(
         self,
-        databases: Union[Database, Mapping[str, Database]],
+        databases: Union[Database, "Backend", Mapping[str, Any]],
         config: Optional[ServiceConfig] = None,
         faults=None,  # Optional[repro.testing.faults.FaultInjector]
         tracer=None,  # Optional[repro.obs.Tracer]
@@ -236,7 +239,7 @@ class QueryService:
         self._sleep: Callable[[float], None] = (
             faults.advance if faults is not None else time.sleep
         )
-        if isinstance(databases, Database):
+        if not isinstance(databases, Mapping):
             databases = {DEFAULT_DATABASE: databases}
         if not databases:
             raise ValueError("QueryService needs at least one database")

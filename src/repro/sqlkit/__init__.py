@@ -2,7 +2,7 @@
 
 from . import ast
 from .parser import Parser, parse, parse_expression
-from .render import render
+from .render import render, render_identifier
 from .tokenizer import tokenize
 from .tokens import SqlSyntaxError, Token, TokenType
 
@@ -15,5 +15,6 @@ __all__ = [
     "parse",
     "parse_expression",
     "render",
+    "render_identifier",
     "tokenize",
 ]

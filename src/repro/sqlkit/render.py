@@ -9,9 +9,14 @@ translations to the user (paper §2.2.4).
 
 from __future__ import annotations
 
+import re
 from typing import Optional
 
 from . import ast
+from .tokens import KEYWORDS
+
+#: Names that can appear bare in SQL text; anything else must be quoted.
+_PLAIN_IDENT = re.compile(r"^[A-Za-z_][A-Za-z0-9_$]*$")
 
 #: Binding strength; higher binds tighter.  Used to decide parentheses.
 _PRECEDENCE = {
@@ -29,6 +34,28 @@ def render(node: ast.Node) -> str:
     if isinstance(node, (ast.Select, ast.SetOp)):
         return _render_query(node)
     return _render_expr(node, 0)
+
+
+def render_identifier(name: str) -> str:
+    """Render *name* as a SQL identifier, quoting when required.
+
+    Reserved words and names containing non-identifier characters (as in
+    reflected real-world schemas — ``order``, ``line item``) are wrapped
+    in double quotes with embedded ``"`` doubled, so the emitted SQL is
+    accepted by SQLite and round-trips through our own tokenizer.
+    """
+    if _PLAIN_IDENT.match(name) and name.lower() not in KEYWORDS:
+        return name
+    escaped = name.replace('"', '""')
+    return f'"{escaped}"'
+
+
+def _render_name(term: ast.NameTerm) -> str:
+    """Render a NameTerm; only EXACT names are plain identifiers that may
+    need quoting — uncertainty markers keep their surface forms."""
+    if term.certainty is ast.Certainty.EXACT:
+        return render_identifier(term.text)
+    return term.render()
 
 
 def _render_query(node: ast.Node) -> str:
@@ -70,15 +97,15 @@ def _render_query(node: ast.Node) -> str:
 def _render_select_item(item: ast.SelectItem) -> str:
     text = _render_expr(item.expr, 0)
     if item.alias is not None:
-        text += f" AS {item.alias}"
+        text += f" AS {render_identifier(item.alias)}"
     return text
 
 
 def _render_from_item(item: ast.Node) -> str:
     if isinstance(item, ast.TableRef):
-        text = item.name.render()
+        text = _render_name(item.name)
         if item.alias is not None:
-            text += f" AS {item.alias}"
+            text += f" AS {render_identifier(item.alias)}"
         return text
     if isinstance(item, ast.Join):
         left = _render_from_item(item.left)
@@ -111,9 +138,12 @@ def _render_expr(node: ast.Node, parent_level: int) -> str:
     if isinstance(node, ast.Literal):
         return _render_literal(node.value)
     if isinstance(node, ast.ColumnRef):
-        return node.render()
+        text = _render_name(node.attribute)
+        if node.relation is not None:
+            text = f"{_render_name(node.relation)}.{text}"
+        return text
     if isinstance(node, ast.Star):
-        return f"{node.qualifier.render()}.*" if node.qualifier else "*"
+        return f"{_render_name(node.qualifier)}.*" if node.qualifier else "*"
     if isinstance(node, ast.FuncCall):
         inner = ", ".join(_render_expr(a, 0) for a in node.args)
         if node.distinct:

@@ -60,12 +60,8 @@ def tokenize(sql: str) -> list[Token]:
             tokens.append(token)
             continue
         if ch == '"':
-            # double-quoted identifier
-            end = sql.find('"', i + 1)
-            if end < 0:
-                raise SqlSyntaxError("unterminated quoted identifier", sql, i)
-            tokens.append(Token(TokenType.IDENT, sql[i + 1 : end], i))
-            i = end + 1
+            token, i = _read_quoted_identifier(sql, i)
+            tokens.append(token)
             continue
         # -- numbers ---------------------------------------------------
         if ch.isdigit() or (ch == "." and i + 1 < n and sql[i + 1].isdigit()):
@@ -124,6 +120,27 @@ def tokenize(sql: str) -> list[Token]:
                 raise SqlSyntaxError(f"unexpected character {ch!r}", sql, i)
     tokens.append(Token(TokenType.EOF, "", n))
     return tokens
+
+
+def _read_quoted_identifier(sql: str, start: int) -> tuple[Token, int]:
+    """Read a double-quoted identifier with ``""`` escaping.
+
+    Quoted names are always IDENT tokens, never keywords, so ``"order"``
+    is a legal relation name — required for reflected real-world schemas.
+    """
+    parts: list[str] = []
+    i = start + 1
+    n = len(sql)
+    while i < n:
+        if sql[i] == '"':
+            if i + 1 < n and sql[i + 1] == '"':
+                parts.append('"')
+                i += 2
+                continue
+            return Token(TokenType.IDENT, "".join(parts), start), i + 1
+        parts.append(sql[i])
+        i += 1
+    raise SqlSyntaxError("unterminated quoted identifier", sql, start)
 
 
 def _read_string(sql: str, start: int) -> tuple[Token, int]:

@@ -1,5 +1,20 @@
-"""Test-support utilities shipped with the package (fault injection)."""
+"""Test-support utilities shipped with the package (fault injection and
+the cross-backend differential correctness harness)."""
 
+from .differential import (
+    DifferentialHarness,
+    DifferentialRecord,
+    DifferentialReport,
+    workload_pairs,
+)
 from .faults import Fault, FaultInjector, InjectedFault
 
-__all__ = ["Fault", "FaultInjector", "InjectedFault"]
+__all__ = [
+    "DifferentialHarness",
+    "DifferentialRecord",
+    "DifferentialReport",
+    "Fault",
+    "FaultInjector",
+    "InjectedFault",
+    "workload_pairs",
+]

@@ -1,0 +1,309 @@
+"""Differential correctness harness: one workload, two backends.
+
+The strongest correctness check we have for the translator and both
+execution paths: load the same dataset into :class:`~repro.backends.
+MemoryBackend` and :class:`~repro.backends.SqliteBackend`, run every
+workload query end-to-end (SF-SQL → translate → execute) on each, and
+compare row *multisets*.  A divergence means one of the backends — or
+the translation statistics feeding them — is wrong.
+
+Comparison rules (DESIGN.md §12):
+
+* rows are compared as unordered multisets after normalisation —
+  booleans to 0/1, dates to ISO text, floats rounded to 9 decimals —
+  because SQLite has no bool/date storage classes and the engine does;
+* the translated SQL text is *recorded* but never failed on: both
+  backends share one translator and context, so the SQL should match,
+  and ``sql_match`` makes a regression visible without coupling the
+  harness to rendering details;
+* when both backends raise, the pair agrees (``agreed-error``) — error
+  *messages* are backend-specific and not compared;
+* known, documented semantic divergences are declared up front via
+  *expectations* (qid → reason).  An expected divergence that actually
+  agrees is itself a failure (``stale-expectation``): expectations must
+  not rot into silent skips.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional, Sequence, Tuple, Union
+
+from ..backends import Backend, as_backend
+from ..core.config import DEFAULT_CONFIG, TranslatorConfig
+from ..core.translator import SchemaFreeTranslator
+from ..workloads.base import WorkloadQuery
+
+__all__ = [
+    "DifferentialHarness",
+    "DifferentialRecord",
+    "DifferentialReport",
+    "Outcome",
+    "workload_pairs",
+]
+
+#: record statuses
+MATCH = "match"
+DIVERGENT = "divergent"
+EXPECTED = "expected-divergence"
+STALE_EXPECTATION = "stale-expectation"
+AGREED_ERROR = "agreed-error"
+TRANSLATION_ERROR = "translation-error"
+
+_AGREEING = frozenset({MATCH, AGREED_ERROR, EXPECTED})
+
+
+def workload_pairs(
+    queries: Iterable[WorkloadQuery],
+) -> list[Tuple[str, str]]:
+    """Flatten workload queries to ``(qid, sf_sql)`` pairs.
+
+    Queries with simulated-user variants (Figure 14) contribute one pair
+    per variant (``S1#u3``); queries without an SF-SQL form fall back to
+    their gold SQL, which still exercises both execution paths.
+    """
+    pairs: list[Tuple[str, str]] = []
+    for query in queries:
+        if query.user_variants:
+            for index, variant in enumerate(query.user_variants, 1):
+                pairs.append((f"{query.qid}#u{index}", variant))
+        else:
+            pairs.append((query.qid, query.sf_sql or query.gold_sql))
+    return pairs
+
+
+def normalize_value(value: object) -> object:
+    """Collapse representation differences that are not semantic."""
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, datetime.date):
+        return value.isoformat()
+    if isinstance(value, float):
+        return round(value, 9)
+    return value
+
+
+def normalize_rows(rows: Iterable[Sequence[object]]) -> dict:
+    """Order-insensitive multiset of normalised rows."""
+    counts: dict = {}
+    for row in rows:
+        key = tuple(normalize_value(v) for v in row)
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+@dataclass
+class Outcome:
+    """What one backend did with one query."""
+
+    backend: str
+    sql: Optional[str] = None
+    rows: Optional[list] = None
+    error: Optional[str] = None
+    error_type: Optional[str] = None
+
+    @property
+    def failed(self) -> bool:
+        return self.error is not None
+
+    def as_dict(self) -> dict:
+        return {
+            "backend": self.backend,
+            "sql": self.sql,
+            "row_count": None if self.rows is None else len(self.rows),
+            "error": self.error,
+            "error_type": self.error_type,
+        }
+
+
+@dataclass
+class DifferentialRecord:
+    """The agreement verdict for one (qid, query) pair."""
+
+    qid: str
+    query: str
+    status: str
+    reference: Outcome
+    candidate: Outcome
+    sql_match: Optional[bool] = None
+    detail: str = ""
+    expected_reason: Optional[str] = None
+
+    @property
+    def agreed(self) -> bool:
+        return self.status in _AGREEING
+
+    def as_dict(self) -> dict:
+        return {
+            "qid": self.qid,
+            "query": self.query,
+            "status": self.status,
+            "sql_match": self.sql_match,
+            "detail": self.detail,
+            "expected_reason": self.expected_reason,
+            "reference": self.reference.as_dict(),
+            "candidate": self.candidate.as_dict(),
+        }
+
+
+@dataclass
+class DifferentialReport:
+    """All records of one harness run plus summary accounting."""
+
+    reference: str
+    candidate: str
+    records: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when every query agrees (declared divergences included)."""
+        return all(record.agreed for record in self.records)
+
+    @property
+    def disagreements(self) -> list:
+        return [r for r in self.records if not r.agreed]
+
+    def summary(self) -> dict:
+        counts: dict = {}
+        for record in self.records:
+            counts[record.status] = counts.get(record.status, 0) + 1
+        return counts
+
+    def as_dict(self) -> dict:
+        return {
+            "reference": self.reference,
+            "candidate": self.candidate,
+            "ok": self.ok,
+            "total": len(self.records),
+            "summary": self.summary(),
+            "records": [record.as_dict() for record in self.records],
+        }
+
+
+class DifferentialHarness:
+    """Run queries end-to-end on two backends and compare results.
+
+    Each backend gets its own translator (statistics flow from that
+    backend alone), so the harness also checks that backend-sourced
+    statistics reproduce the reference translation — ``sql_match`` is
+    recorded per query.
+    """
+
+    def __init__(
+        self,
+        reference,
+        candidate,
+        config: TranslatorConfig = DEFAULT_CONFIG,
+        expectations: Optional[Mapping[str, str]] = None,
+        top_k: int = 1,
+    ) -> None:
+        self.reference: Backend = as_backend(reference)
+        self.candidate: Backend = as_backend(candidate)
+        self.expectations = dict(expectations or {})
+        self.top_k = top_k
+        self._translators = {
+            id(self.reference): SchemaFreeTranslator(self.reference, config),
+            id(self.candidate): SchemaFreeTranslator(self.candidate, config),
+        }
+
+    def _run_one(self, backend: Backend, query: str) -> Outcome:
+        outcome = Outcome(backend=backend.kind)
+        translator = self._translators[id(backend)]
+        try:
+            translation = translator.translate_best(query)
+            outcome.sql = translation.sql
+        except Exception as exc:
+            outcome.error = f"translation: {exc}"
+            outcome.error_type = type(exc).__name__
+            return outcome
+        try:
+            result = backend.execute(translation.query)
+        except Exception as exc:
+            outcome.error = str(exc)
+            outcome.error_type = type(exc).__name__
+            return outcome
+        outcome.rows = list(result.rows)
+        return outcome
+
+    def check(self, qid: str, query: str) -> DifferentialRecord:
+        """Translate and execute *query* on both backends; compare."""
+        reference = self._run_one(self.reference, query)
+        candidate = self._run_one(self.candidate, query)
+        sql_match = (
+            reference.sql == candidate.sql
+            if reference.sql is not None and candidate.sql is not None
+            else None
+        )
+        expected_reason = self.expectations.get(qid)
+        status, detail = self._verdict(reference, candidate)
+        if expected_reason is not None:
+            # A declared divergence must actually diverge — otherwise the
+            # expectation is stale and hiding a behavior change.
+            status = EXPECTED if status == DIVERGENT else STALE_EXPECTATION
+            if status == STALE_EXPECTATION:
+                detail = (
+                    f"expected divergence ({expected_reason}) but backends agree"
+                )
+        return DifferentialRecord(
+            qid=qid,
+            query=query,
+            status=status,
+            reference=reference,
+            candidate=candidate,
+            sql_match=sql_match,
+            detail=detail,
+            expected_reason=expected_reason,
+        )
+
+    @staticmethod
+    def _verdict(reference: Outcome, candidate: Outcome) -> Tuple[str, str]:
+        if reference.failed and candidate.failed:
+            if (reference.error or "").startswith("translation:") and (
+                candidate.error or ""
+            ).startswith("translation:"):
+                # Both translators rejected the query: nothing differential
+                # was tested, so surface it instead of counting agreement.
+                return (
+                    TRANSLATION_ERROR,
+                    f"both translators rejected the query: {reference.error}",
+                )
+            return AGREED_ERROR, ""
+        if reference.failed or candidate.failed:
+            failed = reference if reference.failed else candidate
+            return (
+                DIVERGENT,
+                f"only {failed.backend} failed: "
+                f"{failed.error_type}: {failed.error}",
+            )
+        ref_rows = normalize_rows(reference.rows or [])
+        cand_rows = normalize_rows(candidate.rows or [])
+        if ref_rows == cand_rows:
+            return MATCH, ""
+        only_ref = {k: v for k, v in ref_rows.items() if cand_rows.get(k) != v}
+        only_cand = {k: v for k, v in cand_rows.items() if ref_rows.get(k) != v}
+        sample_ref = list(only_ref)[:3]
+        sample_cand = list(only_cand)[:3]
+        return (
+            DIVERGENT,
+            f"{len(only_ref)} row(s) differ on {reference.backend}, "
+            f"{len(only_cand)} on {candidate.backend}; "
+            f"e.g. {sample_ref!r} vs {sample_cand!r}",
+        )
+
+    def run(
+        self,
+        queries: Union[Iterable[WorkloadQuery], Iterable[Tuple[str, str]]],
+    ) -> DifferentialReport:
+        """Check every query; accepts WorkloadQuery lists or (qid, sql) pairs."""
+        materialised = list(queries)
+        if materialised and isinstance(materialised[0], WorkloadQuery):
+            pairs = workload_pairs(materialised)
+        else:
+            pairs = list(materialised)
+        report = DifferentialReport(
+            reference=self.reference.kind, candidate=self.candidate.kind
+        )
+        for qid, query in pairs:
+            report.records.append(self.check(qid, query))
+        return report

@@ -329,3 +329,80 @@ class TestObservabilityFlags:
         snapshot = jsonlib.loads(metrics_path.read_text(encoding="utf-8"))
         requests = snapshot["repro_service_requests_total"]["values"]
         assert requests == {"database=default,outcome=ok": 1}
+
+
+class TestSqliteBackendFlag:
+    def test_execute_on_sqlite_backend(self, capsys):
+        exit_code = main(
+            [
+                "--dataset",
+                "movies",
+                "--backend",
+                "sqlite",
+                "--execute",
+                "SELECT count(*) FROM movie",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "row(s)" in captured.out
+
+    def test_results_agree_with_memory_backend(self, capsys):
+        query = "SELECT title? WHERE release_year? > 2000"
+        main(["--dataset", "movies", "--execute", query])
+        memory_out = capsys.readouterr().out
+        main(
+            ["--dataset", "movies", "--backend", "sqlite", "--execute", query]
+        )
+        sqlite_out = capsys.readouterr().out
+        memory_rows = {l for l in memory_out.splitlines() if l.startswith("  ")}
+        sqlite_rows = {l for l in sqlite_out.splitlines() if l.startswith("  ")}
+        assert memory_rows == sqlite_rows
+
+
+class TestImportSubcommand:
+    @pytest.fixture()
+    def sqlite_file(self, fig1_db, tmp_path):
+        from repro.engine.io import export_to_sqlite
+
+        path = tmp_path / "fig1.sqlite"
+        export_to_sqlite(fig1_db, path).close()
+        return str(path)
+
+    def test_import_reports_reflection(self, sqlite_file, capsys):
+        exit_code = main(["import", sqlite_file, "--schema"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "6 relations, 6 foreign keys" in captured.out
+        assert "Person" in captured.out
+
+    def test_import_execute_translates_end_to_end(self, sqlite_file, capsys):
+        exit_code = main(
+            [
+                "import",
+                sqlite_file,
+                "--execute",
+                "SELECT title? WHERE director_name? = 'James Cameron'",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "Titanic" in captured.out
+        assert "Avatar" in captured.out
+
+    def test_import_missing_file_fails_cleanly(self, tmp_path, capsys):
+        from repro.cli import EXIT_ENGINE
+
+        missing = str(tmp_path / "nope.sqlite")
+        exit_code = main(["import", missing, "--schema"])
+        captured = capsys.readouterr()
+        assert exit_code == EXIT_ENGINE
+        assert "no such file" in captured.out
+        assert not (tmp_path / "nope.sqlite").exists()
+
+    def test_import_bad_query_exit_code(self, sqlite_file, capsys):
+        from repro.cli import EXIT_SYNTAX
+
+        exit_code = main(["import", sqlite_file, "--execute", "SELECT FROM"])
+        capsys.readouterr()
+        assert exit_code == EXIT_SYNTAX

@@ -1,0 +1,182 @@
+"""Tests for the cross-backend differential correctness harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database
+from repro.backends import MemoryBackend, SqliteBackend
+from repro.datasets import make_course_database, make_movie_database
+from repro.engine.io import export_to_sqlite
+from repro.testing import DifferentialHarness, workload_pairs
+from repro.testing.differential import (
+    AGREED_ERROR,
+    DIVERGENT,
+    EXPECTED,
+    MATCH,
+    STALE_EXPECTATION,
+    TRANSLATION_ERROR,
+    normalize_rows,
+)
+from repro.workloads import (
+    COURSE_QUERIES,
+    SOPHISTICATED_QUERIES,
+    TEXTBOOK_QUERIES,
+    WorkloadQuery,
+)
+
+from tests.conftest import make_fig1_catalog, populate_fig1
+
+
+def make_harness(db: Database, **kwargs) -> DifferentialHarness:
+    return DifferentialHarness(
+        MemoryBackend(db),
+        SqliteBackend(export_to_sqlite(db, ":memory:")),
+        **kwargs,
+    )
+
+
+@pytest.fixture(scope="module")
+def movie_harness() -> DifferentialHarness:
+    return make_harness(make_movie_database())
+
+
+@pytest.fixture()
+def fig1_harness() -> DifferentialHarness:
+    db = Database(make_fig1_catalog())
+    populate_fig1(db)
+    return make_harness(db)
+
+
+class TestNormalization:
+    def test_bool_date_float_collapse(self):
+        import datetime
+
+        rows_a = [(True, datetime.date(2020, 1, 2), 0.1 + 0.2)]
+        rows_b = [(1, "2020-01-02", 0.3)]
+        assert normalize_rows(rows_a) == normalize_rows(rows_b)
+
+    def test_multiset_not_set(self):
+        assert normalize_rows([(1,), (1,)]) != normalize_rows([(1,)])
+
+    def test_order_insensitive(self):
+        assert normalize_rows([(1,), (2,)]) == normalize_rows([(2,), (1,)])
+
+
+class TestWorkloadPairs:
+    def test_plain_query_uses_sf_sql(self):
+        query = WorkloadQuery(qid="Q1", intent="", gold_sql="GOLD", sf_sql="SF")
+        assert workload_pairs([query]) == [("Q1", "SF")]
+
+    def test_missing_sf_sql_falls_back_to_gold(self):
+        query = WorkloadQuery(qid="Q2", intent="", gold_sql="GOLD")
+        assert workload_pairs([query]) == [("Q2", "GOLD")]
+
+    def test_user_variants_expand(self):
+        query = WorkloadQuery(
+            qid="S1", intent="", gold_sql="GOLD", user_variants=["A", "B"]
+        )
+        assert workload_pairs([query]) == [("S1#u1", "A"), ("S1#u2", "B")]
+
+
+class TestVerdicts:
+    def test_match(self, fig1_harness):
+        record = fig1_harness.check(
+            "q", "SELECT title? WHERE release_year? = 1997"
+        )
+        assert record.status == MATCH
+        assert record.agreed
+        assert record.sql_match is True
+
+    def test_agreed_error(self, fig1_harness):
+        record = fig1_harness.check("q", "SELECT 1 / 0")
+        assert record.status == AGREED_ERROR
+        assert record.agreed
+
+    def test_translation_error_is_not_agreement(self, fig1_harness):
+        record = fig1_harness.check("q", "SELECT FROM WHERE")
+        assert record.status == TRANSLATION_ERROR
+        assert not record.agreed
+
+    def test_mixed_type_comparison_diverges(self, fig1_harness):
+        # The one known, irreconcilable semantic gap (DESIGN.md §12): the
+        # engine raises on mixed-type comparison, SQLite orders across
+        # storage classes (INTEGER < TEXT).
+        record = fig1_harness.check("q", "SELECT 1 WHERE 1 < 'a'")
+        assert record.status == DIVERGENT
+        assert not record.agreed
+        assert "only memory failed" in record.detail
+
+    def test_expected_divergence_agrees_overall(self, fig1_harness):
+        fig1_harness.expectations["q"] = "engine rejects mixed-type compare"
+        record = fig1_harness.check("q", "SELECT 1 WHERE 1 < 'a'")
+        assert record.status == EXPECTED
+        assert record.agreed
+        assert record.expected_reason == "engine rejects mixed-type compare"
+
+    def test_stale_expectation_fails(self, fig1_harness):
+        fig1_harness.expectations["q"] = "was divergent once"
+        record = fig1_harness.check(
+            "q", "SELECT title? WHERE release_year? = 1997"
+        )
+        assert record.status == STALE_EXPECTATION
+        assert not record.agreed
+        assert "stale" in record.status
+
+
+class TestReport:
+    def test_report_accounting(self, fig1_harness):
+        report = fig1_harness.run(
+            [
+                ("good", "SELECT title? WHERE release_year? = 1997"),
+                ("bad", "SELECT 1 WHERE 1 < 'a'"),
+            ]
+        )
+        assert not report.ok
+        assert report.summary() == {MATCH: 1, DIVERGENT: 1}
+        assert [r.qid for r in report.disagreements] == ["bad"]
+        payload = report.as_dict()
+        assert payload["total"] == 2
+        assert payload["ok"] is False
+        assert payload["reference"] == "memory"
+        assert payload["candidate"] == "sqlite"
+        assert {r["qid"] for r in payload["records"]} == {"good", "bad"}
+
+    def test_run_accepts_workload_queries(self, fig1_harness):
+        queries = [
+            WorkloadQuery(
+                qid="W1",
+                intent="",
+                gold_sql="SELECT title FROM Movie",
+                sf_sql="SELECT title? FROM Movie?",
+            )
+        ]
+        report = fig1_harness.run(queries)
+        assert report.ok
+        assert report.records[0].qid == "W1"
+
+
+class TestPaperWorkloads:
+    """Acceptance criterion: the harness passes on the paper workloads."""
+
+    def test_textbook_workload_agrees(self, movie_harness):
+        report = movie_harness.run(TEXTBOOK_QUERIES)
+        assert report.ok, report.summary()
+        assert report.summary() == {MATCH: len(TEXTBOOK_QUERIES)}
+        assert all(r.sql_match for r in report.records)
+
+    def test_sophisticated_workload_agrees(self, movie_harness):
+        report = movie_harness.run(SOPHISTICATED_QUERIES)
+        assert report.ok, [r.detail for r in report.disagreements]
+        assert report.summary() == {
+            MATCH: sum(
+                len(q.user_variants) or 1 for q in SOPHISTICATED_QUERIES
+            )
+        }
+        assert all(r.sql_match for r in report.records)
+
+    def test_course_workload_agrees(self):
+        report = make_harness(make_course_database()).run(COURSE_QUERIES)
+        assert report.ok, report.summary()
+        assert report.summary() == {MATCH: len(COURSE_QUERIES)}
+        assert all(r.sql_match for r in report.records)

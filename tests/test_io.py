@@ -146,3 +146,78 @@ class TestServiceOverReloadedDatabase:
             # the shared context noticed the new data version and rebuilt
             assert service.context().stats.invalidations == 1
             assert fresh.sql == warm.sql
+
+
+class TestSqliteRoundTrip:
+    """save/load → export_to_sqlite → reflect must preserve the catalog
+    (including FK order) and every row."""
+
+    def test_reflected_catalog_equivalent(self, fig1_db, tmp_path):
+        from repro.backends import SqliteBackend
+        from repro.engine.io import export_to_sqlite
+
+        save_database(fig1_db, tmp_path / "dump")
+        loaded = load_database(tmp_path / "dump")
+        backend = SqliteBackend(
+            export_to_sqlite(loaded, tmp_path / "dump.sqlite")
+        )
+        original = fig1_db.catalog
+        reflected = backend.catalog
+        assert [r.name for r in reflected] == [r.name for r in original]
+        for relation in original:
+            mirror = reflected.relation(relation.name)
+            assert mirror.attribute_names == relation.attribute_names
+            assert tuple(mirror.primary_key) == tuple(relation.primary_key)
+            for ours, theirs in zip(relation.attributes, mirror.attributes):
+                assert ours.data_type is theirs.data_type
+                assert ours.nullable == theirs.nullable
+        assert [fk.key for fk in reflected.foreign_keys] == [
+            fk.key for fk in original.foreign_keys
+        ]
+        backend.close()
+
+    def test_row_counts_and_values_preserved(self, fig1_db, tmp_path):
+        from repro.backends import SqliteBackend
+        from repro.engine.io import export_to_sqlite
+
+        save_database(fig1_db, tmp_path / "dump")
+        loaded = load_database(tmp_path / "dump")
+        backend = SqliteBackend(
+            export_to_sqlite(loaded, tmp_path / "dump.sqlite")
+        )
+        for relation in fig1_db.catalog:
+            assert backend.count(relation.name) == fig1_db.count(relation.name)
+            for attribute in relation.attributes:
+                assert backend.column_values(
+                    relation.name, attribute.name
+                ) == fig1_db.column_values(relation.name, attribute.name)
+        backend.close()
+
+    def test_typed_values_survive_both_hops(self, tmp_path):
+        from repro.backends import SqliteBackend
+        from repro.engine.io import export_to_sqlite
+
+        catalog = Catalog("typed")
+        catalog.create_relation(
+            "event",
+            [
+                ("event_id", DataType.INTEGER),
+                ("flag", DataType.BOOLEAN),
+                ("day", DataType.DATE),
+            ],
+            primary_key=["event_id"],
+        )
+        db = Database(catalog)
+        db.insert("event", [1, True, datetime.date(1999, 12, 31)])
+        db.insert("event", [2, False, None])
+        save_database(db, tmp_path / "dump")
+        loaded = load_database(tmp_path / "dump")
+        backend = SqliteBackend(
+            export_to_sqlite(loaded, tmp_path / "dump.sqlite")
+        )
+        assert backend.column_values("event", "flag") == [True, False]
+        assert backend.column_values("event", "day") == [
+            datetime.date(1999, 12, 31),
+            None,
+        ]
+        backend.close()

@@ -302,3 +302,43 @@ class TestEngineInvariants:
             "SELECT v FROM t UNION ALL SELECT v FROM t"
         )
         assert len(doubled) == 2 * len(rows)
+
+
+# ---------------------------------------------------------------------------
+# identifier quoting (satellite: reserved words and weird characters)
+# ---------------------------------------------------------------------------
+
+weird_identifiers = st.one_of(
+    st.sampled_from(sorted(_RESERVED)),
+    st.text(
+        alphabet=string.ascii_letters + string.digits + ' _$"',
+        min_size=1,
+        max_size=12,
+    ),
+)
+
+
+class TestIdentifierQuoting:
+    @given(weird_identifiers)
+    @settings(max_examples=200)
+    def test_render_identifier_tokenizes_back(self, name):
+        from repro.sqlkit import render_identifier
+
+        tokens = tokenize(render_identifier(name))
+        assert len(tokens) == 2  # IDENT, EOF
+        assert tokens[0].type is TokenType.IDENT
+        assert tokens[0].value == name
+
+    @given(weird_identifiers, weird_identifiers, weird_identifiers)
+    @settings(max_examples=200)
+    def test_weird_names_round_trip(self, column, table, alias):
+        from repro.sqlkit import render_identifier as quote
+
+        sql = (
+            f"SELECT {quote(column)} AS {quote(alias)} FROM {quote(table)} "
+            f"WHERE {quote(table)}.{quote(column)} IS NOT NULL"
+        )
+        tree = parse(sql)
+        once = render(tree)
+        assert parse(once) == tree
+        assert render(parse(once)) == once

@@ -69,3 +69,69 @@ class TestRoundTrip:
         expr = parse_expression("1 - (2 - 3)")
         text = render(expr)
         assert parse_expression(text) == expr
+
+
+class TestIdentifierQuoting:
+    """Reserved words and non-identifier characters must render quoted
+    (and survive a parse → render → parse round-trip)."""
+
+    def test_plain_names_unquoted(self):
+        from repro.sqlkit import render_identifier
+
+        assert render_identifier("movie") == "movie"
+        assert render_identifier("release_year") == "release_year"
+        assert render_identifier("Person") == "Person"
+        assert render_identifier("a$b_2") == "a$b_2"
+
+    def test_reserved_words_quoted(self):
+        from repro.sqlkit import render_identifier
+
+        assert render_identifier("order") == '"order"'
+        assert render_identifier("SELECT") == '"SELECT"'
+        assert render_identifier("Group") == '"Group"'
+
+    def test_special_characters_quoted(self):
+        from repro.sqlkit import render_identifier
+
+        assert render_identifier("line item") == '"line item"'
+        assert render_identifier("1st") == '"1st"'
+        assert render_identifier('we"ird') == '"we""ird"'
+
+    def test_quoted_identifier_tokenizes_back(self):
+        from repro.sqlkit import tokenize
+        from repro.sqlkit.tokens import TokenType
+
+        tokens = tokenize('"order"')
+        assert tokens[0].type is TokenType.IDENT
+        assert tokens[0].value == "order"
+
+    def test_unterminated_quoted_identifier_rejected(self):
+        from repro.sqlkit import SqlSyntaxError, tokenize
+
+        with pytest.raises(SqlSyntaxError):
+            tokenize('SELECT "order FROM t')
+
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            'SELECT "order" FROM "select"',
+            'SELECT "order"."select" FROM "order" WHERE "line item" = 1',
+            'SELECT a AS "group", "we""ird" FROM t ORDER BY "order" DESC',
+            'SELECT "select".* FROM "select" JOIN u ON "select".id = u.id',
+        ],
+    )
+    def test_quoted_round_trip(self, sql):
+        roundtrip(sql)
+
+    def test_quoted_names_parse_as_exact_terms(self):
+        query = parse('SELECT "order" FROM "select"')
+        item = query.items[0]
+        assert item.expr.attribute.text == "order"
+        assert item.expr.attribute.certainty is ast.Certainty.EXACT
+
+    def test_uncertain_terms_keep_marker_unquoted(self):
+        # quoting applies only to EXACT names; `?`-marked terms keep
+        # their surface form (a quoted name cannot carry a marker).
+        assert roundtrip("SELECT title? FROM movie?") == (
+            "SELECT title? FROM movie?"
+        )
