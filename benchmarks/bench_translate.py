@@ -22,6 +22,12 @@ default ``NULL_TRACER``) is compared against the committed baseline
 ``BENCH_translate.json`` — pass ``--max-regression 0.05`` to fail the
 run when the tracing-disabled warm path regressed more than 5%.
 
+A final warm pass pits a bare ``SqliteBackend`` against a fault-free
+``ResilientBackend(SqliteBackend)`` on the same exported image: the
+armor's translations must match byte-for-byte and
+``--max-resilient-overhead 0.02`` fails the run when the wrapper costs
+more than 2% on the happy path.
+
 Run from the repository root::
 
     PYTHONPATH=src python benchmarks/bench_translate.py
@@ -125,6 +131,46 @@ def run_warm_reflected(
     return elapsed, results
 
 
+def run_warm_resilient(
+    database: Database, queries: list[str], repeats: int = 10
+) -> tuple[float, float, list]:
+    """The reflected warm pass with and without the resilience armor.
+
+    Both stacks sit on the same exported SQLite image; the armored one
+    wraps its backend in :class:`~repro.backends.ResilientBackend` with
+    no faults anywhere in sight.  Timings are best-of-*repeats* with
+    the stacks alternating back-to-back so noise hits both equally —
+    the fault-free armor must be cheap enough to leave on in
+    production, and its translations must match the bare backend
+    byte-for-byte.  Per-workload ratios still carry a few percent of
+    scheduler noise; the overhead gate therefore compares the *sums*
+    across every benchmarked workload (see ``main``).
+    """
+    from repro.backends import ResilientBackend, SqliteBackend
+    from repro.engine.io import export_to_sqlite
+
+    bare = SqliteBackend(export_to_sqlite(database, ":memory:"))
+    armored = ResilientBackend(
+        SqliteBackend(export_to_sqlite(database, ":memory:"))
+    )
+    t_bare = SchemaFreeTranslator(bare)
+    t_armored = SchemaFreeTranslator(armored)
+    t_bare.translate_many(queries, top_k=TOP_K)  # warm both contexts
+    t_armored.translate_many(queries, top_k=TOP_K)
+    bare_seconds = armored_seconds = float("inf")
+    results: list = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        t_bare.translate_many(queries, top_k=TOP_K)
+        bare_seconds = min(bare_seconds, time.perf_counter() - started)
+        started = time.perf_counter()
+        results = t_armored.translate_many(queries, top_k=TOP_K)
+        armored_seconds = min(armored_seconds, time.perf_counter() - started)
+    bare.close()
+    armored.close()
+    return bare_seconds, armored_seconds, results
+
+
 def check_identical(cold: list, warm: list) -> None:
     """The context memoizes — it must never change a single byte."""
     for query_cold, query_warm in zip(cold, warm):
@@ -150,9 +196,16 @@ def bench_workload(name: str) -> dict:
         database, queries
     )
     check_identical(warm_results, reflected_results)
+    bare_seconds, resilient_seconds, resilient_results = run_warm_resilient(
+        database, queries
+    )
+    check_identical(warm_results, resilient_results)
     speedup = cold_seconds / warm_seconds if warm_seconds > 0 else float("inf")
     overhead = (
         traced_seconds / warm_seconds - 1.0 if warm_seconds > 0 else 0.0
+    )
+    resilient_overhead = (
+        resilient_seconds / bare_seconds - 1.0 if bare_seconds > 0 else 0.0
     )
     row = {
         "queries": len(queries),
@@ -162,6 +215,9 @@ def bench_workload(name: str) -> dict:
         "traced_seconds": round(traced_seconds, 4),
         "tracing_overhead": round(overhead, 4),
         "reflected_seconds": round(reflected_seconds, 4),
+        "resilient_bare_seconds": round(bare_seconds, 4),
+        "resilient_seconds": round(resilient_seconds, 4),
+        "resilient_overhead": round(resilient_overhead, 4),
         "speedup": round(speedup, 2),
         "identical": True,
         "warm_stats": warm_stats,
@@ -171,6 +227,7 @@ def bench_workload(name: str) -> dict:
         f"cold {cold_seconds:7.3f}s  warm {warm_seconds:7.3f}s  "
         f"traced {traced_seconds:7.3f}s ({overhead:+6.1%})  "
         f"sqlite-reflected {reflected_seconds:7.3f}s  "
+        f"resilient {resilient_seconds:7.3f}s ({resilient_overhead:+6.1%})  "
         f"speedup {speedup:5.2f}x"
     )
     return row
@@ -232,6 +289,15 @@ def main(argv=None) -> int:
         help="fail when the tracing-disabled warm path is this much "
         "slower than the baseline (e.g. 0.05 for 5%%)",
     )
+    parser.add_argument(
+        "--max-resilient-overhead",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="fail when the fault-free ResilientBackend warm path is "
+        "this much slower than the bare SQLite backend (e.g. 0.02 "
+        "for 2%%)",
+    )
     args = parser.parse_args(argv)
 
     report = {name: bench_workload(name) for name in args.workloads}
@@ -240,6 +306,22 @@ def main(argv=None) -> int:
         failures = check_regression(
             report, args.baseline, args.max_regression
         )
+    if args.max_resilient_overhead is not None:
+        # aggregate across workloads: per-workload ratios carry a few
+        # percent of scheduler noise that the sum averages away
+        total_bare = sum(r["resilient_bare_seconds"] for r in report.values())
+        total_armored = sum(r["resilient_seconds"] for r in report.values())
+        aggregate = total_armored / total_bare - 1.0 if total_bare > 0 else 0.0
+        print(
+            f"fault-free ResilientBackend overhead (aggregate): "
+            f"{aggregate:+.1%}"
+        )
+        if aggregate > args.max_resilient_overhead:
+            failures.append(
+                f"fault-free ResilientBackend overhead {aggregate:.1%} "
+                f"(> {args.max_resilient_overhead:.0%} aggregated over "
+                f"{', '.join(report)})"
+            )
     with open(args.output, "w") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")

@@ -1,21 +1,28 @@
-"""``repro.backends`` — pluggable execution backends (DESIGN.md §12).
+"""``repro.backends`` — pluggable execution backends (DESIGN.md §12–§13).
 
 The paper's pipeline ends at "composing standard SQL" (§6.2); this
 package is where the composed SQL actually runs.  A :class:`Backend`
 protocol abstracts query execution and schema/statistics access, with
-two implementations:
+two implementations and one wrapper:
 
 * :class:`MemoryBackend` — wraps the in-process :class:`repro.engine.
   Database` (the default substrate for tests and the bundled datasets);
 * :class:`SqliteBackend` — stdlib ``sqlite3``: reflects the catalog
   from ``PRAGMA`` metadata, sources translation statistics through
   sampled ``SELECT``s, and executes dialect-lowered SQL with
-  engine-parity UDFs.
+  engine-parity UDFs;
+* :class:`ResilientBackend` — fault-tolerance armor over any backend:
+  retries with deterministic jitter, per-operation timeout budgets,
+  graceful degradation (empty samples, partial catalogs) and a
+  per-backend circuit breaker that pins translation to a degraded
+  ladder rung.  Typed failures live in :mod:`repro.backends.errors`.
 
 :func:`as_backend` upgrades a raw Database (which satisfies the
 protocol structurally) into a MemoryBackend; anything already
 implementing the protocol passes through unchanged.  Cross-backend
-agreement is enforced by :mod:`repro.testing.differential`.
+agreement is enforced by :mod:`repro.testing.differential`, and
+fault/schema-drift behaviour by :mod:`repro.testing.faults` /
+:mod:`repro.testing.evolution`.
 """
 
 from __future__ import annotations
@@ -25,13 +32,25 @@ from typing import Optional, Union
 from ..obs import MetricsRegistry, Tracer
 from .base import Backend
 from .dialect import UnsupportedSqlError, lower, to_sqlite_sql
+from .errors import (
+    BackendDegraded,
+    BackendError,
+    BackendUnavailable,
+    TransientBackendError,
+)
 from .memory import MemoryBackend
 from .sqlite import SqliteBackend, map_declared_type, reflect_catalog
 
 __all__ = [
     "Backend",
+    "BackendDegraded",
+    "BackendError",
+    "BackendHealth",
+    "BackendUnavailable",
     "MemoryBackend",
+    "ResilientBackend",
     "SqliteBackend",
+    "TransientBackendError",
     "UnsupportedSqlError",
     "as_backend",
     "lower",
@@ -53,3 +72,9 @@ def as_backend(
     if isinstance(source, Database):
         return MemoryBackend(source, tracer=tracer, metrics=metrics)
     return source
+
+
+# Imported after as_backend is defined: resilient's lazy service imports
+# pull in repro.testing.differential, which imports this module's
+# as_backend during circular bootstrap.
+from .resilient import BackendHealth, ResilientBackend  # noqa: E402

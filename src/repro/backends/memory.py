@@ -59,7 +59,7 @@ class MemoryBackend:
             started = time.perf_counter()
             try:
                 result = self.database.execute(query)
-            except Exception:
+            except Exception:  # re-raises after observing the failure
                 self._instruments.observe(
                     "execute", time.perf_counter() - started, error=True
                 )

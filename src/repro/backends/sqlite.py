@@ -22,9 +22,20 @@ case-sensitive LIKE.  Exceptions raised inside UDFs surface from sqlite3
 as a generic OperationalError, so the backend stashes the original
 engine error and re-raises it with its message intact.
 
-The connection is shared across service worker threads; a single RLock
-serialises every use of it (sqlite3 objects are not thread-safe even
-with ``check_same_thread=False``).
+Threading: file-backed sources get one connection **per thread**
+(created lazily, UDFs registered at creation), so ``QueryService``
+workers execute concurrently instead of serialising on one handle.
+``:memory:`` sources and adopted connections cannot be re-opened per
+thread, so they stay on a single shared connection guarded by an RLock
+(sqlite3 objects are not thread-safe even with
+``check_same_thread=False``).  UDF error stashing is thread-local in
+both modes.
+
+Open/reflect failures are typed (ISSUE 6): a corrupted or non-SQLite
+file raises :class:`~repro.backends.errors.BackendUnavailable`, a
+locked/busy database raises :class:`~repro.backends.errors.
+TransientBackendError` (worth a retry) — never a raw ``sqlite3``
+traceback.
 """
 
 from __future__ import annotations
@@ -32,12 +43,15 @@ from __future__ import annotations
 import sqlite3
 import threading
 import time
+from contextlib import nullcontext
 from datetime import date
 from pathlib import Path
 from typing import Any, Callable, Optional, Union
 
 from ..catalog import Attribute, Catalog, DataType, SchemaError
 from ..engine.errors import ExecutionError
+from ..errors import Diagnostic
+from .errors import BackendUnavailable, TransientBackendError
 from ..engine.evaluator import like_match
 from ..engine.executor import Result
 from ..engine.functions import SCALAR_FUNCTIONS
@@ -166,6 +180,29 @@ def _udf_mod(left: Any, right: Any) -> Any:
     return left % right
 
 
+def _map_open_error(exc: sqlite3.Error, source: str) -> Exception:
+    """Typed error for an unusable database file: locked/busy is
+    transient and retryable, everything else — corrupted file, not a
+    database, permissions — is terminal."""
+    message = str(exc).lower()
+    diagnostic = Diagnostic(
+        stage="backend",
+        message=f"cannot open SQLite database: {exc}",
+        token="reflect",
+        detail={"source": source, "sqlite_error": type(exc).__name__},
+    )
+    if isinstance(exc, sqlite3.OperationalError) and (
+        "locked" in message or "busy" in message
+    ):
+        return TransientBackendError(
+            f"SQLite database {source!r} is locked: {exc}",
+            diagnostic=diagnostic,
+        )
+    return BackendUnavailable(
+        f"cannot open SQLite database {source!r}: {exc}", diagnostic=diagnostic
+    )
+
+
 class SqliteBackend:
     """Execute translated queries against a SQLite database."""
 
@@ -187,48 +224,101 @@ class SqliteBackend:
         *sample_limit* caps the rows ``column_values`` reads per column —
         leave ``None`` to match MemoryBackend's full-column statistics.
         """
+        self._tls = threading.local()
+        self._conn_lock = threading.Lock()
+        self._connections: list[sqlite3.Connection] = []
+        self._closed = False
         if isinstance(source, sqlite3.Connection):
-            self._conn = source
+            self._path = None
+            self._shared_conn: Optional[sqlite3.Connection] = source
             self._owns_connection = False
+            self._per_thread = False
             default_name = "sqlite"
         else:
-            self._conn = sqlite3.connect(str(source), check_same_thread=False)
+            self._path = str(source)
             self._owns_connection = True
-            stem = Path(str(source)).stem
+            # A second connection to ":memory:" would see a different,
+            # empty database — memory sources stay on one shared handle.
+            self._per_thread = self._path != ":memory:"
+            self._shared_conn = None
+            stem = Path(self._path).stem
             default_name = stem if stem and stem != ":memory:" else "sqlite"
+            if not self._per_thread:
+                self._shared_conn = sqlite3.connect(
+                    self._path, check_same_thread=False
+                )
         self.name = name if name is not None else default_name
         self.sample_limit = sample_limit
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self._instruments = BackendInstruments(metrics, self.kind)
         self._lock = threading.RLock()
-        self._udf_error: Optional[BaseException] = None
-        self._register_functions()
         with self.tracer.span("backend.reflect", backend=self.kind) as span:
             started = time.perf_counter()
-            self._catalog = reflect_catalog(self._conn, self.name)
+            try:
+                conn = self._connection()
+                if self._shared_conn is not None:
+                    self._register_functions(conn)
+                self._catalog = reflect_catalog(conn, self.name)
+            except sqlite3.Error as exc:
+                self._instruments.observe(
+                    "reflect", time.perf_counter() - started, error=True
+                )
+                span.set_attribute("error", type(exc).__name__)
+                raise _map_open_error(exc, self._path or "<connection>") from exc
             elapsed = time.perf_counter() - started
             span.set_attribute("relations", len(self._catalog))
             span.set_attribute("foreign_keys", len(self._catalog.foreign_keys))
         self._instruments.observe("reflect", elapsed)
 
     # ------------------------------------------------------------------
+    # connection management
+    # ------------------------------------------------------------------
+    def _connection(self) -> sqlite3.Connection:
+        """This thread's connection (created lazily in per-thread mode)."""
+        if not self._per_thread:
+            assert self._shared_conn is not None
+            return self._shared_conn
+        conn = getattr(self._tls, "conn", None)
+        if conn is None:
+            assert self._path is not None
+            # check_same_thread=False: each connection is *used* by one
+            # thread only, but close() runs from whichever thread tears
+            # the backend down.
+            conn = sqlite3.connect(self._path, check_same_thread=False)
+            self._register_functions(conn)
+            with self._conn_lock:
+                if self._closed:
+                    conn.close()
+                    raise BackendUnavailable(
+                        f"SqliteBackend({self.name!r}) is closed"
+                    )
+                self._connections.append(conn)
+            self._tls.conn = conn
+        return conn
+
+    def _guard(self):
+        """Serialise shared-connection use; no-op when each thread owns
+        its connection."""
+        return self._lock if not self._per_thread else nullcontext()
+
+    # ------------------------------------------------------------------
     # function registration
     # ------------------------------------------------------------------
     def _capture(self, fn: Callable[..., Any]) -> Callable[..., Any]:
-        """Stash exceptions raised inside a UDF so :meth:`execute` can
-        re-raise the engine error instead of sqlite3's opaque wrapper."""
+        """Stash exceptions raised inside a UDF (thread-locally — UDFs
+        run on the executing thread) so :meth:`execute` can re-raise the
+        engine error instead of sqlite3's opaque wrapper."""
 
         def wrapper(*args: Any) -> Any:
             try:
                 return fn(*args)
-            except Exception as exc:
-                self._udf_error = exc
+            except Exception as exc:  # re-raises after stashing the cause
+                self._tls.udf_error = exc
                 raise
 
         return wrapper
 
-    def _register_functions(self) -> None:
-        conn = self._conn
+    def _register_functions(self, conn: sqlite3.Connection) -> None:
         conn.create_function("repro_div", 2, self._capture(_udf_div), deterministic=True)
         conn.create_function("repro_mod", 2, self._capture(_udf_mod), deterministic=True)
         # Engine scalar functions override SQLite builtins of the same
@@ -271,17 +361,23 @@ class SqliteBackend:
 
     @property
     def data_version(self) -> int:
-        """Combine ``PRAGMA data_version`` (bumped by other connections'
-        commits) with this connection's own change counter."""
-        with self._lock:
-            (external,) = self._conn.execute("PRAGMA data_version").fetchone()
-            return external * 1_000_000 + self._conn.total_changes
+        """Combine ``PRAGMA data_version`` (bumped by *other*
+        connections' commits) with this thread's connection change
+        counter.  In per-thread mode the value is thread-relative after
+        a write — different threads may briefly disagree, which at worst
+        invalidates the shared context cache spuriously (the safe
+        direction)."""
+        conn = self._connection()
+        with self._guard():
+            (external,) = conn.execute("PRAGMA data_version").fetchone()
+            return external * 1_000_000 + conn.total_changes
 
     def count(self, relation_name: str) -> int:
         relation = self._catalog.relation(relation_name)
         sql = f"SELECT count(*) FROM {render_identifier(relation.name)}"
-        with self._lock:
-            (value,) = self._conn.execute(sql).fetchone()
+        conn = self._connection()
+        with self._guard():
+            (value,) = conn.execute(sql).fetchone()
         return value
 
     def column_values(self, relation_name: str, attribute_name: str) -> list:
@@ -301,8 +397,9 @@ class SqliteBackend:
         if self.sample_limit is not None:
             sql += f" LIMIT {int(self.sample_limit)}"
         started = time.perf_counter()
-        with self._lock:
-            rows = self._conn.execute(sql).fetchall()
+        conn = self._connection()
+        with self._guard():
+            rows = conn.execute(sql).fetchall()
         values = [_decode(value, attribute.data_type) for (value,) in rows]
         self._instruments.observe(
             "sample", time.perf_counter() - started, rows=len(values)
@@ -314,21 +411,36 @@ class SqliteBackend:
         if isinstance(query, str):
             query = parse(query)
         sql = to_sqlite_sql(query)
+        conn = self._connection()
         with self.tracer.span("backend.execute", backend=self.kind) as span:
             started = time.perf_counter()
-            with self._lock:
-                self._udf_error = None
+            with self._guard():
+                self._tls.udf_error = None
                 try:
-                    cursor = self._conn.execute(sql)
+                    cursor = conn.execute(sql)
                     rows = [tuple(row) for row in cursor.fetchall()]
                 except sqlite3.Error as exc:
                     self._instruments.observe(
                         "execute", time.perf_counter() - started, error=True
                     )
                     span.set_attribute("error", type(exc).__name__)
-                    udf_error = self._udf_error
+                    udf_error = getattr(self._tls, "udf_error", None)
                     if isinstance(udf_error, ExecutionError):
                         raise udf_error from exc
+                    message = str(exc).lower()
+                    if isinstance(exc, sqlite3.OperationalError) and (
+                        "locked" in message or "busy" in message
+                    ):
+                        # Contention, not a property of the query: typed
+                        # transient so ResilientBackend retries it.
+                        raise TransientBackendError(
+                            f"sqlite: {exc}",
+                            diagnostic=Diagnostic(
+                                stage="backend",
+                                message=f"sqlite execute: {exc}",
+                                token="execute",
+                            ),
+                        ) from exc
                     raise ExecutionError(f"sqlite: {exc}") from exc
                 columns = (
                     [item[0] for item in cursor.description]
@@ -347,9 +459,20 @@ class SqliteBackend:
         return to_sqlite_sql(query)
 
     def close(self) -> None:
-        """Close the connection if this backend opened it."""
-        if self._owns_connection:
-            self._conn.close()
+        """Close every connection this backend opened (idempotent).
+
+        Adopted connections are left to their owner.  Threads that try
+        to use the backend after close get a typed
+        :class:`BackendUnavailable` instead of a half-closed handle.
+        """
+        with self._conn_lock:
+            self._closed = True
+            connections = list(self._connections)
+            self._connections.clear()
+        for conn in connections:
+            conn.close()
+        if self._owns_connection and self._shared_conn is not None:
+            self._shared_conn.close()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"SqliteBackend({self.name!r})"

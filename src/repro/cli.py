@@ -96,15 +96,23 @@ EXIT_ENGINE = 4
 EXIT_INTERNAL = 5
 #: batch mode: at least one request shed by admission control
 EXIT_OVERLOADED = 6
+#: the execution backend is unavailable or degraded (corrupted file,
+#: locked database, retries exhausted) — repro.backends.errors
+EXIT_BACKEND = 7
 
 
 def exit_code_for(error: Optional[BaseException]) -> int:
     """Map a failure to its one-shot exit code (syntax, translation,
-    engine, and internal errors are distinguishable to scripts)."""
+    engine, backend, and internal errors are distinguishable to
+    scripts)."""
+    from .backends.errors import BackendError
+
     if error is None:
         return EXIT_OK
     if isinstance(error, SqlSyntaxError):
         return EXIT_SYNTAX
+    if isinstance(error, BackendError):
+        return EXIT_BACKEND
     if isinstance(error, EngineError):
         return EXIT_ENGINE
     if isinstance(error, ReproError):
@@ -313,7 +321,9 @@ class Shell:
             return
         try:
             result = self.database.execute(translations[0].query)
-        except EngineError as exc:
+        except ReproError as exc:
+            # EngineError (bad query) and BackendError (substrate down)
+            # both get a typed, REPL-safe report
             self._report_error(exc, out, prefix="execution error")
             return
         except Exception as exc:  # keep the REPL alive on engine bugs
@@ -586,7 +596,17 @@ def run_import(argv: Optional[list[str]] = None, out=None) -> int:
 
     from .backends import SqliteBackend
 
-    backend = SqliteBackend(args.file, sample_limit=args.sample_limit)
+    # A corrupted, locked, or non-SQLite file surfaces as a typed
+    # BackendError with a structured diagnostic — never a raw sqlite3
+    # traceback.
+    try:
+        backend = SqliteBackend(args.file, sample_limit=args.sample_limit)
+    except ReproError as exc:
+        print(f"error: {exc}", file=out)
+        if exc.diagnostic is not None:
+            for line in exc.diagnostic.render().splitlines():
+                print(f"  | {line}", file=out)
+        return exit_code_for(exc)
     catalog = backend.catalog
     print(
         f"imported {args.file}: {len(catalog)} relations, "

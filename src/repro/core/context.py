@@ -44,7 +44,7 @@ import threading
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Iterable, Optional, Sequence
 
-from ..catalog import Catalog, ForeignKey, Relation, normalize
+from ..catalog import Catalog, ForeignKey, Relation, SchemaError, normalize
 from .config import DEFAULT_CONFIG, TranslatorConfig
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -195,6 +195,17 @@ class NameIndex:
                     if token:
                         self._tokens.setdefault(token, set()).add(relation.key)
 
+    def add_names(self, relation_key: str, names: Iterable[str]) -> None:
+        """Index extra *names* (vocabulary aliases) under *relation_key*,
+        so :meth:`order` ranks the aliased relation as if the alias were
+        one of its own identifiers."""
+        for name in names:
+            for gram in qgrams(name, self.q):
+                self._grams.setdefault(gram, set()).add(relation_key)
+            for token in name.lower().split("_"):
+                if token:
+                    self._tokens.setdefault(token, set()).add(relation_key)
+
     def affinity(self, name: str) -> dict[str, int]:
         """Relation key -> count of shared q-grams/tokens with *name*."""
         scores: dict[str, int] = {}
@@ -279,6 +290,11 @@ class TranslationContext:
             tuple[TreeFingerprint, str], tuple[float, dict]
         ] = {}
         self._condition_memo: dict[tuple, str] = {}
+        # -- vocabulary aliases (schema evolution, testing.evolution) --
+        #: relation key -> extra names scored alongside the real name
+        self._relation_aliases: dict[str, tuple[str, ...]] = {}
+        #: (relation key, attribute key) -> extra attribute names
+        self._attribute_aliases: dict[tuple[str, str], tuple[str, ...]] = {}
 
     # ------------------------------------------------------------------
     # invalidation
@@ -324,6 +340,72 @@ class TranslationContext:
         if not names:
             return list(self.relations)
         return self.name_index.order(names, self.relations)
+
+    # ------------------------------------------------------------------
+    # vocabulary aliases (schema evolution)
+    # ------------------------------------------------------------------
+    def add_relation_alias(self, relation_name: str, alias: str) -> None:
+        """Register *alias* as an extra name for a relation.
+
+        The similarity evaluator scores a query name against the best of
+        the relation's real name and its aliases, so a relation renamed
+        out from under a workload (``movie`` -> ``film``) can be
+        recovered by mining the old name from the query log
+        (``repro.testing.evolution.recover_vocabulary``).  The alias also
+        feeds the :class:`NameIndex`, keeping the aliased relation early
+        in :meth:`scoring_order` under tight budgets.
+        """
+        key = normalize(relation_name)
+        if not any(r.key == key for r in self.relations):
+            raise SchemaError(f"unknown relation {relation_name!r}")
+        clean = alias.strip()
+        if not clean or normalize(clean) == key:
+            return
+        with self._lock:
+            current = self._relation_aliases.get(key, ())
+            if normalize(clean) in {normalize(a) for a in current}:
+                return
+            self._relation_aliases[key] = current + (clean,)
+            # aliases change name similarity, which the tree-sim memo bakes in
+            self._tree_sim_memo.clear()
+        self.name_index.add_names(key, [clean])
+
+    def add_attribute_alias(
+        self, relation_name: str, attribute_name: str, alias: str
+    ) -> None:
+        """Register *alias* as an extra name for one attribute."""
+        rkey = normalize(relation_name)
+        relation = next((r for r in self.relations if r.key == rkey), None)
+        if relation is None:
+            raise SchemaError(f"unknown relation {relation_name!r}")
+        akey = normalize(attribute_name)
+        if not any(a.key == akey for a in relation.attributes):
+            raise SchemaError(
+                f"unknown attribute {attribute_name!r} "
+                f"of relation {relation_name!r}"
+            )
+        clean = alias.strip()
+        if not clean or normalize(clean) == akey:
+            return
+        with self._lock:
+            current = self._attribute_aliases.get((rkey, akey), ())
+            if normalize(clean) in {normalize(a) for a in current}:
+                return
+            self._attribute_aliases[(rkey, akey)] = current + (clean,)
+            self._tree_sim_memo.clear()
+        self.name_index.add_names(rkey, [clean])
+
+    def relation_aliases(self, relation_key: str) -> tuple[str, ...]:
+        with self._lock:
+            return self._relation_aliases.get(normalize(relation_key), ())
+
+    def attribute_aliases(
+        self, relation_key: str, attribute_key: str
+    ) -> tuple[str, ...]:
+        with self._lock:
+            return self._attribute_aliases.get(
+                (normalize(relation_key), normalize(attribute_key)), ()
+            )
 
     # ------------------------------------------------------------------
     # data-derived caches

@@ -20,9 +20,9 @@ in ``repro.testing.faults``) can advance time deterministically.
 Failures that survive past the ladder surface as typed
 :class:`~repro.errors.ReproError` subclasses, which the CLI maps onto
 process exit codes (0 ok, 2 syntax, 3 translation, 4 engine,
-5 internal, 6 shed by admission control; 1 is an unhandled crash
-outside the CLI's guard) — the full table with each error class lives
-in :mod:`repro.service`'s module docstring.  When tracing is enabled
+5 internal, 6 shed by admission control, 7 backend unavailable; 1 is an
+unhandled crash outside the CLI's guard) — the full table with each
+error class lives in :mod:`repro.service`'s module docstring.  When tracing is enabled
 every rung attempt is a ``rung:<name>`` span recording its outcome
 (``ok`` / ``budget-exhausted`` / ``no-network`` / ``disconnected``);
 see docs/OBSERVABILITY.md.

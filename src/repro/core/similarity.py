@@ -397,6 +397,13 @@ class SimilarityEvaluator:
 
     def _root_for_name(self, name: str, relation: Relation) -> float:
         direct = self.sim(name, relation.name)
+        # vocabulary aliases (schema evolution): the best of the real name
+        # and any registered alias counts as the relation's name.  The
+        # unlocked emptiness probe keeps the alias-free hot path free of
+        # per-call lock traffic; dict reads are atomic under the GIL.
+        if self.context is not None and self.context._relation_aliases:
+            for alias in self.context.relation_aliases(relation.key):
+                direct = max(direct, self.sim(name, alias))
         damped = max(
             (
                 self.sim_damped(name, neighbor.name)
@@ -430,6 +437,12 @@ class SimilarityEvaluator:
         name = attribute_tree.known_name
         if name is not None:
             raw = self.sim(name, attribute.name)
+            # same unlocked emptiness probe as _root_for_name
+            if self.context is not None and self.context._attribute_aliases:
+                for alias in self.context.attribute_aliases(
+                    relation.key, attribute.key
+                ):
+                    raw = max(raw, self.sim(name, alias))
             # additive smoothing: a zero q-gram overlap must not wipe out
             # condition evidence (mirrors the paper's +1 smoothing)
             alpha = self.config.attr_smooth

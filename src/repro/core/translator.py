@@ -119,6 +119,8 @@ class SchemaFreeTranslator:
         self.last_stats: Optional[GenerationStats] = None
         self.last_degradation: list[str] = []
         self.last_diagnostic: Optional[Diagnostic] = None
+        #: why the backend demoted the current translation's start rung
+        self._backend_note: Optional[str] = None
         self.last_translation_stats: Optional[TranslationStats] = None
         self._active_stats: Optional[TranslationStats] = None
 
@@ -184,6 +186,40 @@ class SchemaFreeTranslator:
     # ------------------------------------------------------------------
     # translation
     # ------------------------------------------------------------------
+    def _fold_backend_advice(self, start_rung: str) -> str:
+        """Demote the start rung when the backend says it is unwell.
+
+        A :class:`~repro.backends.ResilientBackend` exposes
+        ``recommended_start_rung`` — the pinned rung of a tripped
+        circuit breaker, or ``"reduced"`` after statistics/reflection
+        degradation (an expensive search over missing statistics just
+        burns budget).  Plain backends expose nothing and translation
+        is unaffected.  The demotion reason is recorded as a
+        degradation step on every translated block.
+        """
+        self._backend_note = None
+        advised = getattr(self.database, "recommended_start_rung", None)
+        if advised is None or advised not in LADDER:
+            return start_rung
+        if LADDER.index(advised) <= LADDER.index(start_rung):
+            return start_rung
+        health = getattr(self.database, "health", None)
+        reason = "circuit breaker open"
+        if health is not None and getattr(health, "degraded", False):
+            causes = []
+            if getattr(health, "stats_degraded", False):
+                causes.append("statistics sampling failed")
+            if getattr(health, "catalog_partial", False):
+                causes.append("partial catalog")
+            if getattr(health, "version_stale", False):
+                causes.append("stale data version")
+            if causes:
+                reason = ", ".join(causes)
+        self._backend_note = (
+            f"backend degraded ({reason}): start rung demoted to {advised!r}"
+        )
+        return advised
+
     def translate(
         self,
         query: Union[str, ast.Node],
@@ -217,6 +253,7 @@ class SchemaFreeTranslator:
             raise ValueError(
                 f"unknown ladder rung {start_rung!r}; expected one of {LADDER}"
             )
+        start_rung = self._fold_backend_advice(start_rung)
         if degrade is None:
             degrade = budget is not None
         self.context.ensure_current()
@@ -569,6 +606,8 @@ class SchemaFreeTranslator:
         mappings: Optional[dict[TreeKey, TreeMappings]] = None
         start = LADDER.index(start_rung)
         if start:
+            if self._backend_note is not None:
+                steps.append(self._backend_note)
             steps.append(
                 f"ladder pinned at {start_rung!r}: "
                 f"skipping {', '.join(LADDER[:start])}"

@@ -13,6 +13,10 @@ else escaping is a genuine bug:
     │   ├── NameResolutionError
     │   ├── ExecutionError
     │   └── IntegrityError
+    ├── BackendError        (repro.backends.errors)
+    │   ├── TransientBackendError   (retryable hiccup)
+    │   ├── BackendUnavailable      (terminal; CLI exit code 7)
+    │   └── BackendDegraded         (partial result, carries payload)
     ├── BudgetExceeded      (repro.core.resilience)
     └── InjectedFault       (repro.testing.faults)
 
@@ -30,9 +34,18 @@ from dataclasses import dataclass, field
 from typing import Any, Optional
 
 #: Pipeline stage names used throughout diagnostics (Figure 3 of the
-#: paper, plus the execution engine, the budget/ladder machinery and the
-#: query service's admission control).
-STAGES = ("parse", "map", "network", "compose", "execute", "budget", "admission")
+#: paper, plus the execution engine, the budget/ladder machinery, the
+#: query service's admission control and the backend layer).
+STAGES = (
+    "parse",
+    "map",
+    "network",
+    "compose",
+    "execute",
+    "budget",
+    "admission",
+    "backend",
+)
 
 
 @dataclass

@@ -41,10 +41,14 @@ code   meaning
 5      internal error: any other :class:`~repro.errors.ReproError`
 6      batch mode only: at least one request was shed by admission
        control (:class:`ServiceOverloaded`)
+7      the execution backend is unavailable (corrupted or locked
+       file, retries exhausted —
+       :class:`~repro.backends.errors.BackendError`)
 =====  ==========================================================
 
-Codes 2–5 come from ``repro.cli.exit_code_for``; 6 dominates a batch
-run because shedding is a capacity signal, not a per-query verdict.
+Codes 2–5 and 7 come from ``repro.cli.exit_code_for``; 6 dominates a
+batch run because shedding is a capacity signal, not a per-query
+verdict.
 The budget/degradation side of this table lives in
 :mod:`repro.core.resilience`.
 

@@ -21,6 +21,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Tuple, Type
 
+# Submodule-direct imports keep the bootstrap cycle (service → testing →
+# backends) from touching partially-initialised package namespaces.
+from ..backends.errors import TransientBackendError
 from ..testing.faults import InjectedFault
 
 
@@ -54,7 +57,10 @@ class RetryPolicy:
     cap: float = 2.0
     jitter: float = 0.1
     #: exception types worth retrying; anything else fails fast
-    retryable: Tuple[Type[BaseException], ...] = (InjectedFault,)
+    retryable: Tuple[Type[BaseException], ...] = (
+        InjectedFault,
+        TransientBackendError,
+    )
 
     def is_retryable(self, error: BaseException) -> bool:
         return isinstance(error, self.retryable)

@@ -52,7 +52,7 @@ from typing import TYPE_CHECKING, Any, Callable, Mapping, Optional, Sequence, Un
 
 from ..core.config import DEFAULT_CONFIG, TranslatorConfig
 from ..core.context import TranslationContext
-from ..core.resilience import Budget, BudgetExceeded
+from ..core.resilience import LADDER, Budget, BudgetExceeded
 from ..core.translator import SchemaFreeTranslator, Translation
 from ..engine import Database
 from ..errors import Diagnostic, ReproError
@@ -316,6 +316,16 @@ class QueryService:
                 name: state.context.stats.as_dict()
                 for name, state in self._states.items()
             },
+            "backends": {
+                name: {
+                    "kind": getattr(state.database, "kind", "unknown"),
+                    "health": state.database.health.snapshot(),
+                    "breaker": state.database.breaker.snapshot(),
+                }
+                for name, state in self._states.items()
+                if hasattr(state.database, "health")
+                and hasattr(state.database, "breaker")
+            },
         }
 
     def _event(self, *event: Any) -> None:
@@ -554,6 +564,17 @@ class QueryService:
                     "repro_service_probes_total",
                     "Half-open breaker probes dispatched",
                 ).inc(1, database=request.database)
+        # A resilient backend advertises its own demotion (tripped
+        # backend breaker, degraded statistics); the weaker of the two
+        # pins wins so backend trouble shows up at admission, not buried
+        # inside the translator.
+        advice = getattr(state.database, "recommended_start_rung", None)
+        if (
+            advice in LADDER
+            and LADDER.index(advice) > LADDER.index(start_rung)
+        ):
+            start_rung = advice
+            span.event("backend-pinned", rung=advice)
         if span.enabled and start_rung != "full":
             span.set(pinned_rung=start_rung)
         translator = self._translator(state)

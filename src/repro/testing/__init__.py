@@ -1,5 +1,7 @@
-"""Test-support utilities shipped with the package (fault injection and
-the cross-backend differential correctness harness)."""
+"""Test-support utilities shipped with the package: fault injection
+(both the virtual-clock injector and the chaos :class:`FaultyBackend`),
+the cross-backend differential correctness harness, and the
+schema-evolution harness."""
 
 from .differential import (
     DifferentialHarness,
@@ -7,14 +9,54 @@ from .differential import (
     DifferentialReport,
     workload_pairs,
 )
-from .faults import Fault, FaultInjector, InjectedFault
+from .evolution import (
+    DropForeignKey,
+    EvolutionHarness,
+    EvolutionReport,
+    EvolvedSchema,
+    MergeTables,
+    MutationRecord,
+    RenameColumn,
+    RenameTable,
+    SplitTable,
+    VocabularyRecovery,
+    evolve,
+    recover_vocabulary,
+    standard_mutations,
+)
+from .faults import (
+    BACKEND_FAULT_KINDS,
+    BACKEND_OPS,
+    BackendFault,
+    Fault,
+    FaultInjector,
+    FaultyBackend,
+    InjectedFault,
+)
 
 __all__ = [
+    "BACKEND_FAULT_KINDS",
+    "BACKEND_OPS",
+    "BackendFault",
     "DifferentialHarness",
     "DifferentialRecord",
     "DifferentialReport",
+    "DropForeignKey",
+    "EvolutionHarness",
+    "EvolutionReport",
+    "EvolvedSchema",
     "Fault",
     "FaultInjector",
+    "FaultyBackend",
     "InjectedFault",
+    "MergeTables",
+    "MutationRecord",
+    "RenameColumn",
+    "RenameTable",
+    "SplitTable",
+    "VocabularyRecovery",
+    "evolve",
+    "recover_vocabulary",
+    "standard_mutations",
     "workload_pairs",
 ]

@@ -213,13 +213,13 @@ class DifferentialHarness:
         try:
             translation = translator.translate_best(query)
             outcome.sql = translation.sql
-        except Exception as exc:
+        except Exception as exc:  # errors are the measurement: recorded so the harness REPL survives
             outcome.error = f"translation: {exc}"
             outcome.error_type = type(exc).__name__
             return outcome
         try:
             result = backend.execute(translation.query)
-        except Exception as exc:
+        except Exception as exc:  # errors are the measurement: recorded so the harness REPL survives
             outcome.error = str(exc)
             outcome.error_type = type(exc).__name__
             return outcome

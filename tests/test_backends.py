@@ -226,7 +226,7 @@ class TestStatistics:
 
     def test_data_version_moves_on_write(self, fig1_sqlite):
         before = fig1_sqlite.data_version
-        fig1_sqlite._conn.execute(
+        fig1_sqlite._connection().execute(
             "INSERT INTO Person VALUES (99, 'Nobody', 'male')"
         )
         assert fig1_sqlite.data_version > before
@@ -363,8 +363,67 @@ class TestExecution:
         backend = SqliteBackend(path)
         assert backend.count("Movie") == 3
         backend.close()
+        # this thread's connection is closed in place...
         with pytest.raises(sqlite3.ProgrammingError):
-            backend._conn.execute("SELECT 1")
+            backend._connection().execute("SELECT 1")
+        # ...and a thread arriving after close gets the typed error
+        from repro.backends.errors import BackendUnavailable
+
+        failures: list[BaseException] = []
+
+        def late_worker() -> None:
+            try:
+                backend.count("Movie")
+            except BaseException as exc:  # noqa: BLE001 - test harness
+                failures.append(exc)
+
+        thread = threading.Thread(target=late_worker)
+        thread.start()
+        thread.join()
+        assert len(failures) == 1
+        assert isinstance(failures[0], BackendUnavailable)
+
+    def test_file_backed_workers_get_own_connections(self, tmp_path):
+        """Satellite regression: 8 workers hammer one file-backed
+        SqliteBackend; per-thread connections mean no cross-thread
+        sqlite3 objects and no serialisation through one handle."""
+        db = Database(make_fig1_catalog())
+        populate_fig1(db)
+        path = tmp_path / "fig1.sqlite"
+        export_to_sqlite(db, path).close()
+        backend = SqliteBackend(path)
+        errors: list[BaseException] = []
+
+        def worker() -> None:
+            try:
+                for _ in range(20):
+                    result = backend.execute("SELECT count(*) FROM Actor")
+                    assert result.rows == [(4,)]
+                    values = backend.column_values("Person", "name")
+                    assert len(values) == 6
+            except BaseException as exc:  # noqa: BLE001 - test harness
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        # the main thread reflected on its own connection; each worker
+        # added exactly one more
+        assert len(backend._connections) == 9
+        backend.close()
+
+    def test_corrupted_file_raises_typed_backend_error(self, tmp_path):
+        from repro.backends.errors import BackendUnavailable
+
+        path = tmp_path / "garbage.sqlite"
+        path.write_bytes(b"this is not a sqlite database at all\x00\x01")
+        with pytest.raises(BackendUnavailable) as info:
+            SqliteBackend(path)
+        assert info.value.diagnostic is not None
+        assert info.value.diagnostic.stage == "backend"
 
 
 # ---------------------------------------------------------------------------

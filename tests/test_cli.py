@@ -406,3 +406,17 @@ class TestImportSubcommand:
         exit_code = main(["import", sqlite_file, "--execute", "SELECT FROM"])
         capsys.readouterr()
         assert exit_code == EXIT_SYNTAX
+
+    def test_import_corrupted_file_typed_diagnostic(self, tmp_path, capsys):
+        """Satellite: a non-SQLite file gets a typed error, a rendered
+        diagnostic, and the backend exit code — never a raw traceback."""
+        from repro.cli import EXIT_BACKEND
+
+        path = tmp_path / "garbage.sqlite"
+        path.write_bytes(b"\x00garbage, not a database\xff" * 8)
+        exit_code = main(["import", str(path), "--schema"])
+        captured = capsys.readouterr()
+        assert exit_code == EXIT_BACKEND
+        assert "error: cannot open SQLite database" in captured.out
+        assert "  | " in captured.out  # diagnostic lines are rendered
+        assert "Traceback" not in captured.out
