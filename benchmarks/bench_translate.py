@@ -68,17 +68,54 @@ def queries_of(workload: list[WorkloadQuery]) -> list[str]:
     return [q.sf_sql or q.gold_sql for q in workload]
 
 
-def run_cold(database: Database, queries: list[str]) -> tuple[float, list]:
-    """One fresh translator per query, string caches cleared each time."""
+def check_generator_invariant(stats: dict) -> None:
+    """Frontier accounting must be conservation-exact: every network
+    pushed onto a search frontier is later expanded, pruned stale at pop
+    time, or abandoned in the queue when the search ends.  A drift here
+    means a counter is being double- or under-charged and the search
+    telemetry can't be trusted."""
+    generator = stats.get("generator") or {}
+    if not generator:
+        return
+    pushed = generator.get("pushed", 0)
+    accounted = (
+        generator.get("expanded", 0)
+        + generator.get("pruned", 0)
+        + generator.get("leftover", 0)
+    )
+    if pushed != accounted:
+        raise AssertionError(
+            f"generator frontier accounting drifted: pushed={pushed} != "
+            f"expanded + pruned + leftover = {accounted} ({generator})"
+        )
+
+
+def run_cold(
+    database: Database, queries: list[str]
+) -> tuple[float, list, dict]:
+    """One fresh translator per query, string caches cleared each time.
+
+    Cold translators see an empty network memo, so this pass is the one
+    that exercises the full MTJN search — its aggregated generator
+    counters (returned alongside the timings) are where the frontier
+    invariant is meaningful per query.
+    """
     results = []
     elapsed = 0.0
+    generator_totals: dict[str, int] = {}
     for query in queries:
         clear_string_caches()
         translator = SchemaFreeTranslator(database)
         started = time.perf_counter()
         results.append(translator.translate(query, top_k=TOP_K))
         elapsed += time.perf_counter() - started
-    return elapsed, results
+        stats = translator.last_translation_stats
+        if stats is not None:
+            as_dict = stats.as_dict()
+            check_generator_invariant(as_dict)
+            for key, value in as_dict.get("generator", {}).items():
+                generator_totals[key] = generator_totals.get(key, 0) + value
+    return elapsed, results, generator_totals
 
 
 def run_warm(database: Database, queries: list[str]) -> tuple[float, list, dict]:
@@ -89,7 +126,9 @@ def run_warm(database: Database, queries: list[str]) -> tuple[float, list, dict]
     results = translator.translate_many(queries, top_k=TOP_K)
     elapsed = time.perf_counter() - started
     stats = translator.last_translation_stats
-    return elapsed, results, stats.as_dict() if stats is not None else {}
+    as_dict = stats.as_dict() if stats is not None else {}
+    check_generator_invariant(as_dict)
+    return elapsed, results, as_dict
 
 
 def run_warm_traced(
@@ -187,7 +226,7 @@ def bench_workload(name: str) -> dict:
     factory, workload = WORKLOADS[name]
     database = factory()
     queries = queries_of(workload)
-    cold_seconds, cold_results = run_cold(database, queries)
+    cold_seconds, cold_results, cold_generator = run_cold(database, queries)
     warm_seconds, warm_results, warm_stats = run_warm(database, queries)
     check_identical(cold_results, warm_results)
     traced_seconds, traced_results = run_warm_traced(database, queries)
@@ -210,6 +249,7 @@ def bench_workload(name: str) -> dict:
     row = {
         "queries": len(queries),
         "top_k": TOP_K,
+        "cold_generator": cold_generator,
         "cold_seconds": round(cold_seconds, 4),
         "warm_seconds": round(warm_seconds, 4),
         "traced_seconds": round(traced_seconds, 4),
@@ -298,6 +338,15 @@ def main(argv=None) -> int:
         "this much slower than the bare SQLite backend (e.g. 0.02 "
         "for 2%%)",
     )
+    parser.add_argument(
+        "--max-network-share",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="fail when the network stage takes more than this share of "
+        "warm translation time on any benchmarked workload (e.g. 0.5 "
+        "for 50%% — the ratchet holding the memoized MTJN search fast)",
+    )
     args = parser.parse_args(argv)
 
     report = {name: bench_workload(name) for name in args.workloads}
@@ -322,6 +371,18 @@ def main(argv=None) -> int:
                 f"(> {args.max_resilient_overhead:.0%} aggregated over "
                 f"{', '.join(report)})"
             )
+    if args.max_network_share is not None:
+        for name, row in report.items():
+            stats = row.get("warm_stats") or {}
+            total = stats.get("total_seconds", 0.0)
+            network = stats.get("stages", {}).get("network", 0.0)
+            share = network / total if total > 0 else 0.0
+            print(f"{name:>14}: network stage {share:.1%} of warm time")
+            if share > args.max_network_share:
+                failures.append(
+                    f"{name}: network stage is {share:.0%} of warm "
+                    f"translation time (> {args.max_network_share:.0%})"
+                )
     with open(args.output, "w") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")

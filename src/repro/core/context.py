@@ -78,6 +78,10 @@ class ContextStats:
     #: condition-status memo hits / misses
     condition_hits: int = 0
     condition_misses: int = 0
+    #: generated-network memo hits / misses (keyed by terminal-relation
+    #: signature; see TranslationContext.cached_networks)
+    network_hits: int = 0
+    network_misses: int = 0
     #: times the data-derived caches were dropped after a Database mutation
     invalidations: int = 0
 
@@ -284,6 +288,20 @@ class TranslationContext:
             for fk in database.catalog.foreign_keys
         )
         self.name_index = NameIndex(database.catalog, config.qgram)
+        # -- all-pairs FK join paths on the schema skeleton (§5.1) -----
+        # Strongest-path weights (c ** hops), predecessor maps, and
+        # connected components over the undirected FK skeleton, built
+        # once per database.  Plain dicts of strings/floats/ints so the
+        # table can ride a future serialized context artifact unchanged.
+        # Every extended-view-graph edge weight is >= c and lifts a
+        # skeleton edge, so skeleton unreachability is a sound negative
+        # oracle for Algorithm 3 whenever the extended graph contains no
+        # synthesised (non-FK) view edges.
+        (
+            self.schema_paths,
+            self.schema_parents,
+            self.schema_components,
+        ) = self._build_schema_paths(config.c)
         # -- data-derived (invalidated on Database mutation) -----------
         self._samples: dict[tuple[str, str], list[Any]] = {}
         self._tree_sim_memo: dict[
@@ -295,6 +313,57 @@ class TranslationContext:
         self._relation_aliases: dict[str, tuple[str, ...]] = {}
         #: (relation key, attribute key) -> extra attribute names
         self._attribute_aliases: dict[tuple[str, str], tuple[str, ...]] = {}
+        # -- generated-network memo (terminal-relation signature) ------
+        #: signature -> (ExtendedViewGraph, tuple[JoinNetwork, ...]),
+        #: LRU-bounded; see :meth:`cached_networks`
+        self._network_memo: dict[tuple, tuple] = {}
+        self._network_memo_cap = 256
+
+    def _build_schema_paths(
+        self, c: float
+    ) -> tuple[
+        dict[str, dict[str, float]],
+        dict[str, dict[str, str]],
+        dict[str, int],
+    ]:
+        """All-pairs BFS over the FK skeleton: ``paths[a][b]`` is the
+        strongest-path weight ``c ** hops`` between relations *a* and
+        *b*, ``parents[a][b]`` the predecessor of *b* on that path, and
+        ``components[a]`` the connected-component id of *a*."""
+        adjacency: dict[str, list[str]] = {r.key: [] for r in self.relations}
+        seen_pairs: set[tuple[str, str]] = set()
+        for source_key, target_key, _fk, _fk_key in self.fk_edges:
+            if source_key == target_key:
+                continue
+            for a, b in ((source_key, target_key), (target_key, source_key)):
+                if (a, b) not in seen_pairs:
+                    seen_pairs.add((a, b))
+                    adjacency.setdefault(a, []).append(b)
+        paths: dict[str, dict[str, float]] = {}
+        parents: dict[str, dict[str, str]] = {}
+        components: dict[str, int] = {}
+        component = 0
+        for relation in self.relations:
+            start = relation.key
+            hops = {start: 0}
+            parent: dict[str, str] = {}
+            frontier = [start]
+            while frontier:
+                next_frontier: list[str] = []
+                for key in frontier:
+                    for neighbor in adjacency.get(key, ()):
+                        if neighbor not in hops:
+                            hops[neighbor] = hops[key] + 1
+                            parent[neighbor] = key
+                            next_frontier.append(neighbor)
+                frontier = next_frontier
+            paths[start] = {key: c**count for key, count in hops.items()}
+            parents[start] = parent
+            if start not in components:
+                for key in hops:
+                    components[key] = component
+                component += 1
+        return paths, parents, components
 
     # ------------------------------------------------------------------
     # invalidation
@@ -313,6 +382,7 @@ class TranslationContext:
             self._samples.clear()
             self._tree_sim_memo.clear()
             self._condition_memo.clear()
+            self._network_memo.clear()
             self._data_version = self.database.data_version
             self.stats.invalidations += 1
 
@@ -366,8 +436,10 @@ class TranslationContext:
             if normalize(clean) in {normalize(a) for a in current}:
                 return
             self._relation_aliases[key] = current + (clean,)
-            # aliases change name similarity, which the tree-sim memo bakes in
+            # aliases change name similarity, which the tree-sim memo bakes
+            # in — and through it the mappings baked into memoized networks
             self._tree_sim_memo.clear()
+            self._network_memo.clear()
         self.name_index.add_names(key, [clean])
 
     def add_attribute_alias(
@@ -393,6 +465,7 @@ class TranslationContext:
                 return
             self._attribute_aliases[(rkey, akey)] = current + (clean,)
             self._tree_sim_memo.clear()
+            self._network_memo.clear()
         self.name_index.add_names(rkey, [clean])
 
     def relation_aliases(self, relation_key: str) -> tuple[str, ...]:
@@ -471,6 +544,37 @@ class TranslationContext:
     ) -> None:
         with self._lock:
             self._tree_sim_memo[key] = value
+
+    def cached_networks(self, key: tuple) -> Optional[tuple]:
+        """Memoized ``(extended graph, networks)`` for one terminal-
+        relation signature (:func:`repro.core.mtjn.network_signature`),
+        or None.
+
+        The signature captures everything network generation reads —
+        tree shapes and name evidence, the ordered candidate relations
+        of every mapping, the view set, k, and the expansion cap — so
+        two queries that differ only in conditions or selected
+        attributes share one generated network set.  Entries are
+        LRU-evicted past a fixed cap and dropped wholesale on
+        ``data_version`` bumps and vocabulary-alias registration.
+        """
+        with self._lock:
+            entry = self._network_memo.get(key)
+            if entry is not None:
+                self.stats.network_hits += 1
+                # dict preserves insertion order: re-append = LRU touch
+                del self._network_memo[key]
+                self._network_memo[key] = entry
+            else:
+                self.stats.network_misses += 1
+            return entry
+
+    def remember_networks(self, key: tuple, value: tuple) -> None:
+        with self._lock:
+            self._network_memo[key] = value
+            while len(self._network_memo) > self._network_memo_cap:
+                oldest = next(iter(self._network_memo))
+                del self._network_memo[oldest]
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -85,9 +85,24 @@ class JoinNetwork:
     @property
     def canonical(self) -> frozenset[frozenset[int]]:
         """Identity of the network regardless of construction or root."""
-        return frozenset(edge.key for edge in self.all_edges) | frozenset(
-            frozenset([node_id]) for node_id in self.nodes
-        )
+        cached = self.__dict__.get("_canonical")
+        if cached is None:
+            cached = frozenset(edge.key for edge in self.all_edges) | frozenset(
+                frozenset([node_id]) for node_id in self.nodes
+            )
+            object.__setattr__(self, "_canonical", cached)
+        return cached
+
+    @property
+    def sort_key(self) -> tuple:
+        """Total order on canonical identities, used to break equal-weight
+        ties in the top-k deterministically (independent of expansion or
+        insertion order)."""
+        cached = self.__dict__.get("_sort_key")
+        if cached is None:
+            cached = tuple(sorted(tuple(sorted(part)) for part in self.canonical))
+            object.__setattr__(self, "_sort_key", cached)
+        return cached
 
     def is_total(self, required: Iterable[TreeKey]) -> bool:
         """Total: contains a node for every relation tree (Definition 3)."""
@@ -116,6 +131,14 @@ class JoinNetwork:
     def best_weight(self, applicable_views: Sequence[ViewInstance]) -> float:
         """Definition 7: the maximum construction weight over all tilings
         of the network with edge-disjoint contained views."""
+        # the tiling search is exponential in contained views and the
+        # translator re-scores the same (immutable) network against the
+        # same view-instance list once per emitted translation; keying the
+        # cache on list identity is safe because the strong reference
+        # stored here keeps the list's id from being reused
+        cached = self.__dict__.get("_best_weight")
+        if cached is not None and cached[0] is applicable_views:
+            return cached[1]
         edge_keys = frozenset(edge.key for edge in self.all_edges)
         node_ids = set(self.nodes)
         contained = [
@@ -150,6 +173,7 @@ class JoinNetwork:
 
         if contained:
             search(0, frozenset(), 1.0, best)
+        object.__setattr__(self, "_best_weight", (applicable_views, best))
         return best
 
     # ------------------------------------------------------------------

@@ -38,7 +38,7 @@ from .config import DEFAULT_CONFIG, TranslatorConfig
 from .context import TranslationContext, TranslationStats
 from .join_network import JoinNetwork
 from .mapper import RelationTreeMapper, TreeMappings
-from .mtjn import GenerationStats, MTJNGenerator
+from .mtjn import GenerationStats, MTJNGenerator, network_signature
 from .query_log import QueryLog, views_from_sql
 from .relation_tree import RelationTree, TreeKey, build_relation_trees
 from .resilience import LADDER, Budget, BudgetExceeded
@@ -630,30 +630,17 @@ class SchemaFreeTranslator:
                         user_views = self._fragment_views(
                             extraction.fragments, trees, mappings, extraction
                         )
-                        session_graph = ViewGraph(
-                            self.database.catalog,
-                            self.view_graph.views + user_views,
-                        )
-                        xgraph = ExtendedViewGraph(
-                            session_graph,
+                        session_views = self.view_graph.views + user_views
+                        xgraph, networks, search_stats = self._search_networks(
                             trees,
                             mappings,
-                            self.similarity,
+                            session_views,
+                            k,
                             self.config,
-                            budget=rung_budget,
-                            context=self.context,
+                            rung_budget,
+                            gen_stats,
+                            net_span,
                         )
-                        if net_span.enabled:
-                            net_span.set(**xgraph.summary())
-                        generator = MTJNGenerator(
-                            xgraph,
-                            self.config,
-                            budget=rung_budget,
-                            stats=gen_stats,
-                            tracer=self.tracer,
-                        )
-                        networks = generator.generate(k)
-                        self.last_stats = generator.stats
                     if networks:
                         if rung_span.enabled:
                             rung_span.set(
@@ -674,7 +661,7 @@ class SchemaFreeTranslator:
                                 len(mappings[key].candidates)
                                 for key in mappings
                             ),
-                            detail={"expanded": generator.stats.expanded},
+                            detail={"expanded": search_stats.expanded},
                         ),
                     )
                 except BudgetExceeded as exc:
@@ -709,32 +696,22 @@ class SchemaFreeTranslator:
                     reduced = self._truncate_mappings(mappings, 2)
                     with self._stage_guard("network"), self._timed("network"), \
                             self.tracer.span("network") as net_span:
-                        xgraph = ExtendedViewGraph(
-                            ViewGraph(self.database.catalog),  # views pruned
-                            trees,
-                            reduced,
-                            self.similarity,
-                            self.config,
-                            budget=rung_budget,
-                            context=self.context,
-                        )
-                        if net_span.enabled:
-                            net_span.set(**xgraph.summary())
                         config = dataclasses.replace(
                             self.config,
                             max_expansions=min(
                                 self.config.max_expansions, 2000
                             ),
                         )
-                        generator = MTJNGenerator(
-                            xgraph,
+                        xgraph, networks, _ = self._search_networks(
+                            trees,
+                            reduced,
+                            (),  # views pruned on this rung
+                            1,
                             config,
-                            budget=rung_budget,
-                            stats=gen_stats,
-                            tracer=self.tracer,
+                            rung_budget,
+                            gen_stats,
+                            net_span,
                         )
-                        networks = generator.generate(1)
-                        self.last_stats = generator.stats
                     if networks:
                         steps.append(
                             "reduced search succeeded "
@@ -796,6 +773,65 @@ class SchemaFreeTranslator:
             "partial translation: best mapping per tree, join search skipped"
         )
         return singles, xgraph, [network], "partial"
+
+    def _search_networks(
+        self,
+        trees: list[RelationTree],
+        mappings: dict[TreeKey, TreeMappings],
+        views: Sequence[View],
+        k: int,
+        config: TranslatorConfig,
+        rung_budget: Optional[Budget],
+        gen_stats: Optional[GenerationStats],
+        net_span,
+    ) -> tuple[ExtendedViewGraph, list[JoinNetwork], GenerationStats]:
+        """One MTJN search rung, memoized on the shared context.
+
+        The (extended graph, networks) pair is a pure function of the
+        terminal-relation signature — tree shapes, name evidence, ordered
+        mapping candidates, views, k, expansion cap — so repeat
+        signatures skip both graph construction and the top-k search.
+        Only *completed* searches are remembered: a rung abandoned by
+        BudgetExceeded raises through before the store, so a degraded
+        result can never be replayed to a caller with budget to spare.
+        """
+        signature = network_signature(
+            trees, mappings, views, k, config.max_expansions, config
+        )
+        cached = self.context.cached_networks(signature)
+        if cached is not None:
+            xgraph, networks = cached
+            stats = gen_stats if gen_stats is not None else GenerationStats()
+            stats.memo_hits += 1
+            self.last_stats = stats
+            if net_span.enabled:
+                net_span.set(memo_hit=1, **xgraph.summary())
+            return xgraph, list(networks), stats
+        xgraph = ExtendedViewGraph(
+            ViewGraph(self.database.catalog, views),
+            trees,
+            mappings,
+            self.similarity,
+            config,
+            budget=rung_budget,
+            context=self.context,
+        )
+        if net_span.enabled:
+            net_span.set(**xgraph.summary())
+        generator = MTJNGenerator(
+            xgraph,
+            config,
+            budget=rung_budget,
+            stats=gen_stats,
+            tracer=self.tracer,
+        )
+        networks = generator.generate(k)
+        self.last_stats = generator.stats
+        # the graph is query-independent state from here on: shed the
+        # spent rung budget before sharing it through the context memo
+        xgraph.budget = None
+        self.context.remember_networks(signature, (xgraph, tuple(networks)))
+        return xgraph, networks, generator.stats
 
     def _check_mappings(
         self, trees: list[RelationTree], mappings: dict[TreeKey, TreeMappings]

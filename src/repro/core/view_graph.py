@@ -186,7 +186,14 @@ class XEdge:
 
     @property
     def key(self) -> frozenset[int]:
-        return frozenset((self.left.node_id, self.right.node_id))
+        # computed once per edge: the key is consulted for every frontier
+        # admission and every path relaxation, so rebuilding the frozenset
+        # per call dominated the generator's constant factor
+        cached = self.__dict__.get("_key")
+        if cached is None:
+            cached = frozenset((self.left.node_id, self.right.node_id))
+            object.__setattr__(self, "_key", cached)
+        return cached
 
 
 @dataclass(frozen=True)
@@ -201,7 +208,11 @@ class ViewInstance:
 
     @property
     def edge_keys(self) -> frozenset[frozenset[int]]:
-        return frozenset(edge.key for edge in self.edges)
+        cached = self.__dict__.get("_edge_keys")
+        if cached is None:
+            cached = frozenset(edge.key for edge in self.edges)
+            object.__setattr__(self, "_edge_keys", cached)
+        return cached
 
 
 class ExtendedViewGraph:
@@ -232,6 +243,11 @@ class ExtendedViewGraph:
         self._adjacency: dict[int, list[XEdge]] = {}
         self.view_instances: list[ViewInstance] = []
         self._removed: set[int] = set()
+        #: True once a view joined on a non-FK pair and an edge had to be
+        #: synthesised — schema-level reachability is then no longer a
+        #: sound negative oracle for this graph
+        self.has_synthetic_edges = False
+        self._path_adj: Optional[dict[int, tuple]] = None
         self._build_nodes()
         self._build_edges()
         self._build_view_instances()
@@ -411,6 +427,7 @@ class ExtendedViewGraph:
             if edge is None:
                 # the view joins on a non-FK pair: synthesise an edge so the
                 # view can still be used (weights use the same formula)
+                self.has_synthetic_edges = True
                 edge = XEdge(
                     left=left,
                     right=right,
@@ -480,6 +497,45 @@ class ExtendedViewGraph:
     # ------------------------------------------------------------------
     # strongest paths (potential estimation, Algorithm 3)
     # ------------------------------------------------------------------
+    def view_discounts(self) -> dict[frozenset[int], float]:
+        """Optimistic per-edge view discount: the strongest (highest-
+        strength) view containing an edge determines its best exponent.
+        Depends only on the (immutable) view instance set, so it is
+        computed once per graph instead of once per path query."""
+        cached = getattr(self, "_view_discounts", None)
+        if cached is None:
+            cached = {}
+            for instance in self.view_instances:
+                exponent = 1.0 / (1.0 + max(instance.view.strength, 0.0))
+                for key in instance.edge_keys:
+                    cached[key] = min(cached.get(key, 1.0), exponent)
+            self._view_discounts = cached
+        return cached
+
+    def _path_adjacency(self) -> dict[int, tuple]:
+        """Per-node ``(effective weight, neighbor id, neighbor, edge)``
+        adjacency with the view discount pre-applied.  Node removals are
+        filtered at traversal time, so the table survives Algorithm 1's
+        root masking unchanged."""
+        if self._path_adj is None:
+            discounts = self.view_discounts()
+            adj: dict[int, list] = {}
+            for edge in self.edges:
+                weight = edge.weight
+                exponent = discounts.get(edge.key)
+                if exponent is not None:
+                    weight = weight**exponent
+                adj.setdefault(edge.left.node_id, []).append(
+                    (weight, edge.right.node_id, edge.right, edge)
+                )
+                adj.setdefault(edge.right.node_id, []).append(
+                    (weight, edge.left.node_id, edge.left, edge)
+                )
+            self._path_adj = {
+                node_id: tuple(entries) for node_id, entries in adj.items()
+            }
+        return self._path_adj
+
     def strongest_paths_from(
         self,
         source: XNode,
@@ -493,35 +549,30 @@ class ExtendedViewGraph:
         ``banned`` edges are skipped (the greedy degradation rung uses
         this to route around foreign-key conflicts)."""
         banned_set = set(banned)
-        # optimistic per-edge view discount: the strongest (highest-
-        # strength) view containing the edge determines its best exponent
-        in_view: dict[frozenset[int], float] = {}
-        for instance in self.view_instances:
-            exponent = 1.0 / (1.0 + max(instance.view.strength, 0.0))
-            for key in instance.edge_keys:
-                in_view[key] = min(in_view.get(key, 1.0), exponent)
+        adjacency = self._path_adjacency()
+        removed = self._removed
         best: dict[int, float] = {source.node_id: 1.0}
         parents: dict[int, int] = {}
         heap: list[tuple[float, int, XNode]] = [(-1.0, source.node_id, source)]
+        best_get = best.get
         while heap:
-            negative_weight, _, node = heapq.heappop(heap)
+            negative_weight, node_id, node = heapq.heappop(heap)
             weight = -negative_weight
-            if weight < best.get(node.node_id, 0.0):
+            if weight < best_get(node_id, 0.0):
                 continue
-            for edge in self.incident_edges(node):
+            for edge_weight, neighbor_id, neighbor, edge in adjacency.get(
+                node_id, ()
+            ):
+                if neighbor_id in removed:
+                    continue
                 if banned_set and edge in banned_set:
                     continue
-                edge_weight = edge.weight
-                exponent = in_view.get(edge.key)
-                if exponent is not None:
-                    edge_weight = edge_weight**exponent
-                neighbor = edge.other(node)
                 candidate = weight * edge_weight
-                if candidate > best.get(neighbor.node_id, 0.0):
-                    best[neighbor.node_id] = candidate
-                    parents[neighbor.node_id] = node.node_id
+                if candidate > best_get(neighbor_id, 0.0):
+                    best[neighbor_id] = candidate
+                    parents[neighbor_id] = node_id
                     heapq.heappush(
-                        heap, (-candidate, neighbor.node_id, neighbor)
+                        heap, (-candidate, neighbor_id, neighbor)
                     )
         if with_parents:
             return best, parents

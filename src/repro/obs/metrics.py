@@ -391,3 +391,12 @@ def record_translation(
         conditions.inc(chits, result="hit")
     if cmisses:
         conditions.inc(cmisses, result="miss")
+    search = registry.counter(
+        "repro_mtjn_search_total",
+        "MTJN generator search events, by kind (frontier pushes, "
+        "expansions, stale pops, dominance kills, leftovers, emissions, "
+        "and whole-search network-memo hits)",
+    )
+    for kind, count in stats.generator.items():
+        if count:
+            search.inc(count, kind=kind)

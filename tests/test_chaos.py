@@ -467,6 +467,23 @@ class TestVocabularyRecovery:
         result = translator.translate_best("SELECT movie?.title?")
         assert "Zorbflick" in result.sql
 
+    def test_recovery_apply_invalidates_network_memo(self, fresh_fig1):
+        # applying recovered aliases to a *live* context must drop the
+        # generated-network memo: alias registration changes mapping
+        # candidates, so a warm entry keyed on the old vocabulary is stale
+        evolved = RenameTable("Movie", "Zorbflick").apply(fresh_fig1)
+        translator = SchemaFreeTranslator(evolved.database)
+        context = translator.context
+        translator.translate("SELECT person?.name?", top_k=3)
+        translator.translate("SELECT person?.name?", top_k=3)
+        assert context.stats.network_hits >= 1
+        misses = context.stats.network_misses
+        recovery = recover_vocabulary(fresh_fig1.catalog, evolved.catalog)
+        assert recovery.relation_aliases
+        recovery.apply(context)
+        translator.translate("SELECT person?.name?", top_k=3)
+        assert context.stats.network_misses > misses
+
 
 class TestEvolutionHarness:
     def test_stability_one_for_untouched_relation(self, fresh_fig1):

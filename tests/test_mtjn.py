@@ -133,3 +133,91 @@ class TestViews:
         basic = network.basic_weight
         best = network.best_weight(xgraph.view_instances)
         assert best >= basic
+
+def make_tie_catalog():
+    """Two structurally symmetric 2-edge paths between alpha and beta.
+
+    The bridge relations are named so that neither resembles any query
+    token: both alpha-zzqx-beta and alpha-zzqy-beta score exactly the
+    same weight, producing a genuine top-k tie.
+    """
+    from repro import Catalog, DataType
+
+    catalog = Catalog("tie")
+    catalog.create_relation(
+        "alpha",
+        [("alpha_id", DataType.INTEGER), ("payload", DataType.TEXT)],
+        primary_key=["alpha_id"],
+    )
+    catalog.create_relation(
+        "beta",
+        [("beta_id", DataType.INTEGER), ("payload", DataType.TEXT)],
+        primary_key=["beta_id"],
+    )
+    for bridge in ("zzqx", "zzqy"):
+        catalog.create_relation(
+            bridge,
+            [("alpha_id", DataType.INTEGER), ("beta_id", DataType.INTEGER)],
+        )
+        catalog.add_foreign_key(bridge, "alpha_id", "alpha")
+        catalog.add_foreign_key(bridge, "beta_id", "beta")
+    return catalog
+
+
+TIE_QUERY = "SELECT alpha?.payload?, beta?.payload?"
+
+
+class TestDeterministicTieBreaking:
+    def _db(self):
+        from repro import Database
+
+        return Database(make_tie_catalog())
+
+    def test_crafted_tie_is_a_real_tie(self):
+        networks, xgraph, _ = generate(self._db(), TIE_QUERY, k=2)
+        assert len(networks) == 2
+        weights = [n.best_weight(xgraph.view_instances) for n in networks]
+        assert weights[0] == pytest.approx(weights[1])
+        bridges = {
+            relation
+            for network in networks
+            for relation in (n.relation for n in network.nodes.values())
+            if relation.startswith("zzq")
+        }
+        assert bridges == {"zzqx", "zzqy"}
+
+    def test_tied_networks_sorted_by_canonical_signature(self):
+        networks, _, _ = generate(self._db(), TIE_QUERY, k=2)
+        keys = [network.sort_key for network in networks]
+        assert keys == sorted(keys)
+
+    def test_topk_independent_of_expansion_order(self, monkeypatch):
+        baseline, _, _ = generate(self._db(), TIE_QUERY, k=2)
+        original = MTJNGenerator._expansions
+
+        def reversed_expansions(self, network):
+            return list(original(self, network))[::-1]
+
+        monkeypatch.setattr(MTJNGenerator, "_expansions", reversed_expansions)
+        reordered, _, _ = generate(self._db(), TIE_QUERY, k=2)
+        assert [n.canonical for n in reordered] == [
+            n.canonical for n in baseline
+        ]
+
+
+class TestFrontierInvariant:
+    def test_conservation_paper_query(self, fig1_db):
+        xgraph, _, _ = make_xgraph(fig1_db)
+        generator = MTJNGenerator(xgraph)
+        generator.generate(3)
+        stats = generator.stats
+        assert stats.pushed == stats.expanded + stats.pruned + stats.leftover
+
+    def test_conservation_under_tight_expansion_cap(self, fig1_db):
+        config = TranslatorConfig(max_expansions=5)
+        xgraph, _, _ = make_xgraph(fig1_db, config=config)
+        generator = MTJNGenerator(xgraph, config)
+        generator.generate(3)
+        stats = generator.stats
+        assert stats.pushed == stats.expanded + stats.pruned + stats.leftover
+        assert stats.leftover > 0
