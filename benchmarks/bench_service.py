@@ -6,10 +6,19 @@ twice —
 * **serial** — one worker, so the service machinery (admission,
   budgets, breaker bookkeeping) runs but nothing overlaps;
 * **concurrent** — ``--workers`` threads sharing one lock-protected
-  :class:`~repro.core.context.TranslationContext` per database.
+  :class:`~repro.core.context.TranslationContext` per database;
+* **processes** (``--processes N``, optional) — the same workload
+  through the supervised multi-process pool
+  (:class:`repro.server.Supervisor`), measuring what crash isolation
+  costs when nothing crashes.  Timing starts *after* the workers are
+  built and ready — process spawn is a deployment cost, frame
+  round-trips are the serving cost this pass measures.
 
-Every concurrent response is checked byte-for-byte against its serial
-counterpart — concurrency changes throughput, never results.  The
+Every concurrent (and process-pool) response is checked byte-for-byte
+against its serial counterpart — concurrency and process isolation
+change throughput, never results.  ``--max-process-overhead F`` turns
+the fault-free process-pool overhead into a gate: exit nonzero when
+``(process - thread) / thread`` exceeds ``F`` (CI pins 0.10).  The
 JSON report (per-workload timings plus the full service snapshot:
 aggregate stats, breaker states, context memo counters) is written to
 ``SERVICE_stats.json``; CI uploads it as an artifact next to
@@ -20,6 +29,8 @@ Run from the repository root::
     PYTHONPATH=src python benchmarks/bench_service.py
     PYTHONPATH=src python benchmarks/bench_service.py \
         --workers 8 --repeat 4 --output /tmp/service.json
+    PYTHONPATH=src python benchmarks/bench_service.py \
+        --processes 1 --max-process-overhead 0.10
 """
 
 from __future__ import annotations
@@ -46,6 +57,16 @@ WORKLOADS: dict[str, tuple[Callable[[], Database], list[WorkloadQuery]]] = {
     "courses48": (make_course_database, COURSE_QUERIES),
 }
 
+#: cold passes per pool when gating; the minimum is the gated number
+GATE_RUNS = 3
+
+#: workload name -> the dataset its worker processes rebuild
+DATASET_OF = {
+    "textbook": "movies",
+    "sophisticated": "movies",
+    "courses48": "courses",
+}
+
 
 def queries_of(workload: list[WorkloadQuery], repeat: int) -> list[str]:
     return [q.sf_sql or q.gold_sql for q in workload] * repeat
@@ -63,25 +84,48 @@ def run_service(
     return elapsed, responses, snapshot
 
 
-def check_identical(serial: list, concurrent: list) -> None:
-    """Shared-context concurrency must never change a single byte."""
-    for a, b in zip(serial, concurrent):
+def run_processes(
+    name: str, queries: list[str], processes: int
+) -> tuple[float, list]:
+    """The workload through the supervised process pool, timed after
+    the workers are built and ready."""
+    from repro.server import DatabaseSpec, Supervisor, SupervisorConfig
+
+    shard = DATASET_OF[name]
+    supervisor = Supervisor(
+        {shard: DatabaseSpec(kind="dataset", target=shard)},
+        SupervisorConfig(
+            workers_per_shard=processes, queue_limit=len(queries)
+        ),
+    )
+    with supervisor:
+        started = time.perf_counter()
+        responses = supervisor.run(queries, database=shard)
+        elapsed = time.perf_counter() - started
+    return elapsed, responses
+
+
+def check_identical(serial: list, other: list, label: str) -> None:
+    """Neither concurrency nor process isolation may change a byte."""
+    for a, b in zip(serial, other):
         if a.sql != b.sql or a.outcome != b.outcome:
             raise AssertionError(
-                f"concurrent response diverged from serial for "
+                f"{label} response diverged from serial for "
                 f"{a.query!r}:\n  serial: {a.outcome} {a.sql}\n"
-                f"  concurrent: {b.outcome} {b.sql}"
+                f"  {label}: {b.outcome} {b.sql}"
             )
 
 
-def bench_workload(name: str, workers: int, repeat: int) -> dict:
+def bench_workload(
+    name: str, workers: int, repeat: int, processes: int = 0
+) -> dict:
     factory, workload = WORKLOADS[name]
     queries = queries_of(workload, repeat)
     serial_seconds, serial_responses, _ = run_service(factory(), queries, 1)
     conc_seconds, conc_responses, snapshot = run_service(
         factory(), queries, workers
     )
-    check_identical(serial_responses, conc_responses)
+    check_identical(serial_responses, conc_responses, "concurrent")
     speedup = serial_seconds / conc_seconds if conc_seconds > 0 else float("inf")
     row = {
         "queries": len(queries),
@@ -98,6 +142,39 @@ def bench_workload(name: str, workers: int, repeat: int) -> dict:
         f"x{workers} workers {conc_seconds:7.3f}s  "
         f"speedup {speedup:5.2f}x"
     )
+    if processes > 0:
+        # compare the process pool against a thread pool of equal width
+        # so scheduling is apples-to-apples and the delta is pure IPC;
+        # best-of-N keeps scheduler noise out of the gated number
+        thread_seconds = float("inf")
+        proc_seconds = float("inf")
+        proc_responses = None
+        for _ in range(GATE_RUNS):
+            thread_seconds = min(
+                thread_seconds, run_service(factory(), queries, processes)[0]
+            )
+            seconds, responses = run_processes(name, queries, processes)
+            if proc_responses is None:
+                proc_responses = responses
+            proc_seconds = min(proc_seconds, seconds)
+        check_identical(serial_responses, proc_responses, "process-pool")
+        overhead = (
+            (proc_seconds - thread_seconds) / thread_seconds
+            if thread_seconds > 0
+            else 0.0
+        )
+        row.update(
+            processes=processes,
+            thread_pool_seconds=round(thread_seconds, 4),
+            process_pool_seconds=round(proc_seconds, 4),
+            process_overhead=round(overhead, 4),
+            process_identical=True,
+        )
+        print(
+            f"{'':>14}  x{processes} threads {thread_seconds:7.3f}s  "
+            f"x{processes} processes {proc_seconds:7.3f}s  "
+            f"overhead {overhead:+7.1%}"
+        )
     return row
 
 
@@ -120,6 +197,23 @@ def main(argv=None) -> int:
         help="times each workload's query list is submitted",
     )
     parser.add_argument(
+        "--processes",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also run each workload through N supervised worker "
+        "processes and report the fault-free overhead vs an N-thread "
+        "pool (default: 0 = skip)",
+    )
+    parser.add_argument(
+        "--max-process-overhead",
+        type=float,
+        default=None,
+        metavar="F",
+        help="fail (exit 1) if any workload's process-pool overhead "
+        "exceeds this fraction (CI pins 0.10)",
+    )
+    parser.add_argument(
         "--output",
         default="SERVICE_stats.json",
         help="where to write the JSON report",
@@ -127,13 +221,31 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     report = {
-        name: bench_workload(name, args.workers, args.repeat)
+        name: bench_workload(
+            name, args.workers, args.repeat, processes=args.processes
+        )
         for name in args.workloads
     }
     with open(args.output, "w") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")
     print(f"wrote {args.output}")
+    if args.max_process_overhead is not None and args.processes > 0:
+        over = {
+            name: row["process_overhead"]
+            for name, row in report.items()
+            if row.get("process_overhead", 0.0) > args.max_process_overhead
+        }
+        if over:
+            print(
+                f"PROCESS-POOL OVERHEAD GATE FAILED "
+                f"(limit {args.max_process_overhead:.0%}): {over}"
+            )
+            return 1
+        print(
+            f"process-pool overhead within {args.max_process_overhead:.0%} "
+            f"for all workloads"
+        )
     return 0
 
 

@@ -1,0 +1,334 @@
+"""CI entry point for the serving-layer chaos harness.
+
+Four phases, one report (``SERVER_report.json``), all driven against
+*real* worker processes supervised on a deterministic virtual clock
+(``auto_watchdog=False`` + manual ticks, so timeout and backoff
+decisions never race wall time):
+
+* **parity** — the full 95-query workload served through the
+  supervised process pool must produce *byte-identical* SQL (and
+  identical typed-error classes) to the in-process
+  :class:`~repro.service.QueryService` baseline — process isolation
+  may cost nothing when nothing fails;
+* **crash** — a worker is ``kill -9``-ed mid-request: the in-flight
+  request must fail with a typed
+  :class:`~repro.server.errors.WorkerCrashed` mapping to CLI exit
+  code 8, the worker must restart within its backoff budget, and the
+  full workload must then rerun byte-identically on the replacement;
+* **hang** — a busy-hung worker (wedged mid-request) must be killed by
+  the watchdog at the request timeout with a typed
+  :class:`~repro.server.errors.WorkerTimeout`, and a deaf idle worker
+  (answers nothing) must be killed via the heartbeat path;
+* **drain** — a drain started while requests are queued and in flight
+  must complete every admitted request (zero loss), refuse new work
+  with a typed :class:`~repro.server.errors.ServerDraining`, and
+  produce a final snapshot.
+
+Run from the repository root::
+
+    PYTHONPATH=src python scripts/run_server_chaos.py
+    PYTHONPATH=src python scripts/run_server_chaos.py --phases parity crash
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import sys
+import threading
+import time
+
+from repro.cli import DATASETS, EXIT_WORKER, exit_code_for
+from repro.server import (
+    DatabaseSpec,
+    ServerDraining,
+    Supervisor,
+    SupervisorConfig,
+    WorkerCrashed,
+    WorkerTimeout,
+)
+from repro.service import QueryService, ServiceConfig
+from repro.testing import VirtualClock, workload_pairs
+from repro.workloads import (
+    COURSE_QUERIES,
+    SOPHISTICATED_QUERIES,
+    TEXTBOOK_QUERIES,
+)
+
+#: workload name -> (shard/dataset name, workload queries)
+WORKLOADS = {
+    "textbook": ("movies", TEXTBOOK_QUERIES),
+    "sophisticated": ("movies", SOPHISTICATED_QUERIES),
+    "courses48": ("courses", COURSE_QUERIES),
+}
+
+SHARDS = {
+    "movies": DatabaseSpec(kind="dataset", target="movies"),
+    "courses": DatabaseSpec(kind="dataset", target="courses"),
+}
+
+
+def all_pairs() -> list[tuple[str, str, str]]:
+    """Flatten the workloads to (qid, shard, sf_sql) triples."""
+    triples = []
+    for name, (shard, queries) in WORKLOADS.items():
+        for qid, sf_sql in workload_pairs(queries):
+            triples.append((f"{name}:{qid}", shard, sf_sql))
+    return triples
+
+
+def make_supervisor(**overrides):
+    defaults = dict(
+        workers_per_shard=1,
+        chaos_hooks=True,
+        auto_watchdog=False,
+        queue_limit=256,
+        restart_backoff_base=0.05,
+        restart_backoff_cap=0.2,
+        request_timeout=5.0,
+        heartbeat_interval=1.0,
+        heartbeat_timeout=5.0,
+    )
+    defaults.update(overrides)
+    clock = VirtualClock(origin=None)
+    supervisor = Supervisor(SHARDS, SupervisorConfig(**defaults), clock=clock)
+    return supervisor, clock
+
+
+def serve_workload(supervisor) -> list[tuple[str, str, str]]:
+    """Every workload pair through the supervisor: (qid, sql, error)."""
+    results = []
+    for qid, shard, sf_sql in all_pairs():
+        response = supervisor.submit(sf_sql, database=shard).result(
+            timeout=120
+        )
+        results.append(
+            (
+                qid,
+                response.sql or "",
+                type(response.error).__name__ if response.error else "",
+            )
+        )
+    return results
+
+
+def wait_ready(supervisor, shard, timeout=60.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if supervisor.readiness()["shards"][shard]["workers"]["live"] >= 1:
+            return True
+        time.sleep(0.02)
+    return False
+
+
+def restart_and_wait(supervisor, clock, shard) -> bool:
+    clock.advance(1.0)
+    supervisor.tick()
+    return wait_ready(supervisor, shard)
+
+
+# ---------------------------------------------------------------------------
+# phase 1: fault-free parity against the in-process baseline
+# ---------------------------------------------------------------------------
+
+
+def run_parity() -> dict:
+    baseline: dict[str, tuple[str, str]] = {}
+    for name, (shard, queries) in WORKLOADS.items():
+        with QueryService(
+            DATASETS[shard](), ServiceConfig(workers=1)
+        ) as service:
+            for qid, sf_sql in workload_pairs(queries):
+                response = service.submit(sf_sql).result()
+                baseline[f"{name}:{qid}"] = (
+                    response.sql or "",
+                    type(response.error).__name__ if response.error else "",
+                )
+    supervisor, _ = make_supervisor()
+    with supervisor:
+        served = serve_workload(supervisor)
+        snapshot = supervisor.snapshot()
+    mismatches = [
+        {"qid": qid, "served": [sql, err], "baseline": list(baseline[qid])}
+        for qid, sql, err in served
+        if (sql, err) != baseline[qid]
+    ]
+    ok = not mismatches and snapshot["stats"]["crashed"] == 0
+    print(
+        f"parity: {len(served)} queries, {len(mismatches)} mismatches "
+        f"vs in-process baseline"
+    )
+    return {
+        "ok": ok,
+        "queries": len(served),
+        "mismatches": mismatches,
+        "stats": snapshot["stats"],
+    }
+
+
+# ---------------------------------------------------------------------------
+# phase 2: kill -9 mid-request
+# ---------------------------------------------------------------------------
+
+
+def run_crash() -> dict:
+    supervisor, clock = make_supervisor()
+    checks: dict[str, bool] = {}
+    with supervisor:
+        before = serve_workload(supervisor)
+        victim = supervisor.worker_pids("movies")[0]
+        inflight = supervisor.submit("%sleep:30", database="movies")
+        os.kill(victim, signal.SIGKILL)
+        failed = inflight.result(timeout=60)
+        checks["typed_worker_crashed"] = isinstance(
+            failed.error, WorkerCrashed
+        )
+        checks["exit_code_8"] = exit_code_for(failed.error) == EXIT_WORKER
+        checks["crash_event_recorded"] = (
+            "crash",
+            "movies",
+            victim,
+        ) in supervisor.events
+        checks["restart_scheduled_with_backoff"] = any(
+            e[0] == "restart-scheduled" and e[3] <= 0.2
+            for e in supervisor.events
+        )
+        checks["restarted_within_budget"] = restart_and_wait(
+            supervisor, clock, "movies"
+        )
+        checks["new_pid"] = supervisor.worker_pids("movies")[0] != victim
+        after = serve_workload(supervisor)
+        checks["byte_identical_after_restart"] = after == before
+        stats = supervisor.snapshot()["stats"]
+    ok = all(checks.values())
+    print(f"crash: {json.dumps(checks)}")
+    return {"ok": ok, "checks": checks, "stats": stats}
+
+
+# ---------------------------------------------------------------------------
+# phase 3: hung and deaf workers under the watchdog
+# ---------------------------------------------------------------------------
+
+
+def run_hang() -> dict:
+    checks: dict[str, bool] = {}
+    supervisor, clock = make_supervisor(request_timeout=5.0)
+    with supervisor:
+        wedged = supervisor.submit("%hang", database="movies")
+        clock.advance(4.9)
+        supervisor.tick()
+        checks["not_killed_inside_timeout"] = not wedged.done()
+        clock.advance(0.2)
+        supervisor.tick()
+        failed = wedged.result(timeout=60)
+        checks["typed_worker_timeout"] = isinstance(
+            failed.error, WorkerTimeout
+        )
+        checks["hang_exit_code_8"] = exit_code_for(failed.error) == EXIT_WORKER
+        checks["hang_restart"] = restart_and_wait(supervisor, clock, "movies")
+
+        # deaf: answers its request, then never reads another frame —
+        # only the idle heartbeat path can catch it
+        deaf_ok = supervisor.submit("%deaf", database="movies").result(
+            timeout=60
+        )
+        checks["deaf_request_served"] = deaf_ok.ok
+        clock.advance(1.1)
+        supervisor.tick()  # ping goes out, into a deaf ear
+        clock.advance(5.1)
+        supervisor.tick()  # no pong inside heartbeat_timeout: killed
+        checks["deaf_killed_by_heartbeat"] = supervisor.stats.timed_out == 2
+        checks["deaf_restart"] = restart_and_wait(supervisor, clock, "movies")
+        served = supervisor.submit(
+            "SELECT name? WHERE director_name? = 'James Cameron'",
+            database="movies",
+        ).result(timeout=60)
+        checks["serves_after_recoveries"] = served.ok
+        stats = supervisor.snapshot()["stats"]
+    ok = all(checks.values())
+    print(f"hang: {json.dumps(checks)}")
+    return {"ok": ok, "checks": checks, "stats": stats}
+
+
+# ---------------------------------------------------------------------------
+# phase 4: graceful drain under load
+# ---------------------------------------------------------------------------
+
+
+def run_drain() -> dict:
+    checks: dict[str, bool] = {}
+    supervisor, _ = make_supervisor(queue_limit=256)
+    snapshot: dict = {}
+    with supervisor:
+        admitted = [supervisor.submit("%sleep:0.3", database="movies")]
+        admitted += [
+            supervisor.submit(sf_sql, database=shard)
+            for _, shard, sf_sql in all_pairs()[:20]
+        ]
+        drainer = threading.Thread(
+            target=lambda: snapshot.update(supervisor.drain())
+        )
+        drainer.start()
+        while not supervisor.draining:
+            time.sleep(0.005)
+        refused = supervisor.submit(
+            "SELECT name?", database="movies"
+        ).result(timeout=10)
+        checks["refusal_typed"] = isinstance(refused.error, ServerDraining)
+        drainer.join(timeout=120)
+        checks["drain_finished"] = not drainer.is_alive()
+        resolved = [f.result(timeout=1) for f in admitted]
+        checks["zero_admitted_lost"] = all(
+            r.ok or not isinstance(r.error, (WorkerCrashed, WorkerTimeout))
+            for r in resolved
+        )
+        checks["all_admitted_served"] = all(r.ok for r in resolved)
+        checks["final_snapshot"] = "drain_seconds" in snapshot
+        checks["refused_counted"] = snapshot["stats"]["refused"] == 1
+    ok = all(checks.values())
+    print(f"drain: {json.dumps(checks)}")
+    return {"ok": ok, "checks": checks, "stats": snapshot.get("stats", {})}
+
+
+PHASES = {
+    "parity": run_parity,
+    "crash": run_crash,
+    "hang": run_hang,
+    "drain": run_drain,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--phases",
+        nargs="+",
+        choices=sorted(PHASES),
+        default=sorted(PHASES),
+        help="which phases to run (default: all)",
+    )
+    parser.add_argument(
+        "--out",
+        default="SERVER_report.json",
+        help="where to write the JSON server-chaos report",
+    )
+    args = parser.parse_args(argv)
+
+    report: dict = {}
+    for name in sorted(args.phases):
+        report[name] = PHASES[name]()
+    ok = all(phase["ok"] for phase in report.values())
+    payload = {"ok": ok, **report}
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    print(f"server chaos report written to {args.out}")
+    if not ok:
+        print("SERVER CHAOS FAILURE: a phase reported a violation")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -50,8 +50,17 @@ from .obs import (
     Tracer,
     render_trace,
 )
+from .server import (
+    DatabaseSpec,
+    ServerResponse,
+    Supervisor,
+    SupervisorConfig,
+    WorkerCrashed,
+    WorkerTimeout,
+)
 from .service import (
     QueryService,
+    ServiceClosed,
     ServiceConfig,
     ServiceOverloaded,
     ServiceResponse,
@@ -69,6 +78,7 @@ __all__ = [
     "DEFAULT_CONFIG",
     "DataType",
     "Database",
+    "DatabaseSpec",
     "Diagnostic",
     "EngineError",
     "ReproError",
@@ -83,11 +93,17 @@ __all__ = [
     "Tracer",
     "render_trace",
     "SchemaError",
+    "ServerResponse",
+    "ServiceClosed",
     "ServiceConfig",
     "ServiceOverloaded",
     "ServiceResponse",
     "SchemaFreeTranslator",
     "SqlSyntaxError",
+    "Supervisor",
+    "SupervisorConfig",
+    "WorkerCrashed",
+    "WorkerTimeout",
     "Translation",
     "TranslationContext",
     "TranslationError",

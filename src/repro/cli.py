@@ -99,18 +99,23 @@ EXIT_OVERLOADED = 6
 #: the execution backend is unavailable or degraded (corrupted file,
 #: locked database, retries exhausted) — repro.backends.errors
 EXIT_BACKEND = 7
+#: a serving worker process crashed or hung (repro.server.errors)
+EXIT_WORKER = 8
 
 
 def exit_code_for(error: Optional[BaseException]) -> int:
     """Map a failure to its one-shot exit code (syntax, translation,
-    engine, backend, and internal errors are distinguishable to
-    scripts)."""
+    engine, backend, worker, and internal errors are distinguishable
+    to scripts)."""
     from .backends.errors import BackendError
+    from .server.errors import WorkerError
 
     if error is None:
         return EXIT_OK
     if isinstance(error, SqlSyntaxError):
         return EXIT_SYNTAX
+    if isinstance(error, WorkerError):
+        return EXIT_WORKER
     if isinstance(error, BackendError):
         return EXIT_BACKEND
     if isinstance(error, EngineError):
@@ -423,6 +428,199 @@ def run_batch(
     return exit_code_for(first_error)
 
 
+def run_batch_processes(
+    database_spec,  # repro.server.DatabaseSpec
+    shard: str,
+    queries: list[str],
+    processes: int,
+    deadline: Optional[float],
+    queue_limit: int,
+    top_k: int,
+    stats_path: Optional[str] = None,
+    out=None,
+    tracer=None,  # Optional[repro.obs.Tracer]
+    metrics: Optional[MetricsRegistry] = None,
+    chaos_hooks: bool = False,
+    request_timeout: float = 30.0,
+) -> int:
+    """Route a query batch through the supervised process pool.
+
+    The crash-isolated sibling of :func:`run_batch`: worker processes
+    serve the queries, the supervisor restarts any that die, and a
+    request failed by a crashed or hung worker exits with
+    ``EXIT_WORKER`` (8) instead of poisoning the whole batch.
+    """
+    from .server import Supervisor, SupervisorConfig
+
+    if out is None:
+        out = sys.stdout
+    config = SupervisorConfig(
+        workers_per_shard=max(1, processes),
+        queue_limit=max(0, queue_limit),
+        deadline=deadline,
+        top_k=max(1, top_k),
+        request_timeout=request_timeout,
+        chaos_hooks=chaos_hooks,
+    )
+    supervisor = Supervisor(
+        {shard: database_spec}, config, tracer=tracer, metrics=metrics
+    )
+    with supervisor:
+        responses = supervisor.run(queries, database=shard)
+        snapshot = supervisor.drain()
+
+    first_error: Optional[BaseException] = None
+    any_shed = False
+    for response in responses:
+        marks = [f"rung={response.rung or '-'}"]
+        if response.retries:
+            marks.append(f"retries={response.retries}")
+        if response.worker_pid is not None:
+            marks.append(f"pid={response.worker_pid}")
+        if (
+            response.shard_breaker_state
+            and response.shard_breaker_state != "closed"
+        ):
+            marks.append(f"shard-breaker={response.shard_breaker_state}")
+        print(
+            f"[{response.request_id}] {response.outcome:<8} "
+            f"{' '.join(marks)}  {response.query}",
+            file=out,
+        )
+        if response.ok:
+            print(f"    -> {response.sql}", file=out)
+        else:
+            any_shed = any_shed or response.shed
+            if first_error is None and not response.shed:
+                first_error = response.error
+            print(f"    error: {response.error}", file=out)
+            if response.diagnostic is not None:
+                for line in response.diagnostic.render().splitlines():
+                    print(f"    | {line}", file=out)
+    stats = snapshot["stats"]
+    print(
+        f"batch: {stats['completed']} ok, {stats['failed']} failed, "
+        f"{stats['shed']} shed, {stats['crashed']} crashed, "
+        f"{stats['timed_out']} timed out, {stats['restarts']} restarts "
+        f"({config.workers_per_shard} worker processes)",
+        file=out,
+    )
+    if stats_path:
+        with open(stats_path, "w", encoding="utf-8") as handle:
+            json.dump(snapshot, handle, indent=2, default=str)
+        print(f"supervisor stats written to {stats_path}", file=out)
+    if any_shed and first_error is None:
+        return EXIT_OVERLOADED
+    return exit_code_for(first_error)
+
+
+def run_serve(argv: Optional[list[str]] = None, out=None) -> int:
+    """The ``repro serve`` subcommand: the supervised HTTP front end.
+
+    Shards one or more databases across worker processes and serves
+    ``POST /query``, ``GET /healthz``, ``GET /readyz`` and
+    ``GET /metrics`` until SIGTERM starts the graceful drain.
+    """
+    import asyncio
+
+    from .server import DatabaseSpec, Supervisor, SupervisorConfig
+    from .server.http import serve as http_serve
+
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Serve schema-free SQL over HTTP from supervised "
+        "worker processes",
+    )
+    parser.add_argument(
+        "--dataset",
+        action="append",
+        choices=sorted(DATASETS),
+        metavar="NAME",
+        help="host this synthetic dataset as a shard (repeatable; "
+        "default: movies)",
+    )
+    parser.add_argument(
+        "--load",
+        action="append",
+        metavar="NAME=DIR",
+        help="host a saved database directory as shard NAME (repeatable)",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8080)
+    parser.add_argument(
+        "--workers-per-shard",
+        type=int,
+        default=1,
+        help="worker processes per database shard (default: 1)",
+    )
+    parser.add_argument("--deadline", type=float, default=None)
+    parser.add_argument("--queue-limit", type=int, default=64)
+    parser.add_argument("--top-k", type=int, default=1)
+    parser.add_argument(
+        "--request-timeout",
+        type=float,
+        default=30.0,
+        help="kill a worker whose request exceeds this many seconds",
+    )
+    parser.add_argument("--heartbeat-interval", type=float, default=1.0)
+    parser.add_argument("--heartbeat-timeout", type=float, default=5.0)
+    parser.add_argument("--max-restarts", type=int, default=5)
+    parser.add_argument("--restart-window", type=float, default=60.0)
+    # deterministic chaos directives for harnesses; not a user feature
+    parser.add_argument(
+        "--chaos-hooks", action="store_true", help=argparse.SUPPRESS
+    )
+    args = parser.parse_args(argv)
+    if out is None:
+        out = sys.stderr
+
+    specs: dict[str, "DatabaseSpec"] = {}
+    for name in args.dataset or []:
+        specs[name] = DatabaseSpec(kind="dataset", target=name)
+    for pair in args.load or []:
+        name, sep, path = pair.partition("=")
+        if not sep:
+            print(f"error: --load expects NAME=DIR, got {pair!r}", file=out)
+            return EXIT_INTERNAL
+        specs[name] = DatabaseSpec(kind="saved", target=path)
+    if not specs:
+        specs["movies"] = DatabaseSpec(kind="dataset", target="movies")
+
+    registry = MetricsRegistry()
+    supervisor = Supervisor(
+        specs,
+        SupervisorConfig(
+            workers_per_shard=max(1, args.workers_per_shard),
+            queue_limit=max(0, args.queue_limit),
+            deadline=args.deadline,
+            top_k=max(1, args.top_k),
+            request_timeout=args.request_timeout,
+            heartbeat_interval=args.heartbeat_interval,
+            heartbeat_timeout=args.heartbeat_timeout,
+            max_restarts=args.max_restarts,
+            restart_window=args.restart_window,
+            chaos_hooks=args.chaos_hooks,
+        ),
+        metrics=registry,
+    )
+    supervisor.start()
+    print(
+        f"serving shards {sorted(specs)} on "
+        f"http://{args.host}:{args.port} "
+        f"({args.workers_per_shard} worker(s) per shard)",
+        file=out,
+    )
+    try:
+        asyncio.run(
+            http_serve(supervisor, host=args.host, port=args.port)
+        )
+    except KeyboardInterrupt:
+        pass
+    finally:
+        supervisor.close()
+    return EXIT_OK
+
+
 def _load_database(dataset: str, load: Optional[str]) -> tuple[Database, str]:
     if load:
         from .engine.io import load_database
@@ -637,6 +835,8 @@ def main(argv: Optional[list[str]] = None) -> int:
         return run_explain(argv[1:])
     if argv and argv[0] == "import":
         return run_import(argv[1:])
+    if argv and argv[0] == "serve":
+        return run_serve(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro", description="Schema-free SQL interactive shell"
     )
@@ -706,6 +906,19 @@ def main(argv: Optional[list[str]] = None) -> int:
         help="with --batch, write the service stats snapshot as JSON",
     )
     parser.add_argument(
+        "--processes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with --batch, serve from N supervised worker *processes* "
+        "instead of threads: crash-isolated, restarted on failure; a "
+        "request lost to a crashed or hung worker exits 8",
+    )
+    # deterministic chaos directives for harnesses; not a user feature
+    parser.add_argument(
+        "--chaos-hooks", action="store_true", help=argparse.SUPPRESS
+    )
+    parser.add_argument(
         "--trace",
         action="store_true",
         help="render each query's span tree after its results",
@@ -743,6 +956,36 @@ def main(argv: Optional[list[str]] = None) -> int:
     registry = MetricsRegistry() if args.metrics else None
 
     try:
+        if args.batch is not None and args.processes is not None:
+            from .server import DatabaseSpec
+
+            if args.backend == "sqlite":
+                print(
+                    "error: --processes rebuilds each worker's database "
+                    "from its spec; use --dataset or --load, not "
+                    "--backend sqlite",
+                    file=sys.stderr,
+                )
+                return EXIT_INTERNAL
+            if args.load:
+                spec = DatabaseSpec(kind="saved", target=args.load)
+                shard = args.load
+            else:
+                spec = DatabaseSpec(kind="dataset", target=args.dataset)
+                shard = args.dataset
+            return run_batch_processes(
+                spec,
+                shard,
+                read_batch_file(args.batch),
+                processes=args.processes,
+                deadline=args.deadline,
+                queue_limit=args.queue_limit,
+                top_k=args.top_k,
+                stats_path=args.service_stats,
+                tracer=tracer,
+                metrics=registry,
+                chaos_hooks=args.chaos_hooks,
+            )
         if args.batch is not None:
             return run_batch(
                 database,

@@ -18,6 +18,10 @@ else escaping is a genuine bug:
     │   ├── BackendUnavailable      (terminal; CLI exit code 7)
     │   └── BackendDegraded         (partial result, carries payload)
     ├── BudgetExceeded      (repro.core.resilience)
+    ├── WorkerError         (repro.server.errors; CLI exit code 8)
+    │   ├── WorkerCrashed           (worker process died mid-request)
+    │   └── WorkerTimeout           (hung worker killed by watchdog)
+    ├── ServerDraining      (repro.server.errors; SIGTERM drain refusal)
     └── InjectedFault       (repro.testing.faults)
 
 Errors optionally carry a :class:`Diagnostic` — a structured record of

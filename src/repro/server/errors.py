@@ -1,0 +1,44 @@
+"""Typed failures of the multi-process serving layer.
+
+These extend the :class:`~repro.errors.ReproError` taxonomy with the
+failure modes only process isolation can produce: a worker that *died*
+(crash, OOM kill, ``kill -9``) and a worker that *stopped responding*
+(hung in native code, livelocked).  Both carry structured
+:class:`~repro.errors.Diagnostic` records and map to CLI exit code 8
+(``repro.cli.EXIT_WORKER``) so scripts can tell "the serving substrate
+failed" apart from every translation-level failure class.
+
+``ServerDraining`` is the typed refusal a request receives once a
+SIGTERM drain has begun — admitted work still completes, new work is
+turned away with this error rather than queued into a dying process.
+"""
+
+from __future__ import annotations
+
+from ..errors import ReproError
+
+
+class WorkerError(ReproError):
+    """Base class: a serving worker process failed the request."""
+
+
+class WorkerCrashed(WorkerError):
+    """The worker process died (exited or was killed) mid-request.
+
+    Carries the shard name, pid and exit code in its diagnostic; the
+    supervisor fails every in-flight request on the dead worker with
+    this error and restarts the worker under its backoff budget.
+    """
+
+
+class WorkerTimeout(WorkerError):
+    """The worker stopped responding and was killed by the watchdog.
+
+    Raised both for a request exceeding the supervisor's request
+    timeout (busy-hung worker) and for an idle worker missing heartbeats
+    (deaf worker); the diagnostic's ``detail`` says which.
+    """
+
+
+class ServerDraining(ReproError):
+    """The server is draining (SIGTERM received): no new admissions."""

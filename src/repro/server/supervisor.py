@@ -1,0 +1,1202 @@
+"""Supervisor: crash-isolated worker processes under a watchdog.
+
+The :class:`Supervisor` shards databases across worker *processes* (one
+shard per database name, ``workers_per_shard`` processes per shard) and
+gives the serving tier the property the thread-pool
+:class:`~repro.service.QueryService` cannot: a poisoned query, an OOM
+kill, or a native crash costs one worker process, never the service.
+
+Architecture (one box per thread/process)::
+
+    caller threads ──submit()──▶ per-shard FIFO queue
+                                      │ dispatch (breaker-pinned rung)
+        ┌─────────────────────────────┼──────────────────────────┐
+        │ worker process  ◀── frames ──▶  reader thread (per     │
+        │ (TranslationContext,             worker: results, pongs,│
+        │  breaker, backend)               EOF = death)           │
+        └──────────────────────────────────────────────────────── ┘
+                      watchdog thread: heartbeats, request
+                      timeouts, due restarts (injectable clock)
+
+* **crash detection** — a worker's pipe hitting EOF (or its process
+  found dead) fails the in-flight request with a typed
+  :class:`~repro.server.errors.WorkerCrashed` and schedules a restart;
+* **hang detection** — the watchdog kills a worker whose in-flight
+  request exceeded ``request_timeout`` (busy-hung) or which, while
+  idle, missed heartbeat pongs for ``heartbeat_timeout`` (deaf); the
+  request fails with :class:`~repro.server.errors.WorkerTimeout`;
+* **restart budget** — restarts back off exponentially
+  (``restart_backoff_base * 2**(n-1)`` capped at
+  ``restart_backoff_cap``, counting restarts inside
+  ``restart_window``); more than ``max_restarts`` in the window marks
+  the shard *down* and fails its queue fast;
+* **degraded mode** — every crash/timeout is also recorded against the
+  shard's :class:`~repro.service.breaker.CircuitBreaker`; once tripped
+  the supervisor dispatches queries pinned to the breaker's rung (the
+  worker folds the pin with its own breaker, weaker rung wins), so a
+  flapping shard keeps serving cheap translations while probes test
+  recovery;
+* **graceful drain** — :meth:`drain` stops admitting (typed
+  :class:`~repro.server.errors.ServerDraining` refusals), flushes the
+  queues, joins the workers and returns a final snapshot.  SIGTERM
+  handling on top lives in :mod:`repro.server.http`.
+
+Every time-based decision reads the injectable ``clock`` — share one
+:class:`~repro.testing.faults.VirtualClock` between the supervisor and
+a :class:`~repro.testing.faults.FaultInjector` and the heartbeat
+watchdog, restart backoff and worker retry jitter all observe a single
+deterministic timeline (the watchdog thread still *polls* on real time,
+or disable it with ``auto_watchdog=False`` and call :meth:`tick` from
+the test).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Optional, Sequence, Union
+
+from ..errors import Diagnostic
+from ..obs import NULL_TRACER, MetricsRegistry
+from ..service import BreakerConfig, CircuitBreaker, ServiceOverloaded
+from .errors import ServerDraining, WorkerCrashed, WorkerTimeout
+from .frames import decode_error, decode_frame, send_frame
+from .worker import DatabaseSpec, WorkerSpec, worker_main
+
+DEFAULT_SHARD = "default"
+
+
+@dataclass
+class SupervisorConfig:
+    """Tuning knobs for one :class:`Supervisor`."""
+
+    #: worker processes per shard
+    workers_per_shard: int = 1
+    #: requests allowed to wait per shard beyond the ones in flight
+    queue_limit: int = 64
+    #: default per-request deadline (seconds, worker-side budget)
+    deadline: Optional[float] = None
+    #: interpretations returned per request
+    top_k: int = 1
+    #: search caps forwarded to every worker budget
+    max_candidates: Optional[int] = None
+    max_expansions: Optional[int] = None
+    #: queries buffered per worker (1 = strict lock-step).  Deeper
+    #: pipelines let the worker serve back-to-back from its pipe while
+    #: the supervisor's turnaround overlaps, and let both sides coalesce
+    #: several frames into one pipe write — on small hosts the context
+    #: switches, not the bytes, are the serving overhead, and this is
+    #: what keeps the fault-free process-pool cost inside the benchmark
+    #: gate.  The worker always serves strictly one query at a time;
+    #: the cost of depth is blast radius (a crash fails up to this many
+    #: requests typed) and per-request timeout slack under backlog.
+    pipeline_depth: int = 8
+    #: kill a worker whose in-flight request exceeds this (seconds)
+    request_timeout: float = 30.0
+    #: ping an idle worker after this much silence (seconds)
+    heartbeat_interval: float = 1.0
+    #: kill an idle worker whose ping goes unanswered this long
+    heartbeat_timeout: float = 5.0
+    #: real-time sleep between watchdog passes (decisions use ``clock``)
+    tick_interval: float = 0.02
+    #: exponential restart backoff: base * 2**(n-1), capped
+    restart_backoff_base: float = 0.1
+    restart_backoff_cap: float = 5.0
+    #: more than this many restarts inside ``restart_window`` seconds
+    #: marks the shard down (degraded mode already tripped earlier)
+    max_restarts: int = 5
+    restart_window: float = 60.0
+    #: real seconds to wait for a worker's ready frame in start()
+    worker_ready_timeout: float = 60.0
+    #: per-shard breaker: crashes/timeouts trip it, pinning the rung
+    breaker: BreakerConfig = field(default_factory=BreakerConfig)
+    #: honour %-prefixed chaos directives in workers (tests only)
+    chaos_hooks: bool = False
+    #: multiprocessing start method ("spawn" is crash-safe everywhere)
+    start_method: str = "spawn"
+    #: run the background watchdog thread (disable for manual ticks)
+    auto_watchdog: bool = True
+
+
+@dataclass
+class ServerResponse:
+    """Everything the supervisor knows about one finished request."""
+
+    request_id: int
+    query: str
+    database: str
+    ok: bool
+    sql: Optional[str] = None
+    rung: Optional[str] = None
+    outcome: str = "failed"
+    weight: Optional[float] = None
+    degradation: tuple[str, ...] = ()
+    retries: int = 0
+    shed: bool = False
+    probe: bool = False
+    worker_breaker_state: Optional[str] = None
+    shard_breaker_state: Optional[str] = None
+    worker_pid: Optional[int] = None
+    error: Optional[BaseException] = None
+    elapsed: float = 0.0
+
+    @property
+    def diagnostic(self) -> Optional[Diagnostic]:
+        if self.error is not None:
+            return getattr(self.error, "diagnostic", None)
+        return None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "request_id": self.request_id,
+            "query": self.query,
+            "database": self.database,
+            "outcome": self.outcome,
+            "sql": self.sql,
+            "rung": self.rung,
+            "retries": self.retries,
+            "worker_pid": self.worker_pid,
+            "shard_breaker_state": self.shard_breaker_state,
+            "error": None if self.error is None else str(self.error),
+            "error_type": (
+                None if self.error is None else type(self.error).__name__
+            ),
+            "elapsed": round(self.elapsed, 6),
+        }
+
+
+@dataclass
+class ServerStats:
+    """Aggregate supervisor counters, updated under the lock."""
+
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    shed: int = 0
+    refused: int = 0
+    crashed: int = 0
+    timed_out: int = 0
+    restarts: int = 0
+    pings: int = 0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "shed": self.shed,
+            "refused": self.refused,
+            "crashed": self.crashed,
+            "timed_out": self.timed_out,
+            "restarts": self.restarts,
+            "pings": self.pings,
+        }
+
+
+class _Pending:
+    """One admitted request while queued or in flight."""
+
+    __slots__ = (
+        "request_id",
+        "query",
+        "database",
+        "top_k",
+        "deadline",
+        "future",
+        "span",
+        "submitted_at",
+        "dispatched_at",
+        "start_rung",
+        "probe",
+    )
+
+    def __init__(self, request_id, query, database, top_k, deadline, span):
+        self.request_id = request_id
+        self.query = query
+        self.database = database
+        self.top_k = top_k
+        self.deadline = deadline
+        self.future: "Future[ServerResponse]" = Future()
+        self.span = span
+        self.submitted_at: Optional[float] = None
+        self.dispatched_at: Optional[float] = None
+        self.start_rung: str = "full"
+        self.probe: bool = False
+
+
+# worker lifecycle states
+_STARTING = "starting"
+_READY = "ready"
+_BUSY = "busy"
+_DEAD = "dead"
+
+
+class _Worker:
+    """Supervisor-side handle for one worker process."""
+
+    def __init__(self, shard: str, slot: int, generation: int) -> None:
+        self.shard = shard
+        self.slot = slot
+        self.generation = generation
+        self.process = None
+        self.conn = None
+        self.reader: Optional[threading.Thread] = None
+        self.send_lock = threading.Lock()
+        self.state = _STARTING
+        self.ready_event = threading.Event()
+        #: FIFO of dispatched-but-unanswered requests; the worker is
+        #: strictly serial, so results always answer the head
+        self.inflight: deque[_Pending] = deque()
+        self.last_seen: float = 0.0
+        self.ping_id: Optional[int] = None
+        self.ping_sent_at: Optional[float] = None
+        self.build_seconds: Optional[float] = None
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self.process.pid if self.process is not None else None
+
+    def alive(self) -> bool:
+        return self.process is not None and self.process.is_alive()
+
+
+class _Shard:
+    """One database shard: its spec, workers, queue, and breaker."""
+
+    def __init__(self, name: str, spec: WorkerSpec, breaker: CircuitBreaker):
+        self.name = name
+        self.spec = spec
+        self.workers: list[_Worker] = []
+        self.queue: deque[_Pending] = deque()
+        self.breaker = breaker
+        #: clock timestamps of recent restarts (pruned to the window)
+        self.restart_times: list[float] = []
+        #: (due_at, slot) restarts waiting for their backoff to elapse
+        self.pending_restarts: list[tuple[float, int]] = []
+        self.down = False
+        self.down_reason: Optional[str] = None
+
+
+class Supervisor:
+    """Multi-process serving supervisor with a heartbeat watchdog."""
+
+    def __init__(
+        self,
+        databases: Union[DatabaseSpec, Mapping[str, DatabaseSpec]],
+        config: Optional[SupervisorConfig] = None,
+        clock: Optional[Callable[[], float]] = None,
+        tracer=None,  # Optional[repro.obs.Tracer]
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.config = config or SupervisorConfig()
+        #: every timeout, backoff and cooldown decision reads this —
+        #: inject a shared VirtualClock for deterministic chaos tests
+        self.clock: Callable[[], float] = (
+            clock if clock is not None else time.monotonic
+        )
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics
+        if isinstance(databases, DatabaseSpec):
+            databases = {DEFAULT_SHARD: databases}
+        if not databases:
+            raise ValueError("Supervisor needs at least one database")
+        self._mp = multiprocessing.get_context(self.config.start_method)
+        self._lock = threading.RLock()
+        self._done = threading.Condition(self._lock)
+        self._shards: dict[str, _Shard] = {}
+        for name, spec in databases.items():
+            worker_spec = WorkerSpec(
+                shard=name,
+                databases={name: spec},
+                top_k=self.config.top_k,
+                deadline=self.config.deadline,
+                max_candidates=self.config.max_candidates,
+                max_expansions=self.config.max_expansions,
+                chaos_hooks=self.config.chaos_hooks,
+            )
+            self._shards[name] = _Shard(
+                name,
+                worker_spec,
+                CircuitBreaker(
+                    self.config.breaker, clock=self.clock, name=name
+                ),
+            )
+        self._next_id = 0
+        self._ping_id = 0
+        self.stats = ServerStats()
+        #: deterministic event trace, e.g. ("crash", shard, pid),
+        #: ("timeout", shard, reason), ("restart", shard, attempt),
+        #: ("shard-down", shard), ("drain",)
+        self.events: list[tuple] = []
+        self._started = False
+        self._draining = False
+        self._closed = False
+        self._watchdog: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self, wait_ready: bool = True) -> "Supervisor":
+        """Spawn every shard's workers (idempotent).
+
+        With ``wait_ready`` (default) blocks — in *real* time, process
+        startup is physical — until every worker announced ``ready``.
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("supervisor already closed")
+            if not self._started:
+                self._started = True
+                for shard in self._shards.values():
+                    for slot in range(self.config.workers_per_shard):
+                        shard.workers.append(self._spawn(shard, slot, 0))
+                if self.config.auto_watchdog:
+                    self._watchdog = threading.Thread(
+                        target=self._watchdog_loop,
+                        name="repro-server-watchdog",
+                        daemon=True,
+                    )
+                    self._watchdog.start()
+        if wait_ready:
+            deadline = time.monotonic() + self.config.worker_ready_timeout
+            for shard in self._shards.values():
+                for worker in list(shard.workers):
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not worker.ready_event.wait(remaining):
+                        raise TimeoutError(
+                            f"worker {shard.name}/{worker.slot} not ready "
+                            f"after {self.config.worker_ready_timeout}s"
+                        )
+        return self
+
+    def __enter__(self) -> "Supervisor":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        query: str,
+        database: str = DEFAULT_SHARD,
+        top_k: Optional[int] = None,
+        deadline: Optional[float] = None,
+    ) -> "Future[ServerResponse]":
+        """Submit one query to its shard; never blocks.
+
+        The future always resolves to a :class:`ServerResponse` — shed,
+        draining-refused, crashed and timed-out requests resolve with
+        ``ok=False`` and a typed ``error``, mirroring
+        :class:`~repro.service.QueryService`.
+        """
+        if database not in self._shards:
+            raise KeyError(f"unknown database {database!r}")
+        if not self._started:
+            raise RuntimeError("Supervisor.start() has not been called")
+        span = self.tracer.start_span("server.request")
+        with self._lock:
+            self._next_id += 1
+            request_id = self._next_id
+            self.stats.submitted += 1
+            pending = _Pending(
+                request_id,
+                query,
+                database,
+                top_k if top_k is not None else self.config.top_k,
+                deadline if deadline is not None else self.config.deadline,
+                span,
+            )
+            if span.enabled:
+                span.set(
+                    request_id=request_id, shard=database, query=query[:200]
+                )
+            shard = self._shards[database]
+            if self._draining or self._closed:
+                return self._refuse(
+                    pending,
+                    ServerDraining(
+                        "server draining: no new admissions",
+                        diagnostic=Diagnostic(
+                            stage="admission",
+                            message="SIGTERM drain in progress",
+                        ),
+                    ),
+                    counter="refused",
+                )
+            if shard.down:
+                return self._refuse(
+                    pending,
+                    WorkerCrashed(
+                        f"shard {database!r} is down: {shard.down_reason}",
+                        diagnostic=Diagnostic(
+                            stage="admission",
+                            message="restart budget exhausted; shard down",
+                            detail={"shard": database},
+                        ),
+                    ),
+                    counter="failed",
+                )
+            inflight = sum(len(w.inflight) for w in shard.workers)
+            capacity = self.config.workers_per_shard + self.config.queue_limit
+            if inflight + len(shard.queue) >= capacity:
+                return self._refuse(
+                    pending,
+                    ServiceOverloaded(
+                        f"shard {database!r} overloaded: "
+                        f"{inflight} in flight and "
+                        f"{len(shard.queue)} queued",
+                        diagnostic=Diagnostic(
+                            stage="admission",
+                            message="bounded shard queue full; request shed",
+                            detail={"shard": database, "capacity": capacity},
+                        ),
+                    ),
+                    counter="shed",
+                    shed=True,
+                )
+            pending.submitted_at = self.clock()
+            shard.queue.append(pending)
+            span.event("queued", depth=len(shard.queue))
+            self._dispatch(shard)
+            return pending.future
+
+    def run(
+        self,
+        queries: Sequence[str],
+        database: str = DEFAULT_SHARD,
+        top_k: Optional[int] = None,
+        deadline: Optional[float] = None,
+    ) -> list[ServerResponse]:
+        """Submit a batch and gather responses in request order."""
+        futures = [
+            self.submit(q, database=database, top_k=top_k, deadline=deadline)
+            for q in queries
+        ]
+        return [future.result() for future in futures]
+
+    def _refuse(
+        self,
+        pending: _Pending,
+        error,
+        counter: str,
+        shed: bool = False,
+    ) -> "Future[ServerResponse]":
+        """Resolve a request without dispatching it.  Lock held."""
+        setattr(self.stats, counter, getattr(self.stats, counter) + 1)
+        shard = self._shards[pending.database]
+        response = ServerResponse(
+            request_id=pending.request_id,
+            query=pending.query,
+            database=pending.database,
+            ok=False,
+            outcome="shed" if shed else "failed",
+            shed=shed,
+            shard_breaker_state=shard.breaker.state,
+            error=error,
+        )
+        span = pending.span
+        span.event("refused", reason=counter)
+        if span.enabled:
+            span.set(outcome=response.outcome)
+        span.fail(error)
+        span.finish()
+        self._count_request(pending.database, response.outcome)
+        pending.future.set_result(response)
+        return pending.future
+
+    # ------------------------------------------------------------------
+    # dispatch and completion
+    # ------------------------------------------------------------------
+    def _dispatch(self, shard: _Shard) -> None:
+        """Hand queued work to ready workers.  Lock held.
+
+        Each worker takes up to ``pipeline_depth`` dispatched requests:
+        the head is being served, the rest sit in the pipe so the
+        worker never idles waiting for the supervisor's turnaround.
+        Idle workers are preferred over partially-loaded ones.
+        """
+        depth = max(1, self.config.pipeline_depth)
+        sends: dict[int, tuple[_Worker, list[dict]]] = {}
+        while shard.queue:
+            candidates = [
+                w
+                for w in shard.workers
+                if w.state in (_READY, _BUSY) and len(w.inflight) < depth
+            ]
+            if not candidates:
+                break
+            worker = min(candidates, key=lambda w: len(w.inflight))
+            pending = shard.queue.popleft()
+            start_rung, probe = shard.breaker.admit()
+            pending.start_rung = start_rung
+            pending.probe = probe
+            pending.dispatched_at = self.clock()
+            worker.inflight.append(pending)
+            worker.state = _BUSY
+            pending.span.event(
+                "dispatched", worker_pid=worker.pid, rung=start_rung
+            )
+            if probe:
+                pending.span.event("probe")
+            sends.setdefault(worker.slot, (worker, []))[1].append(
+                {
+                    "op": "query",
+                    "id": pending.request_id,
+                    "query": pending.query,
+                    "database": pending.database,
+                    "top_k": pending.top_k,
+                    "deadline": pending.deadline,
+                    "start_rung": start_rung,
+                }
+            )
+        for worker, frames in sends.values():
+            try:
+                # several queries for one worker ride one batch frame
+                self._send(
+                    worker,
+                    frames[0]
+                    if len(frames) == 1
+                    else {"op": "batch", "frames": frames},
+                )
+            except (BrokenPipeError, OSError):
+                # the worker died between dispatch decisions; the death
+                # path requeues nothing (these requests are in flight)
+                # but fails them typed and restarts
+                self._on_worker_death(worker, "dispatch hit a dead pipe")
+
+    def _send(self, worker: _Worker, frame: dict) -> None:
+        with worker.send_lock:
+            send_frame(worker.conn, frame)
+
+    def _complete(
+        self, worker: _Worker, frame: dict, dispatch: bool = True
+    ) -> None:
+        """A ``result`` frame arrived for the worker's in-flight request.
+
+        ``dispatch=False`` defers the pipeline refill (and the waiter
+        wake-up) to the caller — the batch path completes a whole
+        coalesced frame before dispatching once.
+        """
+        with self._lock:
+            head = worker.inflight[0] if worker.inflight else None
+            if head is None or head.request_id != frame.get("id"):
+                return  # stale result from a worker we already timed out
+            pending = worker.inflight.popleft()
+            if worker.inflight:
+                # the worker starts the next pipelined request *now*,
+                # so its request_timeout window starts now too — not at
+                # the earlier send time
+                worker.inflight[0].dispatched_at = self.clock()
+            elif worker.state == _BUSY:
+                worker.state = _READY
+            shard = self._shards[worker.shard]
+            # any well-formed reply is proof the serving substrate works;
+            # translation-level failures are the *worker's* business
+            shard.breaker.record(True, pending.probe)
+            error = decode_error(frame.get("error"))
+            ok = bool(frame.get("ok"))
+            response = ServerResponse(
+                request_id=pending.request_id,
+                query=pending.query,
+                database=pending.database,
+                ok=ok,
+                sql=frame.get("sql"),
+                rung=frame.get("rung"),
+                outcome=frame.get("outcome", "ok" if ok else "failed"),
+                weight=frame.get("weight"),
+                degradation=tuple(frame.get("degradation", ())),
+                retries=int(frame.get("retries", 0)),
+                probe=pending.probe,
+                worker_breaker_state=frame.get("breaker_state"),
+                shard_breaker_state=shard.breaker.state,
+                worker_pid=worker.pid,
+                error=error,
+                elapsed=float(frame.get("elapsed", 0.0)),
+            )
+            if ok:
+                self.stats.completed += 1
+            else:
+                self.stats.failed += 1
+            self._count_request(
+                pending.database, response.outcome, response.elapsed
+            )
+            span = pending.span
+            span.event("completed", outcome=response.outcome)
+            if span.enabled:
+                span.set(
+                    outcome=response.outcome,
+                    rung=response.rung,
+                    worker_pid=worker.pid,
+                    shard_breaker_state=response.shard_breaker_state,
+                )
+            if error is not None:
+                span.fail(error)
+            span.finish()
+            pending.future.set_result(response)
+            if dispatch:
+                self._dispatch(shard)
+                self._done.notify_all()
+
+    def _count_request(
+        self, shard: str, outcome: str, elapsed: Optional[float] = None
+    ) -> None:
+        if self.metrics is None:
+            return
+        self.metrics.counter(
+            "repro_server_requests_total",
+            "Requests finished by the supervisor, by shard and outcome",
+        ).inc(1, shard=shard, outcome=outcome)
+        if elapsed is not None:
+            self.metrics.histogram(
+                "repro_server_request_seconds",
+                "Seconds from dispatch to result frame, per request",
+            ).observe(elapsed)
+
+    # ------------------------------------------------------------------
+    # worker lifecycle
+    # ------------------------------------------------------------------
+    def _spawn(self, shard: _Shard, slot: int, generation: int) -> _Worker:
+        """Start one worker process and its reader thread.  Lock held."""
+        worker = _Worker(shard.name, slot, generation)
+        parent_conn, child_conn = self._mp.Pipe(duplex=True)
+        worker.conn = parent_conn
+        worker.process = self._mp.Process(
+            target=worker_main,
+            args=(child_conn, shard.spec),
+            name=f"repro-worker-{shard.name}-{slot}",
+            daemon=True,
+        )
+        worker.process.start()
+        child_conn.close()
+        worker.last_seen = self.clock()
+        worker.reader = threading.Thread(
+            target=self._reader_loop,
+            args=(worker,),
+            name=f"repro-reader-{shard.name}-{slot}",
+            daemon=True,
+        )
+        worker.reader.start()
+        return worker
+
+    def _reader_loop(self, worker: _Worker) -> None:
+        """Per-worker thread: turn frames into completions, EOF into
+        death."""
+        while True:
+            try:
+                frame = decode_frame(worker.conn.recv_bytes())
+            except (EOFError, OSError):
+                self._on_worker_death(worker, "pipe closed")
+                return
+            except Exception:  # a malformed frame is a wedged worker — treated as death, which re-raises as a typed WorkerCrashed on the request
+                self._on_worker_death(worker, "malformed frame")
+                return
+            with self._lock:
+                worker.last_seen = self.clock()
+            if self._handle_frame(worker, frame) == "bye":
+                return  # clean shutdown: the join happens in drain()
+
+    def _handle_frame(self, worker: _Worker, frame: dict) -> Optional[str]:
+        """Dispatch one frame from a worker; returns "bye" on shutdown."""
+        op = frame.get("op")
+        if op == "batch":
+            # results the worker coalesced under backlog: complete them
+            # all first, then refill the pipeline with one dispatch pass
+            # (and so, usually, one coalesced query frame)
+            verdict = None
+            for sub in frame.get("frames", ()):
+                if sub.get("op") == "result":
+                    self._complete(worker, sub, dispatch=False)
+                elif self._handle_frame(worker, sub) == "bye":
+                    verdict = "bye"
+                    break
+            with self._lock:
+                self._dispatch(self._shards[worker.shard])
+                self._done.notify_all()
+            return verdict
+        if op == "ready":
+            with self._lock:
+                worker.build_seconds = frame.get("build_seconds")
+                if worker.state == _STARTING:
+                    worker.state = _READY
+                worker.ready_event.set()
+                self._dispatch(self._shards[worker.shard])
+        elif op == "result":
+            self._complete(worker, frame)
+        elif op == "pong":
+            with self._lock:
+                if frame.get("id") == worker.ping_id:
+                    worker.ping_id = None
+                    worker.ping_sent_at = None
+        elif op == "bye":
+            return "bye"
+        return None
+
+    def _on_worker_death(self, worker: _Worker, reason: str) -> None:
+        """Fail the dead worker's in-flight request and plan a restart."""
+        with self._lock:
+            if worker.state == _DEAD:
+                return  # another thread (watchdog/reader) got here first
+            current = self._shards[worker.shard].workers
+            if (
+                worker.slot >= len(current)
+                or current[worker.slot] is not worker
+            ):
+                return  # an already-replaced generation
+            self._fail_worker(
+                worker,
+                WorkerCrashed(
+                    f"worker {worker.shard}/{worker.slot} "
+                    f"(pid {worker.pid}) died mid-service: {reason}",
+                    diagnostic=Diagnostic(
+                        stage="backend",
+                        message="worker process crashed",
+                        detail={
+                            "shard": worker.shard,
+                            "pid": worker.pid,
+                            "exitcode": (
+                                worker.process.exitcode
+                                if worker.process is not None
+                                else None
+                            ),
+                            "reason": reason,
+                        },
+                    ),
+                ),
+                kind="crash",
+            )
+
+    def _kill_hung(self, worker: _Worker, why: str, waited: float) -> None:
+        """Watchdog verdict: the worker is hung.  Lock held."""
+        self._fail_worker(
+            worker,
+            WorkerTimeout(
+                f"worker {worker.shard}/{worker.slot} (pid {worker.pid}) "
+                f"unresponsive: {why} after {waited:.3f}s",
+                diagnostic=Diagnostic(
+                    stage="backend",
+                    message="worker hung; killed by watchdog",
+                    detail={
+                        "shard": worker.shard,
+                        "pid": worker.pid,
+                        "why": why,
+                        "waited": round(waited, 6),
+                    },
+                ),
+            ),
+            kind="timeout",
+        )
+
+    def _fail_worker(self, worker: _Worker, error, kind: str) -> None:
+        """Common crash/hang path: fail in-flight typed, kill the
+        process, record the breaker failure, schedule the restart.
+        Lock held."""
+        shard = self._shards[worker.shard]
+        worker.state = _DEAD
+        pendings = list(worker.inflight)
+        worker.inflight.clear()
+        if kind == "crash":
+            self.stats.crashed += 1
+            self.events.append(("crash", shard.name, worker.pid))
+        else:
+            self.stats.timed_out += 1
+            self.events.append(("timeout", shard.name, str(error)))
+            if worker.process is not None and worker.process.is_alive():
+                worker.process.kill()
+        if self.metrics is not None:
+            self.metrics.counter(
+                "repro_server_worker_deaths_total",
+                "Worker processes lost, by shard and kind",
+            ).inc(1, shard=shard.name, kind=kind)
+        if pendings:
+            # one death is one breaker failure, however many pipelined
+            # requests it takes down with it
+            shard.breaker.record(False, any(p.probe for p in pendings))
+            for pending in pendings:
+                self.stats.failed += 1
+                response = ServerResponse(
+                    request_id=pending.request_id,
+                    query=pending.query,
+                    database=pending.database,
+                    ok=False,
+                    outcome="failed",
+                    probe=pending.probe,
+                    shard_breaker_state=shard.breaker.state,
+                    worker_pid=worker.pid,
+                    error=error,
+                    elapsed=(
+                        self.clock() - pending.dispatched_at
+                        if pending.dispatched_at is not None
+                        else 0.0
+                    ),
+                )
+                self._count_request(
+                    pending.database, "worker-failed", response.elapsed
+                )
+                span = pending.span
+                span.event("worker-failed", kind=kind)
+                if span.enabled:
+                    span.set(outcome="failed", worker_pid=worker.pid)
+                span.fail(error)
+                span.finish()
+                pending.future.set_result(response)
+            self._done.notify_all()
+        else:
+            # an idle death still counts against the shard's health
+            shard.breaker.record(False)
+        self._plan_restart(shard, worker)
+
+    def _plan_restart(self, shard: _Shard, worker: _Worker) -> None:
+        """Schedule the dead worker's replacement under the restart
+        budget.  Lock held."""
+        if self._closed or (self._draining and not shard.queue):
+            return
+        now = self.clock()
+        window_start = now - self.config.restart_window
+        shard.restart_times = [
+            t for t in shard.restart_times if t >= window_start
+        ]
+        attempt = len(shard.restart_times) + 1
+        if attempt > self.config.max_restarts:
+            shard.down = True
+            shard.down_reason = (
+                f"{attempt - 1} restarts within "
+                f"{self.config.restart_window}s; budget is "
+                f"{self.config.max_restarts}"
+            )
+            self.events.append(("shard-down", shard.name))
+            if self.metrics is not None:
+                self.metrics.gauge(
+                    "repro_server_shard_down",
+                    "1 when the shard's restart budget is exhausted",
+                ).set(1, shard=shard.name)
+            # the shard is done: fail everything still queued, fast
+            while shard.queue:
+                stale = shard.queue.popleft()
+                self.stats.failed += 1
+                error = WorkerCrashed(
+                    f"shard {shard.name!r} is down: {shard.down_reason}",
+                    diagnostic=Diagnostic(
+                        stage="admission",
+                        message="restart budget exhausted; shard down",
+                        detail={"shard": shard.name},
+                    ),
+                )
+                stale.span.fail(error)
+                stale.span.finish()
+                self._count_request(stale.database, "worker-failed")
+                stale.future.set_result(
+                    ServerResponse(
+                        request_id=stale.request_id,
+                        query=stale.query,
+                        database=stale.database,
+                        ok=False,
+                        outcome="failed",
+                        shard_breaker_state=shard.breaker.state,
+                        error=error,
+                    )
+                )
+            self._done.notify_all()
+            return
+        delay = min(
+            self.config.restart_backoff_cap,
+            self.config.restart_backoff_base * (2 ** (attempt - 1)),
+        )
+        shard.restart_times.append(now)
+        shard.pending_restarts.append((now + delay, worker.slot))
+        self.events.append(("restart-scheduled", shard.name, attempt, delay))
+
+    def _restart_due(self, shard: _Shard) -> None:
+        """Spawn replacements whose backoff has elapsed.  Lock held."""
+        if not shard.pending_restarts:
+            return
+        now = self.clock()
+        due = [r for r in shard.pending_restarts if r[0] <= now]
+        if not due:
+            return
+        shard.pending_restarts = [
+            r for r in shard.pending_restarts if r[0] > now
+        ]
+        for _, slot in due:
+            old = shard.workers[slot]
+            generation = old.generation + 1
+            span = self.tracer.start_span("server.worker.restart")
+            if span.enabled:
+                span.set(
+                    shard=shard.name,
+                    slot=slot,
+                    generation=generation,
+                    old_pid=old.pid,
+                )
+            shard.workers[slot] = self._spawn(shard, slot, generation)
+            self.stats.restarts += 1
+            self.events.append(("restart", shard.name, generation))
+            if self.metrics is not None:
+                self.metrics.counter(
+                    "repro_server_worker_restarts_total",
+                    "Worker processes restarted, by shard",
+                ).inc(1, shard=shard.name)
+            if span.enabled:
+                span.set(new_pid=shard.workers[slot].pid)
+            span.finish()
+
+    # ------------------------------------------------------------------
+    # the watchdog
+    # ------------------------------------------------------------------
+    def _watchdog_loop(self) -> None:
+        while not self._stop.wait(self.config.tick_interval):
+            try:
+                self.tick()
+            except Exception:  # a watchdog bug must not kill supervision; failures re-raises as typed per-request errors elsewhere
+                continue
+
+    def tick(self) -> None:
+        """One watchdog pass (also callable directly from tests).
+
+        Checks, per worker: silent process death, busy-hang (in-flight
+        request past ``request_timeout``), idle heartbeat (ping after
+        ``heartbeat_interval`` of silence, kill after
+        ``heartbeat_timeout`` without a pong), and due restarts.
+        """
+        with self._lock:
+            now = self.clock()
+            for shard in self._shards.values():
+                for worker in list(shard.workers):
+                    if worker.state == _DEAD:
+                        continue
+                    if not worker.alive():
+                        self._on_worker_death(worker, "process not alive")
+                        continue
+                    if worker.state == _BUSY and worker.inflight:
+                        # head of the pipeline is the request being
+                        # served; later ones haven't started yet
+                        dispatched_at = worker.inflight[0].dispatched_at
+                        # 0.0 is a real timestamp on a virtual clock
+                        waited = now - (
+                            dispatched_at if dispatched_at is not None else now
+                        )
+                        if waited > self.config.request_timeout:
+                            self._kill_hung(
+                                worker, "request timeout", waited
+                            )
+                            continue
+                    if worker.state == _READY:
+                        if worker.ping_sent_at is not None:
+                            if (
+                                now - worker.ping_sent_at
+                                > self.config.heartbeat_timeout
+                            ):
+                                if self.metrics is not None:
+                                    self.metrics.counter(
+                                        "repro_server_heartbeat_misses_total",
+                                        "Idle workers killed for missing "
+                                        "heartbeats, by shard",
+                                    ).inc(1, shard=shard.name)
+                                self._kill_hung(
+                                    worker,
+                                    "heartbeat missed",
+                                    now - worker.ping_sent_at,
+                                )
+                                continue
+                        elif (
+                            now - worker.last_seen
+                            >= self.config.heartbeat_interval
+                        ):
+                            self._ping_id += 1
+                            worker.ping_id = self._ping_id
+                            worker.ping_sent_at = now
+                            self.stats.pings += 1
+                            try:
+                                self._send(
+                                    worker,
+                                    {"op": "ping", "id": worker.ping_id},
+                                )
+                            except (BrokenPipeError, OSError):
+                                self._on_worker_death(
+                                    worker, "ping hit a dead pipe"
+                                )
+                                continue
+                self._restart_due(shard)
+
+    # ------------------------------------------------------------------
+    # drain and close
+    # ------------------------------------------------------------------
+    def drain(self, timeout: Optional[float] = None) -> dict[str, Any]:
+        """Graceful shutdown: stop admitting, flush, join, snapshot.
+
+        New submissions refuse typed (:class:`ServerDraining`) the
+        moment this is called; everything already admitted — queued or
+        in flight — completes (crashed workers are still restarted
+        while their shard has queued work).  Returns the final
+        :meth:`snapshot`, stamped with the drain duration.
+        """
+        started = time.monotonic()
+        with self._lock:
+            if self._closed:
+                return self.snapshot()
+            self._draining = True
+            self.events.append(("drain",))
+        # flush: wait for queues and in-flight work (real-time wait —
+        # the work itself runs on real CPUs)
+        deadline = None if timeout is None else started + timeout
+        with self._done:
+            while True:
+                busy = any(
+                    shard.queue
+                    or any(w.inflight for w in shard.workers)
+                    for shard in self._shards.values()
+                )
+                if not busy:
+                    break
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    break
+                self._done.wait(0.05 if remaining is None else min(remaining, 0.05))
+        self._shutdown_workers()
+        with self._lock:
+            self._closed = True
+        self._stop.set()
+        if self._watchdog is not None and self._watchdog.is_alive():
+            self._watchdog.join(timeout=5.0)
+        snapshot = self.snapshot()
+        snapshot["drain_seconds"] = round(time.monotonic() - started, 6)
+        if self.metrics is not None:
+            self.metrics.gauge(
+                "repro_server_drain_seconds",
+                "Wall seconds the final graceful drain took",
+            ).set(snapshot["drain_seconds"])
+        return snapshot
+
+    def close(self) -> None:
+        """Drain-and-stop (idempotent); context-manager exit path."""
+        if not self._closed:
+            self.drain()
+
+    def _shutdown_workers(self) -> None:
+        """Ask every live worker to exit, then enforce it."""
+        with self._lock:
+            workers = [
+                w
+                for shard in self._shards.values()
+                for w in shard.workers
+                if w.state != _DEAD
+            ]
+            for shard in self._shards.values():
+                shard.pending_restarts.clear()
+        for worker in workers:
+            try:
+                self._send(worker, {"op": "shutdown"})
+            except (BrokenPipeError, OSError):
+                pass
+        for worker in workers:
+            if worker.process is not None:
+                worker.process.join(timeout=5.0)
+                if worker.process.is_alive():
+                    worker.process.kill()
+                    worker.process.join(timeout=5.0)
+            with self._lock:
+                worker.state = _DEAD
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def breaker(self, database: str = DEFAULT_SHARD) -> CircuitBreaker:
+        return self._shards[database].breaker
+
+    def worker_pids(self, database: str = DEFAULT_SHARD) -> list[int]:
+        """Live worker pids for one shard (chaos harness seam)."""
+        with self._lock:
+            return [
+                w.pid
+                for w in self._shards[database].workers
+                if w.state != _DEAD and w.pid is not None
+            ]
+
+    def readiness(self) -> dict[str, Any]:
+        """The /readyz payload: per-shard readiness plus drain state."""
+        with self._lock:
+            shards = {}
+            all_ready = True
+            for name, shard in self._shards.items():
+                live = [
+                    w for w in shard.workers if w.state in (_READY, _BUSY)
+                ]
+                ready = bool(live) and not shard.down
+                all_ready = all_ready and ready
+                shards[name] = {
+                    "ready": ready,
+                    "down": shard.down,
+                    "down_reason": shard.down_reason,
+                    "breaker": shard.breaker.state,
+                    "workers": {
+                        "live": len(live),
+                        "configured": self.config.workers_per_shard,
+                        "restarting": len(shard.pending_restarts),
+                    },
+                    "queued": len(shard.queue),
+                }
+            return {
+                "ready": all_ready and not self._draining and not self._closed,
+                "draining": self._draining,
+                "closed": self._closed,
+                "shards": shards,
+            }
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-serialisable supervisor state."""
+        with self._lock:
+            return {
+                "config": {
+                    "workers_per_shard": self.config.workers_per_shard,
+                    "queue_limit": self.config.queue_limit,
+                    "deadline": self.config.deadline,
+                    "request_timeout": self.config.request_timeout,
+                    "heartbeat_interval": self.config.heartbeat_interval,
+                    "heartbeat_timeout": self.config.heartbeat_timeout,
+                    "max_restarts": self.config.max_restarts,
+                    "restart_window": self.config.restart_window,
+                    "start_method": self.config.start_method,
+                },
+                "stats": self.stats.as_dict(),
+                "readiness": self.readiness(),
+                "shards": {
+                    name: {
+                        "breaker": shard.breaker.snapshot(),
+                        "restart_times": [
+                            round(t, 6) for t in shard.restart_times
+                        ],
+                        "workers": [
+                            {
+                                "slot": w.slot,
+                                "generation": w.generation,
+                                "pid": w.pid,
+                                "state": w.state,
+                                "build_seconds": w.build_seconds,
+                            }
+                            for w in shard.workers
+                        ],
+                    }
+                    for name, shard in self._shards.items()
+                },
+            }

@@ -44,10 +44,14 @@ code   meaning
 7      the execution backend is unavailable (corrupted or locked
        file, retries exhausted —
        :class:`~repro.backends.errors.BackendError`)
+8      a serving worker process crashed or hung
+       (:class:`~repro.server.errors.WorkerCrashed` /
+       :class:`~repro.server.errors.WorkerTimeout`; raised by the
+       multi-process :mod:`repro.server` layer)
 =====  ==========================================================
 
-Codes 2–5 and 7 come from ``repro.cli.exit_code_for``; 6 dominates a
-batch run because shedding is a capacity signal, not a per-query
+Codes 2–5, 7 and 8 come from ``repro.cli.exit_code_for``; 6 dominates
+a batch run because shedding is a capacity signal, not a per-query
 verdict.
 The budget/degradation side of this table lives in
 :mod:`repro.core.resilience`.
@@ -60,6 +64,7 @@ from .retry import NO_RETRY, RetryPolicy, jitter_fraction
 from .service import (
     DEFAULT_DATABASE,
     QueryService,
+    ServiceClosed,
     ServiceConfig,
     ServiceOverloaded,
     ServiceRequest,
@@ -77,6 +82,7 @@ __all__ = [
     "OPEN",
     "QueryService",
     "RetryPolicy",
+    "ServiceClosed",
     "ServiceConfig",
     "ServiceOverloaded",
     "ServiceRequest",

@@ -75,6 +75,15 @@ class ServiceOverloaded(ReproError):
     """Admission control rejected the request (queue full)."""
 
 
+class ServiceClosed(ReproError):
+    """The service is closing (or closed) and admits no new work.
+
+    Late submissions racing :meth:`QueryService.close` resolve to this
+    typed error instead of leaking the executor's ``RuntimeError`` —
+    the server's drain path relies on that being safe.
+    """
+
+
 @dataclass
 class ServiceConfig:
     """Tuning knobs for one :class:`QueryService`."""
@@ -111,6 +120,9 @@ class ServiceRequest:
     database: str = DEFAULT_DATABASE
     top_k: Optional[int] = None
     deadline: Optional[float] = None
+    #: ladder rung advised from outside (e.g. a supervisor's per-shard
+    #: breaker); the weaker of this and the service breaker's pin wins
+    start_rung: Optional[str] = None
 
 
 @dataclass
@@ -267,15 +279,30 @@ class QueryService:
             thread_name_prefix="repro-service",
         )
         self._closed = False
+        self._close_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Drain in-flight work and stop the pool (idempotent)."""
-        if not self._closed:
+        """Drain in-flight work and stop the pool.
+
+        Idempotent and safe to call concurrently — every caller (first
+        or not) returns only once in-flight work has drained, and a
+        submission racing the close resolves to a typed
+        :class:`ServiceClosed` response instead of a raw executor
+        ``RuntimeError``.
+        """
+        with self._close_lock:
             self._closed = True
-            self._pool.shutdown(wait=True)
+        # outside the lock: shutdown(wait=True) is itself idempotent
+        # and thread-safe, and concurrent closers should all block
+        # until the drain finishes rather than serialise behind it
+        self._pool.shutdown(wait=True)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
 
     def __enter__(self) -> "QueryService":
         return self
@@ -360,6 +387,7 @@ class QueryService:
         database: str = DEFAULT_DATABASE,
         top_k: Optional[int] = None,
         deadline: Optional[float] = None,
+        start_rung: Optional[str] = None,
     ) -> "Future[ServiceResponse]":
         """Submit one query; never blocks.
 
@@ -367,9 +395,20 @@ class QueryService:
         admission control sheds the request the future is already
         resolved with ``shed=True`` and a :class:`ServiceOverloaded`
         error — load shedding is bounded-latency by construction.
+        Submissions after (or racing) :meth:`close` resolve to a typed
+        :class:`ServiceClosed` failure the same way.
+
+        ``start_rung`` pins the request to a degradation-ladder rung
+        decided *outside* this service (the multi-process supervisor's
+        per-shard breaker); the weaker of it and this service's own
+        breaker pin is what the translator sees.
         """
         if database not in self._states:
             raise KeyError(f"unknown database {database!r}")
+        if start_rung is not None and start_rung not in LADDER:
+            raise ValueError(
+                f"unknown ladder rung {start_rung!r}; expected one of {LADDER}"
+            )
         with self._lock:
             self._next_id += 1
             request_id = self._next_id
@@ -380,6 +419,7 @@ class QueryService:
             database=database,
             top_k=top_k,
             deadline=self.config.deadline if deadline is None else deadline,
+            start_rung=start_rung,
         )
         # one span per request, started at submission so queue wait and
         # admission-control outcomes land on the same trace; the worker
@@ -393,6 +433,8 @@ class QueryService:
             )
             if request.deadline is not None:
                 span.set(deadline=request.deadline)
+        if self._closed:
+            return self._refuse_closed(request, span)
         if not self._slots.acquire(blocking=False):
             return self._shed(request, span)
         span.event("admitted")
@@ -409,9 +451,10 @@ class QueryService:
                 self._process, request, budget, span, admitted_at
             )
         except RuntimeError:
+            # lost the race with a concurrent close(): the executor is
+            # already shutting down.  Resolve typed, like a shed.
             self._slots.release()
-            span.finish()
-            raise
+            return self._refuse_closed(request, span)
 
     def run(
         self,
@@ -438,6 +481,66 @@ class QueryService:
         return self.submit(
             query, database=database, top_k=top_k, deadline=deadline
         ).result()
+
+    def serve_inline(
+        self,
+        query: str,
+        database: str = DEFAULT_DATABASE,
+        top_k: Optional[int] = None,
+        deadline: Optional[float] = None,
+        start_rung: Optional[str] = None,
+    ) -> ServiceResponse:
+        """Process one request synchronously in the *calling* thread.
+
+        Semantically identical to ``submit(...).result()`` — admission
+        accounting, deadline budget, breaker, retries and metrics all
+        run — minus the pool handoff: no queue, no worker-thread
+        context switch.  Built for callers that are themselves
+        single-threaded request loops (the multi-process serving
+        worker), where the two extra switches per request are pure
+        latency.
+        """
+        if database not in self._states:
+            raise KeyError(f"unknown database {database!r}")
+        if start_rung is not None and start_rung not in LADDER:
+            raise ValueError(
+                f"unknown ladder rung {start_rung!r}; expected one of {LADDER}"
+            )
+        with self._lock:
+            self._next_id += 1
+            request_id = self._next_id
+            self.stats.submitted += 1
+        request = ServiceRequest(
+            request_id=request_id,
+            query=query,
+            database=database,
+            top_k=top_k,
+            deadline=self.config.deadline if deadline is None else deadline,
+            start_rung=start_rung,
+        )
+        span = self.tracer.start_span("service.request")
+        if span.enabled:
+            span.set(
+                request_id=request_id,
+                database=database,
+                query=query[:200],
+                inline=True,
+            )
+            if request.deadline is not None:
+                span.set(deadline=request.deadline)
+        if self._closed:
+            return self._refuse_closed(request, span).result()
+        if not self._slots.acquire(blocking=False):
+            return self._shed(request, span).result()
+        span.event("admitted")
+        budget = Budget(
+            deadline=request.deadline,
+            max_candidates=self.config.max_candidates,
+            max_expansions=self.config.max_expansions,
+            clock=self.clock,
+        )
+        # _process releases the slot and finishes the span
+        return self._process(request, budget, span, self.clock())
 
     def _shed(
         self, request: ServiceRequest, span=NULL_SPAN
@@ -481,6 +584,40 @@ class QueryService:
                 "repro_service_requests_total",
                 "Requests finished, by database and outcome",
             ).inc(1, database=request.database, outcome="shed")
+        future: "Future[ServiceResponse]" = Future()
+        future.set_result(response)
+        return future
+
+    def _refuse_closed(
+        self, request: ServiceRequest, span=NULL_SPAN
+    ) -> "Future[ServiceResponse]":
+        error = ServiceClosed(
+            "service closed: no new work admitted",
+            diagnostic=Diagnostic(
+                stage="admission",
+                message="submission raced or followed close()",
+            ),
+        )
+        response = ServiceResponse(
+            request_id=request.request_id,
+            query=request.query,
+            database=request.database,
+            ok=False,
+            error=error,
+        )
+        with self._lock:
+            self.stats.failed += 1
+            self.events.append(("closed", request.request_id))
+        span.event("closed")
+        if span.enabled:
+            span.set(outcome="failed")
+        span.fail(error)
+        span.finish()
+        if self.metrics is not None:
+            self.metrics.counter(
+                "repro_service_requests_total",
+                "Requests finished, by database and outcome",
+            ).inc(1, database=request.database, outcome="closed")
         future: "Future[ServiceResponse]" = Future()
         future.set_result(response)
         return future
@@ -575,6 +712,14 @@ class QueryService:
         ):
             start_rung = advice
             span.event("backend-pinned", rung=advice)
+        # ... as does a pin advised by the caller (the multi-process
+        # supervisor's per-shard breaker, threaded through submit())
+        if (
+            request.start_rung is not None
+            and LADDER.index(request.start_rung) > LADDER.index(start_rung)
+        ):
+            start_rung = request.start_rung
+            span.event("caller-pinned", rung=request.start_rung)
         if span.enabled and start_rung != "full":
             span.set(pinned_rung=start_rung)
         translator = self._translator(state)

@@ -32,6 +32,7 @@ from .faults import (
     FaultInjector,
     FaultyBackend,
     InjectedFault,
+    VirtualClock,
 )
 
 __all__ = [
@@ -54,6 +55,7 @@ __all__ = [
     "RenameColumn",
     "RenameTable",
     "SplitTable",
+    "VirtualClock",
     "VocabularyRecovery",
     "evolve",
     "recover_vocabulary",

@@ -21,6 +21,19 @@ trigger-th visit onward, which is how tests starve every rung of the
 degradation ladder at once.  Everything is counter-based — no wall
 clocks or randomness — so injected runs are fully reproducible.
 
+The virtual clock itself is a standalone, shareable
+:class:`VirtualClock`: build one, hand it to ``FaultInjector(clock=...)``
+*and* to any other clock-injected component (a
+:class:`~repro.server.supervisor.Supervisor` heartbeat watchdog, a
+breaker cooldown, a retry sleeper) and they all observe the same
+timeline — one ``advance()`` moves every deadline, backoff schedule and
+heartbeat decision in lockstep.  Before PR 8 the offset lived inside
+each injector, so two components built with different injectors silently
+drifted; sharing now takes one object instead of threading bound
+methods.  ``VirtualClock(origin=None)`` detaches the clock from wall
+time entirely (it reads 0.0 until advanced), which is what fully
+deterministic watchdog tests want.
+
 The injector is thread-aware: sites are keyed by their stable stage
 name and the visit counter, the per-fault fired count, the fired log and
 the virtual-clock offset are all updated under one lock.  When several
@@ -55,6 +68,54 @@ from ..errors import Diagnostic, ReproError
 STAGES = ("parse", "map", "network", "compose")
 
 
+class VirtualClock:
+    """A monotonic clock whose time can be advanced manually.
+
+    ``origin`` is the underlying time source (default
+    ``time.monotonic``); readings are ``origin() + offset`` where the
+    offset grows by :meth:`advance`.  With ``origin=None`` the clock is
+    *purely* virtual: it reads ``0.0`` until advanced, so every timeout
+    and backoff decision built on it is fully deterministic.
+
+    One instance is safely shareable across components and threads —
+    the offset is lock-protected — and the instance is itself callable,
+    so it drops in anywhere a ``clock: Callable[[], float]`` is
+    expected::
+
+        clock = VirtualClock(origin=None)
+        injector = FaultInjector(clock=clock)
+        supervisor = Supervisor(specs, config, clock=clock)
+        clock.advance(10.0)   # both observe the same jump
+    """
+
+    def __init__(self, origin=time.monotonic) -> None:
+        self._origin = origin
+        self._offset = 0.0
+        self._lock = threading.Lock()
+
+    def now(self) -> float:
+        base = self._origin() if self._origin is not None else 0.0
+        with self._lock:
+            return base + self._offset
+
+    __call__ = now
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("a monotonic clock cannot go backwards")
+        with self._lock:
+            self._offset += seconds
+
+    def reset(self) -> None:
+        with self._lock:
+            self._offset = 0.0
+
+    @property
+    def offset(self) -> float:
+        with self._lock:
+            return self._offset
+
+
 class InjectedFault(ReproError):
     """Default exception raised by an ``error`` fault."""
 
@@ -82,11 +143,17 @@ class Fault:
 
 
 class FaultInjector:
-    """Registry of faults plus the virtual clock they manipulate."""
+    """Registry of faults plus the virtual clock they manipulate.
 
-    def __init__(self) -> None:
+    Pass an existing :class:`VirtualClock` to share one timeline with
+    other clock-injected components; by default each injector owns a
+    private clock (the pre-PR-8 behaviour).
+    """
+
+    def __init__(self, clock: Optional[VirtualClock] = None) -> None:
         self._faults: list[Fault] = []
-        self._offset = 0.0
+        #: the shareable timeline behind :meth:`clock`/:meth:`advance`
+        self.virtual_clock = clock if clock is not None else VirtualClock()
         self._lock = threading.Lock()
         self.visits: dict[str, int] = {}
         self.log: list[tuple[str, str]] = []  # (stage, kind) of fired faults
@@ -98,14 +165,13 @@ class FaultInjector:
         """Monotonic clock including injected delays.  Pass as
         ``Budget(..., clock=injector.clock)`` to make delay faults count
         against deadlines deterministically."""
-        return time.monotonic() + self._offset
+        return self.virtual_clock.now()
 
     def advance(self, seconds: float) -> None:
         """Advance the virtual clock directly.  Also what the query
         service uses as its backoff "sleep", so retry schedules are
         testable without wall-clock waiting."""
-        with self._lock:
-            self._offset += seconds
+        self.virtual_clock.advance(seconds)
 
     # ------------------------------------------------------------------
     # registration
@@ -148,7 +214,9 @@ class FaultInjector:
             self._faults.clear()
             self.visits.clear()
             self.log.clear()
-            self._offset = 0.0
+        # note: resets the (possibly shared) timeline too — a reset
+        # mid-scenario would yank time backwards under other components
+        self.virtual_clock.reset()
 
     # ------------------------------------------------------------------
     # firing
@@ -172,7 +240,7 @@ class FaultInjector:
                 fault.fired += 1
                 self.log.append((stage, fault.kind))
                 if fault.kind == "delay":
-                    self._offset += fault.delay
+                    self.virtual_clock.advance(fault.delay)
                 else:
                     firing.append(fault)
         for fault in firing:

@@ -1,0 +1,620 @@
+"""Tests for the supervised multi-process serving layer.
+
+The chaos scenarios (kill -9 mid-request, hung worker, deaf worker,
+restart-budget exhaustion) are deterministic: the supervisor runs with
+``auto_watchdog=False`` on a pure-virtual clock, so every timeout and
+backoff decision happens exactly when the test advances the clock and
+calls :meth:`Supervisor.tick` — no sleeps racing wall time.  The worker
+processes themselves are real (``spawn``), as is the ``kill -9``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.cli import (
+    DATASETS,
+    EXIT_BACKEND,
+    EXIT_TRANSLATION,
+    EXIT_WORKER,
+    exit_code_for,
+)
+from repro.errors import Diagnostic, ReproError
+from repro.server import (
+    DatabaseSpec,
+    FrameError,
+    ServerDraining,
+    Supervisor,
+    SupervisorConfig,
+    WorkerCrashed,
+    WorkerTimeout,
+    decode_error,
+    decode_frame,
+    encode_error,
+    encode_frame,
+)
+from repro.server.http import ServerApp, _handle_connection, _status_for
+from repro.service import BreakerConfig, ServiceConfig, ServiceOverloaded
+from repro.service import QueryService
+from repro.testing import FaultInjector, VirtualClock
+
+CAMERON = "SELECT name? WHERE director_name? = 'James Cameron'"
+HANKS = "SELECT title? WHERE actor?.name? = 'Tom Hanks'"
+WORKLOAD = [CAMERON, HANKS, CAMERON]
+
+MOVIES = DatabaseSpec(kind="dataset", target="movies")
+
+
+def make_supervisor(databases=None, clock=None, **overrides):
+    """A deterministic supervisor: manual watchdog, virtual clock."""
+    defaults = dict(
+        workers_per_shard=1,
+        chaos_hooks=True,
+        auto_watchdog=False,
+        restart_backoff_base=0.05,
+        restart_backoff_cap=0.2,
+        request_timeout=5.0,
+        heartbeat_interval=1.0,
+        heartbeat_timeout=5.0,
+    )
+    defaults.update(overrides)
+    clock = clock or VirtualClock(origin=None)
+    supervisor = Supervisor(
+        databases or {"movies": MOVIES},
+        SupervisorConfig(**defaults),
+        clock=clock,
+    )
+    return supervisor, clock
+
+
+def wait_ready(supervisor, shard="movies", timeout=60.0):
+    """Real-time wait for the shard to have a live ready worker."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        state = supervisor.readiness()["shards"][shard]
+        if state["workers"]["live"] >= 1:
+            return
+        time.sleep(0.02)
+    raise AssertionError(f"shard {shard} never became ready again")
+
+
+def restart_and_wait(supervisor, clock, shard="movies"):
+    """Advance past the backoff, spawn the replacement, await ready."""
+    clock.advance(1.0)
+    supervisor.tick()
+    wait_ready(supervisor, shard)
+
+
+# ---------------------------------------------------------------------------
+# frame codec
+# ---------------------------------------------------------------------------
+
+
+class TestFrames:
+    def test_roundtrip(self):
+        frame = {"op": "query", "id": 7, "query": CAMERON, "top_k": 2}
+        assert decode_frame(encode_frame(frame)) == frame
+
+    def test_truncated_frame_fails_typed(self):
+        with pytest.raises(FrameError):
+            decode_frame(b"\x00\x00")
+
+    def test_length_mismatch_fails_typed(self):
+        data = bytearray(encode_frame({"op": "ping"}))
+        data[3] += 1  # lie about the length
+        with pytest.raises(FrameError):
+            decode_frame(bytes(data))
+
+    def test_oversized_length_prefix_fails_before_allocating(self):
+        with pytest.raises(FrameError):
+            decode_frame(b"\xff\xff\xff\xff" + b"x" * 8)
+
+    def test_non_object_payload_fails_typed(self):
+        body = json.dumps([1, 2]).encode()
+        data = len(body).to_bytes(4, "big") + body
+        with pytest.raises(FrameError):
+            decode_frame(data)
+
+    def test_missing_op_fails_typed(self):
+        body = json.dumps({"id": 1}).encode()
+        data = len(body).to_bytes(4, "big") + body
+        with pytest.raises(FrameError):
+            decode_frame(data)
+
+
+class TestErrorWire:
+    def test_typed_error_roundtrips_with_diagnostic(self):
+        error = WorkerCrashed(
+            "worker died",
+            diagnostic=Diagnostic(
+                stage="backend",
+                message="boom",
+                detail={"pid": 123},
+            ),
+        )
+        decoded = decode_error(encode_error(error))
+        assert isinstance(decoded, WorkerCrashed)
+        assert str(decoded) == "worker died"
+        assert decoded.diagnostic.stage == "backend"
+        assert decoded.diagnostic.detail["pid"] == 123
+
+    def test_unknown_type_falls_back_to_repro_error(self):
+        decoded = decode_error({"type": "NoSuchError", "message": "m"})
+        assert type(decoded) is ReproError
+        assert str(decoded) == "m"
+
+    def test_none_stays_none(self):
+        assert decode_error(None) is None
+
+
+# ---------------------------------------------------------------------------
+# virtual clock sharing (satellite: one timeline across components)
+# ---------------------------------------------------------------------------
+
+
+class TestVirtualClockSharing:
+    def test_injector_advances_are_visible_to_other_components(self):
+        clock = VirtualClock(origin=None)
+        injector = FaultInjector(clock=clock)
+        assert clock.now() == 0.0
+        injector.advance(2.5)
+        assert clock.now() == 2.5
+        clock.advance(0.5)
+        assert injector.clock() == 3.0
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock(origin=None).advance(-1.0)
+
+    def test_supervisor_accepts_shared_clock(self):
+        clock = VirtualClock(origin=None)
+        supervisor, _ = make_supervisor(clock=clock)
+        assert supervisor.clock is clock.now or supervisor.clock() == 0.0
+
+
+# ---------------------------------------------------------------------------
+# exit codes and http status mapping
+# ---------------------------------------------------------------------------
+
+
+class TestFailureMapping:
+    def test_worker_errors_exit_8(self):
+        assert exit_code_for(WorkerCrashed("x")) == EXIT_WORKER == 8
+        assert exit_code_for(WorkerTimeout("x")) == EXIT_WORKER
+
+    def test_worker_errors_outrank_generic_translation(self):
+        assert exit_code_for(ReproError("x")) == EXIT_TRANSLATION
+        assert exit_code_for(WorkerCrashed("x")) != EXIT_TRANSLATION
+        assert exit_code_for(WorkerCrashed("x")) != EXIT_BACKEND
+
+    def test_http_status_mapping(self):
+        assert _status_for(None) == 200
+        assert _status_for(ServerDraining("d")) == 503
+        assert _status_for(ServiceOverloaded("s")) == 429
+        assert _status_for(WorkerCrashed("c")) == 500
+        assert _status_for(WorkerTimeout("t")) == 500
+        assert _status_for(ReproError("r")) == 400
+        assert _status_for(RuntimeError("x")) == 500
+
+
+class TestDatabaseSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            DatabaseSpec(kind="oracle", target="x")
+
+    def test_unknown_dataset_rejected_at_build(self):
+        from repro.server import build_backend
+
+        with pytest.raises(ValueError):
+            build_backend(DatabaseSpec(kind="dataset", target="nope"))
+
+
+# ---------------------------------------------------------------------------
+# the supervisor, end to end (real worker processes)
+# ---------------------------------------------------------------------------
+
+
+class TestSupervisorServing:
+    def test_serves_and_matches_in_process_baseline(self):
+        supervisor, _ = make_supervisor()
+        with supervisor:
+            responses = supervisor.run(WORKLOAD, database="movies")
+            snapshot = supervisor.snapshot()
+        with QueryService(
+            DATASETS["movies"](), ServiceConfig(workers=1)
+        ) as service:
+            baseline = service.run(WORKLOAD)
+        assert [r.sql for r in responses] == [b.sql for b in baseline]
+        assert all(r.worker_pid is not None for r in responses)
+        assert snapshot["stats"]["submitted"] == len(WORKLOAD)
+        assert snapshot["shards"]["movies"]["breaker"]["state"] == "closed"
+
+    def test_unknown_database_raises_key_error(self):
+        supervisor, _ = make_supervisor()
+        with supervisor:
+            with pytest.raises(KeyError):
+                supervisor.submit(CAMERON, database="nope")
+
+    def test_queue_overflow_sheds_typed(self):
+        supervisor, _ = make_supervisor(queue_limit=0)
+        with supervisor:
+            blocker = supervisor.submit("%sleep:0.4", database="movies")
+            shed = supervisor.submit(CAMERON, database="movies").result(
+                timeout=30
+            )
+            assert isinstance(shed.error, ServiceOverloaded)
+            assert shed.shed and shed.outcome == "shed"
+            assert blocker.result(timeout=30).ok
+
+
+class TestCrashIsolation:
+    def test_kill9_mid_request_typed_failure_restart_byte_identical(self):
+        supervisor, clock = make_supervisor()
+        with supervisor:
+            before = supervisor.run(WORKLOAD, database="movies")
+            victim = supervisor.worker_pids("movies")[0]
+            future = supervisor.submit("%sleep:30", database="movies")
+            os.kill(victim, signal.SIGKILL)  # the actual kill -9
+            failed = future.result(timeout=30)
+            assert not failed.ok
+            assert isinstance(failed.error, WorkerCrashed)
+            assert failed.error.diagnostic.detail["shard"] == "movies"
+            assert exit_code_for(failed.error) == EXIT_WORKER
+            assert ("crash", "movies", victim) in supervisor.events
+            # the restart obeys the backoff budget and the replacement
+            # serves the same workload byte-identically
+            restart_and_wait(supervisor, clock)
+            assert supervisor.stats.restarts == 1
+            replacement = supervisor.worker_pids("movies")[0]
+            assert replacement != victim
+            after = supervisor.run(WORKLOAD, database="movies")
+        assert [r.sql for r in after] == [r.sql for r in before]
+        assert all(r.ok for r in after)
+
+    def test_crash_directive_is_indistinguishable_from_real_crash(self):
+        supervisor, clock = make_supervisor()
+        with supervisor:
+            response = supervisor.submit("%crash", database="movies").result(
+                timeout=30
+            )
+            assert isinstance(response.error, WorkerCrashed)
+            assert supervisor.stats.crashed == 1
+            restart_and_wait(supervisor, clock)
+            assert supervisor.run([CAMERON], database="movies")[0].ok
+
+    def test_crash_in_one_shard_leaves_other_serving(self):
+        supervisor, clock = make_supervisor(
+            databases={
+                "movies": MOVIES,
+                "courses": DatabaseSpec(kind="dataset", target="courses"),
+            }
+        )
+        with supervisor:
+            crash = supervisor.submit("%crash", database="movies").result(
+                timeout=30
+            )
+            assert isinstance(crash.error, WorkerCrashed)
+            readiness = supervisor.readiness()
+            assert readiness["shards"]["courses"]["ready"]
+            assert not readiness["shards"]["movies"]["ready"]
+            ok = supervisor.submit(
+                "SELECT title? WHERE dept_name? = 'CS'", database="courses"
+            ).result(timeout=30)
+            assert ok.error is None or not isinstance(
+                ok.error, WorkerCrashed
+            )
+
+
+class TestWatchdog:
+    def test_hung_worker_killed_after_request_timeout(self):
+        supervisor, clock = make_supervisor(request_timeout=5.0)
+        with supervisor:
+            future = supervisor.submit("%hang", database="movies")
+            clock.advance(4.9)
+            supervisor.tick()
+            assert not future.done()  # inside the timeout: left alone
+            clock.advance(0.2)
+            supervisor.tick()
+            failed = future.result(timeout=30)
+            assert isinstance(failed.error, WorkerTimeout)
+            assert "request timeout" in str(failed.error)
+            assert supervisor.stats.timed_out == 1
+            restart_and_wait(supervisor, clock)
+            assert supervisor.run([CAMERON], database="movies")[0].ok
+
+    def test_deaf_idle_worker_killed_by_heartbeat(self):
+        supervisor, clock = make_supervisor(
+            heartbeat_interval=1.0, heartbeat_timeout=5.0
+        )
+        with supervisor:
+            assert supervisor.submit("%deaf", database="movies").result(
+                timeout=30
+            ).ok
+            clock.advance(1.1)
+            supervisor.tick()  # sends the ping the deaf worker ignores
+            assert supervisor.stats.pings == 1
+            clock.advance(5.1)
+            supervisor.tick()  # no pong inside the timeout: killed
+            assert supervisor.stats.timed_out == 1
+            assert any(e[0] == "timeout" for e in supervisor.events)
+            restart_and_wait(supervisor, clock)
+            assert supervisor.run([CAMERON], database="movies")[0].ok
+
+    def test_healthy_idle_worker_answers_pings_and_survives(self):
+        supervisor, clock = make_supervisor()
+        with supervisor:
+            assert supervisor.run([CAMERON], database="movies")[0].ok
+            for _ in range(3):
+                clock.advance(1.1)
+                supervisor.tick()
+                # real wait for the pong to come back before judging
+                deadline = time.monotonic() + 10
+                while time.monotonic() < deadline:
+                    with supervisor._lock:
+                        worker = supervisor._shards["movies"].workers[0]
+                        if worker.ping_id is None:
+                            break
+                    time.sleep(0.01)
+            assert supervisor.stats.pings == 3
+            assert supervisor.stats.timed_out == 0
+            assert supervisor.run([CAMERON], database="movies")[0].ok
+
+
+class TestRestartBudget:
+    def test_budget_trip_pins_rung_then_marks_shard_down(self):
+        supervisor, clock = make_supervisor(
+            max_restarts=2,
+            restart_window=60.0,
+            breaker=BreakerConfig(
+                failure_threshold=2, cooldown=120.0, pinned_rung="greedy"
+            ),
+        )
+        with supervisor:
+            for expected_restarts in (1, 2):
+                crash = supervisor.submit(
+                    "%crash", database="movies"
+                ).result(timeout=30)
+                assert isinstance(crash.error, WorkerCrashed)
+                restart_and_wait(supervisor, clock)
+                assert supervisor.stats.restarts == expected_restarts
+            # two crashes tripped the shard breaker: degraded mode —
+            # requests now dispatch pinned to the breaker's rung
+            assert supervisor.breaker("movies").state == "open"
+            pinned = supervisor.run([CAMERON], database="movies")[0]
+            assert pinned.ok
+            assert pinned.rung == "greedy"
+            assert pinned.shard_breaker_state == "open"
+            # the third crash exceeds max_restarts: the shard goes down
+            crash = supervisor.submit("%crash", database="movies").result(
+                timeout=30
+            )
+            assert isinstance(crash.error, WorkerCrashed)
+            clock.advance(1.0)
+            supervisor.tick()
+            assert ("shard-down", "movies") in supervisor.events
+            readiness = supervisor.readiness()
+            assert readiness["shards"]["movies"]["down"]
+            assert not readiness["shards"]["movies"]["ready"]
+            # fail-fast: no queueing into a dead shard
+            fast = supervisor.submit(CAMERON, database="movies").result(
+                timeout=5
+            )
+            assert isinstance(fast.error, WorkerCrashed)
+            assert "down" in str(fast.error)
+
+
+class TestDrain:
+    def test_drain_completes_admitted_work_and_refuses_new(self):
+        supervisor, _ = make_supervisor(queue_limit=8)
+        with supervisor:
+            admitted = [
+                supervisor.submit("%sleep:0.3", database="movies")
+            ] + [
+                supervisor.submit(q, database="movies") for q in WORKLOAD
+            ]
+            result_box = {}
+            drainer = threading.Thread(
+                target=lambda: result_box.update(supervisor.drain())
+            )
+            drainer.start()
+            while not supervisor.draining:
+                time.sleep(0.005)
+            refused = supervisor.submit(CAMERON, database="movies").result(
+                timeout=5
+            )
+            assert isinstance(refused.error, ServerDraining)
+            drainer.join(timeout=60)
+            assert not drainer.is_alive()
+            # zero admitted requests lost: every future resolved, served
+            for future in admitted:
+                response = future.result(timeout=1)
+                assert response.ok, response.error
+            assert result_box["drain_seconds"] >= 0.0
+            assert result_box["stats"]["refused"] == 1
+            assert supervisor.closed
+        # close() after drain() is an idempotent no-op
+        supervisor.close()
+
+    def test_snapshot_is_json_serialisable(self):
+        supervisor, _ = make_supervisor()
+        with supervisor:
+            supervisor.run([CAMERON], database="movies")
+            snapshot = supervisor.drain()
+        json.dumps(snapshot)  # must not raise
+
+
+# ---------------------------------------------------------------------------
+# the asyncio HTTP front end
+# ---------------------------------------------------------------------------
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+class TestHttpApp:
+    def test_routes_and_drain_over_real_sockets(self):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        clock = VirtualClock(origin=None)
+        supervisor = Supervisor(
+            {"movies": MOVIES},
+            SupervisorConfig(
+                workers_per_shard=1, chaos_hooks=True, auto_watchdog=False
+            ),
+            clock=clock,
+            metrics=registry,
+        )
+        supervisor.start()
+
+        async def scenario():
+            app = ServerApp(supervisor)
+            server = await asyncio.start_server(
+                lambda r, w: _handle_connection(app, r, w),
+                host="127.0.0.1",
+                port=0,
+            )
+            port = server.sockets[0].getsockname()[1]
+
+            async def request(method, path, body=None):
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", port
+                )
+                payload = b"" if body is None else json.dumps(body).encode()
+                writer.write(
+                    (
+                        f"{method} {path} HTTP/1.1\r\n"
+                        f"Host: t\r\nContent-Length: {len(payload)}\r\n"
+                        "\r\n"
+                    ).encode()
+                    + payload
+                )
+                await writer.drain()
+                raw = await reader.read()
+                writer.close()
+                head, _, rest = raw.partition(b"\r\n\r\n")
+                status = int(head.split()[1])
+                return status, rest
+
+            status, _ = await request("GET", "/healthz")
+            assert status == 200
+            status, body = await request("GET", "/readyz")
+            assert status == 200 and json.loads(body)["ready"]
+            status, body = await request(
+                "POST",
+                "/query",
+                {"query": CAMERON, "database": "movies"},
+            )
+            doc = json.loads(body)
+            assert status == 200 and doc["outcome"] == "ok"
+            assert doc["sql"].startswith("SELECT")
+            status, _ = await request("GET", "/metrics")
+            assert status == 200
+            status, _ = await request("GET", "/nope")
+            assert status == 404
+            status, _ = await request("POST", "/query", {"no": "query"})
+            assert status == 400
+            status, _ = await request(
+                "POST", "/query", {"query": CAMERON, "database": "nope"}
+            )
+            assert status == 404
+
+            # graceful drain: readyz flips 503, queries refuse 503,
+            # the final snapshot arrives
+            app.begin_drain()
+            snapshot = await asyncio.wait_for(app.wait_drained(), timeout=60)
+            assert snapshot["stats"]["completed"] >= 1
+            status, body = await request("GET", "/readyz")
+            assert status == 503
+            assert json.loads(body)["draining"]
+            server.close()
+            await server.wait_closed()
+
+        try:
+            _run(scenario())
+        finally:
+            supervisor.close()
+
+    def test_query_returns_500_for_worker_crash(self):
+        supervisor, clock = make_supervisor()
+        supervisor.start()
+
+        async def scenario():
+            app = ServerApp(supervisor)
+            status, _, body = await app.dispatch(
+                "POST",
+                "/query",
+                json.dumps(
+                    {"query": "%crash", "database": "movies"}
+                ).encode(),
+            )
+            doc = json.loads(body)
+            assert status == 500
+            assert doc["error_type"] == "WorkerCrashed"
+
+        try:
+            _run(scenario())
+        finally:
+            supervisor.close()
+
+
+class TestPipelining:
+    """Pipelined dispatch and frame coalescing under backlog."""
+
+    def test_concurrent_batch_matches_sequential(self):
+        supervisor, _ = make_supervisor(queue_limit=64)
+        with supervisor:
+            sequential = [
+                supervisor.submit(q, database="movies").result(timeout=60)
+                for q in WORKLOAD * 4
+            ]
+            futures = [
+                supervisor.submit(q, database="movies")
+                for q in WORKLOAD * 4
+            ]
+            batched = [f.result(timeout=60) for f in futures]
+        for a, b in zip(sequential, batched):
+            assert (a.sql, a.outcome) == (b.sql, b.outcome)
+
+    def test_crash_fails_every_pipelined_request_typed(self):
+        supervisor, clock = make_supervisor(queue_limit=64)
+        with supervisor:
+            victim = supervisor.worker_pids("movies")[0]
+            # first request parks the worker; the rest ride the pipe
+            futures = [supervisor.submit("%sleep:30", database="movies")]
+            futures += [
+                supervisor.submit(CAMERON, database="movies")
+                for _ in range(4)
+            ]
+            os.kill(victim, signal.SIGKILL)
+            resolved = [f.result(timeout=60) for f in futures]
+            inflight_failures = [
+                r for r in resolved
+                if isinstance(r.error, WorkerCrashed)
+            ]
+            # the sleeper died in flight; pipelined riders either died
+            # with it or were still queued and served by the restart
+            assert inflight_failures
+            assert all(
+                r.ok or isinstance(r.error, WorkerCrashed)
+                for r in resolved
+            )
+            assert supervisor.stats.crashed == 1
+
+    def test_depth_one_is_strict_lockstep(self):
+        supervisor, _ = make_supervisor(queue_limit=64, pipeline_depth=1)
+        with supervisor:
+            responses = supervisor.run(WORKLOAD * 2, database="movies")
+        assert all(r.ok for r in responses)
+        baseline, _ = make_supervisor(queue_limit=64)
+        with baseline:
+            expected = baseline.run(WORKLOAD * 2, database="movies")
+        assert [r.sql for r in responses] == [r.sql for r in expected]

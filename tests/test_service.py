@@ -489,3 +489,145 @@ class TestResponseSurface:
         service = QueryService(make_db(), ServiceConfig(workers=1))
         service.close()
         service.close()
+
+
+# ---------------------------------------------------------------------------
+# close semantics and caller rung pinning (served-tier contract)
+# ---------------------------------------------------------------------------
+
+
+class TestCloseAndPinning:
+    def test_submit_after_close_refuses_typed(self):
+        from repro import ServiceClosed
+
+        service = QueryService(make_db(), ServiceConfig(workers=1))
+        service.close()
+        response = service.submit(CAMERON).result()
+        assert not response.ok
+        assert isinstance(response.error, ServiceClosed)
+        assert response.outcome == "failed"
+        assert service.closed
+
+    def test_concurrent_close_and_submit_never_raises(self):
+        """Submissions racing close() always get a resolved future —
+        either a served response or a typed ServiceClosed, never a raw
+        executor RuntimeError."""
+        from repro import ServiceClosed
+
+        service = QueryService(make_db(), ServiceConfig(workers=2))
+        futures = []
+        errors = []
+        start = threading.Barrier(5)
+
+        def submitter():
+            start.wait()
+            for _ in range(10):
+                try:
+                    futures.append(service.submit(CAMERON))
+                except Exception as exc:  # pragma: no cover - the bug
+                    errors.append(exc)
+
+        def closer():
+            start.wait()
+            service.close()
+
+        threads = [threading.Thread(target=submitter) for _ in range(4)]
+        threads.append(threading.Thread(target=closer))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        for future in futures:
+            response = future.result(timeout=30)
+            assert response.ok or isinstance(
+                response.error, ServiceClosed
+            ), response.error
+
+    def test_close_is_safe_from_many_threads(self):
+        service = QueryService(make_db(), ServiceConfig(workers=1))
+        threads = [
+            threading.Thread(target=service.close) for _ in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert service.closed
+
+    def test_caller_pinned_start_rung_is_honoured(self):
+        with QueryService(make_db(), ServiceConfig(workers=1)) as service:
+            response = service.submit(CAMERON, start_rung="greedy").result()
+        assert response.ok
+        assert response.rung == "greedy"
+
+    def test_caller_pin_never_weakens_breaker_pin(self):
+        """A caller pin earlier on the ladder than the breaker's own pin
+        must not un-degrade a tripped database."""
+        injector = pressure_injector(2)
+        config = ServiceConfig(
+            workers=1,
+            retry=NO_RETRY,
+            breaker=BreakerConfig(
+                failure_threshold=2, cooldown=60.0, pinned_rung="greedy"
+            ),
+        )
+        with QueryService(make_db(), config, faults=injector) as service:
+            for _ in range(2):
+                service.submit(CAMERON).result()
+            assert service.breaker().state == OPEN
+            response = service.submit(CAMERON, start_rung="reduced").result()
+        # breaker pin (greedy) is later on the ladder than the caller's
+        # "reduced" ask, so the breaker wins
+        assert response.rung == "greedy"
+
+    def test_unknown_start_rung_raises_value_error(self):
+        with QueryService(make_db(), ServiceConfig(workers=1)) as service:
+            with pytest.raises(ValueError):
+                service.submit(CAMERON, start_rung="bogus")
+
+
+class TestServeInline:
+    """serve_inline: submit().result() semantics without the pool hop."""
+
+    def test_matches_submit_byte_for_byte(self):
+        with QueryService(make_db(), ServiceConfig(workers=1)) as service:
+            pooled = service.submit(CAMERON).result()
+            inline = service.serve_inline(CAMERON)
+        assert inline.ok and pooled.ok
+        assert inline.sql == pooled.sql
+        assert inline.rung == pooled.rung
+        assert inline.outcome == pooled.outcome
+
+    def test_runs_on_the_calling_thread(self):
+        seen = []
+        config = ServiceConfig(
+            workers=1, request_hook=lambda req: seen.append(
+                threading.current_thread()
+            )
+        )
+        with QueryService(make_db(), config) as service:
+            service.serve_inline(CAMERON)
+        assert seen == [threading.main_thread()]
+
+    def test_honours_caller_pin(self):
+        with QueryService(make_db(), ServiceConfig(workers=1)) as service:
+            response = service.serve_inline(CAMERON, start_rung="greedy")
+        assert response.ok
+        assert response.rung == "greedy"
+
+    def test_refuses_typed_after_close(self):
+        from repro import ServiceClosed
+
+        service = QueryService(make_db(), ServiceConfig(workers=1))
+        service.close()
+        response = service.serve_inline(CAMERON)
+        assert not response.ok
+        assert isinstance(response.error, ServiceClosed)
+
+    def test_releases_slot(self):
+        with QueryService(
+            make_db(), ServiceConfig(workers=1, queue_limit=0)
+        ) as service:
+            for _ in range(3):  # would shed on the 2nd if slots leaked
+                assert service.serve_inline(CAMERON).ok
