@@ -16,7 +16,11 @@ twice —
 
 Every concurrent (and process-pool) response is checked byte-for-byte
 against its serial counterpart — concurrency and process isolation
-change throughput, never results.  ``--max-process-overhead F`` turns
+change throughput, never results.  A further pass re-runs the
+concurrent pool with the translation result cache enabled
+(docs/CACHING.md): the repeated workload must hit the cache
+(``--min-cache-hit-rate``; CI pins 0.25) and cached responses must
+still match the serial ones byte-for-byte.  ``--max-process-overhead F`` turns
 the fault-free process-pool overhead into a gate: exit nonzero when
 ``(process - thread) / thread`` exceeds ``F`` (CI pins 0.10).  The
 JSON report (per-workload timings plus the full service snapshot:
@@ -36,11 +40,13 @@ Run from the repository root::
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import time
 from typing import Callable
 
 from repro import Database
+from repro.core.config import DEFAULT_CONFIG
 from repro.service import QueryService, ServiceConfig
 from repro.workloads import (
     COURSE_QUERIES,
@@ -73,15 +79,31 @@ def queries_of(workload: list[WorkloadQuery], repeat: int) -> list[str]:
 
 
 def run_service(
-    database: Database, queries: list[str], workers: int
+    database: Database, queries: list[str], workers: int, cache: int = 0
 ) -> tuple[float, list, dict]:
-    config = ServiceConfig(workers=workers, queue_limit=len(queries))
+    translator = DEFAULT_CONFIG
+    if cache > 0:
+        translator = dataclasses.replace(
+            DEFAULT_CONFIG, result_cache_size=cache
+        )
+    config = ServiceConfig(
+        workers=workers, queue_limit=len(queries), translator=translator
+    )
     with QueryService(database, config) as service:
         started = time.perf_counter()
         responses = service.run(queries)
         elapsed = time.perf_counter() - started
         snapshot = service.snapshot()
     return elapsed, responses, snapshot
+
+
+def cache_hit_rate(snapshot: dict) -> float:
+    """Result-cache hit rate aggregated over the snapshot's databases."""
+    hits = misses = 0
+    for memo in snapshot.get("memo", {}).values():
+        hits += memo.get("result_hits", 0)
+        misses += memo.get("result_misses", 0)
+    return hits / (hits + misses) if hits + misses else 0.0
 
 
 def run_processes(
@@ -127,12 +149,23 @@ def bench_workload(
     )
     check_identical(serial_responses, conc_responses, "concurrent")
     speedup = serial_seconds / conc_seconds if conc_seconds > 0 else float("inf")
+    # the same repeated workload with the translation result cache on:
+    # every repeat past the first should hit (concurrent workers can
+    # double-miss when the same query is in flight twice, so the rate
+    # is gated below the serial ideal of (repeat-1)/repeat)
+    cached_seconds, cached_responses, cached_snapshot = run_service(
+        factory(), queries, workers, cache=len(queries) + 16
+    )
+    check_identical(serial_responses, cached_responses, "cached")
+    hit_rate = cache_hit_rate(cached_snapshot)
     row = {
         "queries": len(queries),
         "workers": workers,
         "serial_seconds": round(serial_seconds, 4),
         "concurrent_seconds": round(conc_seconds, 4),
         "speedup": round(speedup, 2),
+        "cached_seconds": round(cached_seconds, 4),
+        "cache_hit_rate": round(hit_rate, 4),
         "identical": True,
         "snapshot": snapshot,
     }
@@ -140,7 +173,8 @@ def bench_workload(
         f"{name:>14}: {len(queries):>3} queries  "
         f"serial {serial_seconds:7.3f}s  "
         f"x{workers} workers {conc_seconds:7.3f}s  "
-        f"speedup {speedup:5.2f}x"
+        f"speedup {speedup:5.2f}x  "
+        f"cached {cached_seconds:7.3f}s ({hit_rate:.0%} hits)"
     )
     if processes > 0:
         # compare the process pool against a thread pool of equal width
@@ -214,6 +248,16 @@ def main(argv=None) -> int:
         "exceeds this fraction (CI pins 0.10)",
     )
     parser.add_argument(
+        "--min-cache-hit-rate",
+        type=float,
+        default=None,
+        metavar="F",
+        help="fail (exit 1) if the cached pass's result-cache hit rate "
+        "falls below this fraction on any workload (with --repeat 2 "
+        "the serial ideal is 0.5; CI pins 0.25 to absorb concurrent "
+        "double-misses)",
+    )
+    parser.add_argument(
         "--output",
         default="SERVICE_stats.json",
         help="where to write the JSON report",
@@ -230,6 +274,22 @@ def main(argv=None) -> int:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")
     print(f"wrote {args.output}")
+    if args.min_cache_hit_rate is not None:
+        low = {
+            name: row["cache_hit_rate"]
+            for name, row in report.items()
+            if row["cache_hit_rate"] < args.min_cache_hit_rate
+        }
+        if low:
+            print(
+                f"CACHE HIT-RATE GATE FAILED "
+                f"(minimum {args.min_cache_hit_rate:.0%}): {low}"
+            )
+            return 1
+        print(
+            f"result-cache hit rate above {args.min_cache_hit_rate:.0%} "
+            f"for all workloads"
+        )
     if args.max_process_overhead is not None and args.processes > 0:
         over = {
             name: row["process_overhead"]

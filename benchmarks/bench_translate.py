@@ -28,6 +28,15 @@ armor's translations must match byte-for-byte and
 ``--max-resilient-overhead 0.02`` fails the run when the wrapper costs
 more than 2% on the happy path.
 
+A **repeated-workload** pass measures the translation result cache
+(docs/CACHING.md): every workload is expanded into a 50%-repeat mix
+(each query once verbatim, once trivially rewritten) and served twice
+by a shared translator with the cache off and on.  The cached steady
+state must be at least ``--min-cache-speedup`` times faster, every
+repeat — including the rewritten ones — must hit via canonical
+fingerprints, and the cached translations are checked byte-for-byte
+against the fresh ones.
+
 Run from the repository root::
 
     PYTHONPATH=src python benchmarks/bench_translate.py
@@ -210,6 +219,58 @@ def run_warm_resilient(
     return bare_seconds, armored_seconds, results
 
 
+def repeat_mix(queries: list[str]) -> list[str]:
+    """A 50%-repeat workload: each query once verbatim and once
+    trivially rewritten (whitespace + trailing semicolon), interleaved.
+    The rewritten form canonicalizes to the same fingerprint, so a
+    result cache must serve the repeat without retranslating."""
+    mix: list[str] = []
+    for query in queries:
+        mix.append(query)
+        mix.append(f"  {query} ;")
+    return mix
+
+
+def run_repeated(
+    database: Database, queries: list[str]
+) -> tuple[float, float, list, list, dict]:
+    """The 50%-repeat mix through a shared translator, cache off vs on.
+
+    Both stacks get one warming pass over the mix (context memos hot in
+    both; the cached stack's result cache populated) and are then timed
+    over the same mix — the steady state of a server seeing repetitive
+    traffic.  Returns (uncached seconds, cached seconds, uncached
+    results, cached results, cached-pass stats)."""
+    import dataclasses
+
+    from repro.core.config import DEFAULT_CONFIG
+
+    mix = repeat_mix(queries)
+    plain = SchemaFreeTranslator(database)
+    plain.translate_many(mix, top_k=TOP_K)  # warm the context
+    started = time.perf_counter()
+    fresh_results = plain.translate_many(mix, top_k=TOP_K)
+    uncached_seconds = time.perf_counter() - started
+
+    config = dataclasses.replace(
+        DEFAULT_CONFIG, result_cache_size=len(mix) + 16
+    )
+    caching = SchemaFreeTranslator(database, config)
+    caching.translate_many(mix, top_k=TOP_K)  # warm context + cache
+    started = time.perf_counter()
+    cached_results = caching.translate_many(mix, top_k=TOP_K)
+    cached_seconds = time.perf_counter() - started
+    stats = caching.last_translation_stats
+    as_dict = stats.as_dict() if stats is not None else {}
+    return (
+        uncached_seconds,
+        cached_seconds,
+        fresh_results,
+        cached_results,
+        as_dict,
+    )
+
+
 def check_identical(cold: list, warm: list) -> None:
     """The context memoizes — it must never change a single byte."""
     for query_cold, query_warm in zip(cold, warm):
@@ -239,6 +300,28 @@ def bench_workload(name: str) -> dict:
         database, queries
     )
     check_identical(warm_results, resilient_results)
+    (
+        uncached_seconds,
+        cached_seconds,
+        fresh_results,
+        cached_results,
+        cached_stats,
+    ) = run_repeated(database, queries)
+    check_identical(fresh_results, cached_results)
+    cache_memo = cached_stats.get("memo", {})
+    cache_lookups = cache_memo.get("result_hits", 0) + cache_memo.get(
+        "result_misses", 0
+    )
+    cache_hit_rate = (
+        cache_memo.get("result_hits", 0) / cache_lookups
+        if cache_lookups
+        else 0.0
+    )
+    cache_speedup = (
+        uncached_seconds / cached_seconds
+        if cached_seconds > 0
+        else float("inf")
+    )
     speedup = cold_seconds / warm_seconds if warm_seconds > 0 else float("inf")
     overhead = (
         traced_seconds / warm_seconds - 1.0 if warm_seconds > 0 else 0.0
@@ -259,6 +342,10 @@ def bench_workload(name: str) -> dict:
         "resilient_seconds": round(resilient_seconds, 4),
         "resilient_overhead": round(resilient_overhead, 4),
         "speedup": round(speedup, 2),
+        "repeated_uncached_seconds": round(uncached_seconds, 4),
+        "repeated_cached_seconds": round(cached_seconds, 4),
+        "cache_speedup": round(cache_speedup, 2),
+        "cache_hit_rate": round(cache_hit_rate, 4),
         "identical": True,
         "warm_stats": warm_stats,
     }
@@ -268,7 +355,9 @@ def bench_workload(name: str) -> dict:
         f"traced {traced_seconds:7.3f}s ({overhead:+6.1%})  "
         f"sqlite-reflected {reflected_seconds:7.3f}s  "
         f"resilient {resilient_seconds:7.3f}s ({resilient_overhead:+6.1%})  "
-        f"speedup {speedup:5.2f}x"
+        f"speedup {speedup:5.2f}x  "
+        f"result-cache {cache_speedup:5.2f}x "
+        f"({cache_hit_rate:.0%} hits on the repeat mix)"
     )
     return row
 
@@ -339,6 +428,15 @@ def main(argv=None) -> int:
         "for 2%%)",
     )
     parser.add_argument(
+        "--min-cache-speedup",
+        type=float,
+        default=None,
+        metavar="FACTOR",
+        help="fail when the translation result cache speeds the "
+        "repeated-workload pass (50%% repeat mix, steady state) up by "
+        "less than this factor on any workload (e.g. 5.0 for 5x)",
+    )
+    parser.add_argument(
         "--max-network-share",
         type=float,
         default=None,
@@ -371,6 +469,20 @@ def main(argv=None) -> int:
                 f"(> {args.max_resilient_overhead:.0%} aggregated over "
                 f"{', '.join(report)})"
             )
+    if args.min_cache_speedup is not None:
+        for name, row in report.items():
+            if row["cache_speedup"] < args.min_cache_speedup:
+                failures.append(
+                    f"{name}: result cache sped the repeated workload up "
+                    f"only {row['cache_speedup']:.2f}x "
+                    f"(< {args.min_cache_speedup:.1f}x)"
+                )
+            if row["cache_hit_rate"] < 0.999:
+                failures.append(
+                    f"{name}: repeat mix hit rate "
+                    f"{row['cache_hit_rate']:.1%} — rewritten repeats "
+                    "must hit via canonicalization"
+                )
     if args.max_network_share is not None:
         for name, row in report.items():
             stats = row.get("warm_stats") or {}

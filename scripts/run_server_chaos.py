@@ -1,6 +1,6 @@
 """CI entry point for the serving-layer chaos harness.
 
-Four phases, one report (``SERVER_report.json``), all driven against
+Five phases, one report (``SERVER_report.json``), all driven against
 *real* worker processes supervised on a deterministic virtual clock
 (``auto_watchdog=False`` + manual ticks, so timeout and backoff
 decisions never race wall time):
@@ -10,6 +10,12 @@ decisions never race wall time):
   identical typed-error classes) to the in-process
   :class:`~repro.service.QueryService` baseline — process isolation
   may cost nothing when nothing fails;
+* **cached** — the workload served twice so the second pass hits the
+  workers' translation result cache (docs/CACHING.md): cached answers
+  must stay byte-identical, the supervisor's ``repro_cache_*`` mirror
+  counters must move, and after a ``kill -9`` the replacement worker
+  must start with a *cold* cache — fresh translations, never a stale
+  cached answer — while remaining byte-identical;
 * **crash** — a worker is ``kill -9``-ed mid-request: the in-flight
   request must fail with a typed
   :class:`~repro.server.errors.WorkerCrashed` mapping to CLI exit
@@ -79,7 +85,7 @@ def all_pairs() -> list[tuple[str, str, str]]:
     return triples
 
 
-def make_supervisor(**overrides):
+def make_supervisor(metrics=None, **overrides):
     defaults = dict(
         workers_per_shard=1,
         chaos_hooks=True,
@@ -93,7 +99,9 @@ def make_supervisor(**overrides):
     )
     defaults.update(overrides)
     clock = VirtualClock(origin=None)
-    supervisor = Supervisor(SHARDS, SupervisorConfig(**defaults), clock=clock)
+    supervisor = Supervisor(
+        SHARDS, SupervisorConfig(**defaults), clock=clock, metrics=metrics
+    )
     return supervisor, clock
 
 
@@ -166,6 +174,74 @@ def run_parity() -> dict:
         "mismatches": mismatches,
         "stats": snapshot["stats"],
     }
+
+
+# ---------------------------------------------------------------------------
+# phase 1b: cached parity across a worker kill/restart
+# ---------------------------------------------------------------------------
+
+
+def run_cached() -> dict:
+    """The translation result cache (docs/CACHING.md) under crash
+    chaos: repeats must be served from the cache byte-identically, and
+    a killed worker's replacement must start cold — correct bytes,
+    never a stale cached answer."""
+    from repro.obs import MetricsRegistry
+
+    registry = MetricsRegistry()
+    checks: dict[str, bool] = {}
+    probe_query = "SELECT title? WHERE director_name? = 'James Cameron'"
+    supervisor, clock = make_supervisor(metrics=registry)
+    with supervisor:
+        before = serve_workload(supervisor)
+        second = serve_workload(supervisor)
+        checks["repeat_pass_byte_identical"] = second == before
+        first = supervisor.submit(probe_query, database="movies").result(
+            timeout=60
+        )
+        repeat = supervisor.submit(probe_query, database="movies").result(
+            timeout=60
+        )
+        checks["repeat_marked_cached"] = repeat.cached
+        checks["cached_bytes_identical"] = repeat.sql == first.sql
+        hits_before_kill = registry.counter(
+            "repro_cache_hits_total"
+        ).value(shard="movies")
+        checks["supervisor_counts_hits"] = hits_before_kill > 0
+
+        victim = supervisor.worker_pids("movies")[0]
+        inflight = supervisor.submit("%sleep:30", database="movies")
+        os.kill(victim, signal.SIGKILL)
+        inflight.result(timeout=60)
+        checks["restarted_within_budget"] = restart_and_wait(
+            supervisor, clock, "movies"
+        )
+        # the replacement rebuilt its shard from the spec: its cache is
+        # cold, so the first post-restart answer must be a fresh
+        # translation (cached would mean stale state survived the kill)
+        post = supervisor.submit(probe_query, database="movies").result(
+            timeout=60
+        )
+        checks["replacement_starts_cold"] = not post.cached
+        checks["replacement_bytes_identical"] = post.sql == first.sql
+        after = serve_workload(supervisor)
+        checks["byte_identical_after_restart"] = after == before
+        stats = supervisor.snapshot()["stats"]
+    cache_stats = {
+        "hits": registry.counter("repro_cache_hits_total").value(
+            shard="movies"
+        )
+        + registry.counter("repro_cache_hits_total").value(shard="courses"),
+        "misses": registry.counter("repro_cache_misses_total").value(
+            shard="movies"
+        )
+        + registry.counter("repro_cache_misses_total").value(
+            shard="courses"
+        ),
+    }
+    ok = all(checks.values())
+    print(f"cached: {json.dumps(checks)}")
+    return {"ok": ok, "checks": checks, "cache": cache_stats, "stats": stats}
 
 
 # ---------------------------------------------------------------------------
@@ -294,6 +370,7 @@ def run_drain() -> dict:
 
 PHASES = {
     "parity": run_parity,
+    "cached": run_cached,
     "crash": run_crash,
     "hang": run_hang,
     "drain": run_drain,

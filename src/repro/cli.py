@@ -102,6 +102,12 @@ EXIT_BACKEND = 7
 #: a serving worker process crashed or hung (repro.server.errors)
 EXIT_WORKER = 8
 
+#: translation result cache entries per database at the serving tiers
+#: (shell, --batch, serve); 0 disables — docs/CACHING.md has the
+#: consistency contract.  The library-level default stays 0 so direct
+#: SchemaFreeTranslator users opt in explicitly.
+DEFAULT_CACHE_SIZE = 256
+
 
 def exit_code_for(error: Optional[BaseException]) -> int:
     """Map a failure to its one-shot exit code (syntax, translation,
@@ -135,9 +141,19 @@ class Shell:
         tracer=None,  # Optional[repro.obs.Tracer]
         trace_ring: Optional[RingBufferExporter] = None,
         metrics: Optional[MetricsRegistry] = None,
+        cache_size: int = DEFAULT_CACHE_SIZE,
     ) -> None:
+        import dataclasses
+
+        from .core.config import DEFAULT_CONFIG
+
         self.database = database
-        self.translator = SchemaFreeTranslator(database, tracer=tracer)
+        config = dataclasses.replace(
+            DEFAULT_CONFIG, result_cache_size=max(0, cache_size)
+        )
+        self.translator = SchemaFreeTranslator(
+            database, config, tracer=tracer
+        )
         self.top_k = top_k
         self.show_stats = show_stats
         #: when set (--trace), each query's span tree is rendered after
@@ -364,12 +380,16 @@ def run_batch(
     out=None,
     tracer=None,  # Optional[repro.obs.Tracer]
     metrics: Optional[MetricsRegistry] = None,
+    cache_size: int = DEFAULT_CACHE_SIZE,
 ) -> int:
     """Route a query batch through the concurrent service.
 
     Prints one outcome line per request (rung used, retries, shed) plus
     the diagnostic block for failures, and returns the batch exit code.
     """
+    import dataclasses
+
+    from .core.config import DEFAULT_CONFIG
     from .service import QueryService, ServiceConfig
 
     if out is None:
@@ -379,6 +399,9 @@ def run_batch(
         queue_limit=max(0, queue_limit),
         deadline=deadline,
         top_k=max(1, top_k),
+        translator=dataclasses.replace(
+            DEFAULT_CONFIG, result_cache_size=max(0, cache_size)
+        ),
     )
     with QueryService(
         database, config, tracer=tracer, metrics=metrics
@@ -390,6 +413,8 @@ def run_batch(
     any_shed = False
     for response in responses:
         marks = [f"rung={response.rung or '-'}"]
+        if response.cached:
+            marks.append("cached")
         if response.retries:
             marks.append(f"retries={response.retries}")
         if response.breaker_state and response.breaker_state != "closed":
@@ -442,6 +467,7 @@ def run_batch_processes(
     metrics: Optional[MetricsRegistry] = None,
     chaos_hooks: bool = False,
     request_timeout: float = 30.0,
+    cache_size: int = DEFAULT_CACHE_SIZE,
 ) -> int:
     """Route a query batch through the supervised process pool.
 
@@ -460,6 +486,7 @@ def run_batch_processes(
         deadline=deadline,
         top_k=max(1, top_k),
         request_timeout=request_timeout,
+        cache_size=max(0, cache_size),
         chaos_hooks=chaos_hooks,
     )
     supervisor = Supervisor(
@@ -473,6 +500,8 @@ def run_batch_processes(
     any_shed = False
     for response in responses:
         marks = [f"rung={response.rung or '-'}"]
+        if response.cached:
+            marks.append("cached")
         if response.retries:
             marks.append(f"retries={response.retries}")
         if response.worker_pid is not None:
@@ -557,6 +586,14 @@ def run_serve(argv: Optional[list[str]] = None, out=None) -> int:
     parser.add_argument("--queue-limit", type=int, default=64)
     parser.add_argument("--top-k", type=int, default=1)
     parser.add_argument(
+        "--cache-size",
+        type=int,
+        default=DEFAULT_CACHE_SIZE,
+        metavar="N",
+        help="translation result cache entries per worker database "
+        f"(0 disables; default: {DEFAULT_CACHE_SIZE})",
+    )
+    parser.add_argument(
         "--request-timeout",
         type=float,
         default=30.0,
@@ -594,6 +631,7 @@ def run_serve(argv: Optional[list[str]] = None, out=None) -> int:
             queue_limit=max(0, args.queue_limit),
             deadline=args.deadline,
             top_k=max(1, args.top_k),
+            cache_size=max(0, args.cache_size),
             request_timeout=args.request_timeout,
             heartbeat_interval=args.heartbeat_interval,
             heartbeat_timeout=args.heartbeat_timeout,
@@ -906,6 +944,15 @@ def main(argv: Optional[list[str]] = None) -> int:
         help="with --batch, write the service stats snapshot as JSON",
     )
     parser.add_argument(
+        "--cache-size",
+        type=int,
+        default=DEFAULT_CACHE_SIZE,
+        metavar="N",
+        help="translation result cache entries per database "
+        f"(0 disables; default: {DEFAULT_CACHE_SIZE}; see "
+        "docs/CACHING.md for the consistency contract)",
+    )
+    parser.add_argument(
         "--processes",
         type=int,
         default=None,
@@ -985,6 +1032,7 @@ def main(argv: Optional[list[str]] = None) -> int:
                 tracer=tracer,
                 metrics=registry,
                 chaos_hooks=args.chaos_hooks,
+                cache_size=args.cache_size,
             )
         if args.batch is not None:
             return run_batch(
@@ -997,6 +1045,7 @@ def main(argv: Optional[list[str]] = None) -> int:
                 stats_path=args.service_stats,
                 tracer=tracer,
                 metrics=registry,
+                cache_size=args.cache_size,
             )
 
         shell = Shell(
@@ -1006,6 +1055,7 @@ def main(argv: Optional[list[str]] = None) -> int:
             tracer=tracer,
             trace_ring=ring,
             metrics=registry,
+            cache_size=args.cache_size,
         )
 
         if args.execute is not None:

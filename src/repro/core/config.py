@@ -60,8 +60,25 @@ class TranslatorConfig:
     #: column — matching a relation's key is evidence the user means that
     #: relation itself rather than one of the bridges referencing it
     pk_bonus: float = 1.1
+    #: translation result cache entries per database context (0 disables).
+    #: Off by default at the library level — the serving tiers (CLI,
+    #: ``repro.server`` workers) enable it; see docs/CACHING.md for the
+    #: key tuple, admission rules and invalidation contract
+    result_cache_size: int = 0
+    #: byte budget for the result cache (rendered-SQL cost estimate);
+    #: whichever of the entry cap and this budget is hit first evicts
+    result_cache_bytes: int = 4 << 20
 
     def __post_init__(self) -> None:
+        if self.result_cache_size < 0:
+            raise ValueError(
+                f"result_cache_size must be >= 0, got {self.result_cache_size}"
+            )
+        if self.result_cache_bytes < 0:
+            raise ValueError(
+                f"result_cache_bytes must be >= 0, "
+                f"got {self.result_cache_bytes}"
+            )
         if not 0.0 < self.sigma <= 1.0:
             raise ValueError(f"sigma must be in (0, 1], got {self.sigma}")
         for name in ("kref", "kdef", "c"):

@@ -50,6 +50,7 @@ from .config import DEFAULT_CONFIG, TranslatorConfig
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..backends.base import Backend
 from .relation_tree import RelationTree, TreeFingerprint
+from .rescache import ResultCache, schema_fingerprint
 from .similarity import qgrams, stride_sample
 
 # ---------------------------------------------------------------------------
@@ -82,11 +83,22 @@ class ContextStats:
     #: signature; see TranslationContext.cached_networks)
     network_hits: int = 0
     network_misses: int = 0
+    #: translation result cache hits / misses (keyed by canonical SF-SQL
+    #: fingerprint; see TranslationContext.cached_result)
+    result_hits: int = 0
+    result_misses: int = 0
+    #: result-cache entries evicted by the LRU's entry/byte bounds
+    result_evictions: int = 0
+    #: result-cache invalidation events (data_version bump, vocabulary-
+    #: alias registration) — each clears the whole cache
+    result_invalidations: int = 0
     #: times the data-derived caches were dropped after a Database mutation
     invalidations: int = 0
 
     def as_dict(self) -> dict[str, int]:
-        return dataclasses.asdict(self)
+        # flat ints only; translate() snapshots this twice per call, so
+        # the recursive dataclasses.asdict walk is hot-path overhead
+        return dict(self.__dict__)
 
 
 @dataclass
@@ -163,6 +175,16 @@ class TranslationStats:
                 f"conditions {self.memo.get('condition_hits', 0)} hits / "
                 f"{self.memo.get('condition_misses', 0)} misses"
             )
+            if self.memo.get("result_hits", 0) or self.memo.get(
+                "result_misses", 0
+            ):
+                lines.append(
+                    f"  result cache: {self.memo.get('result_hits', 0)} hits"
+                    f" / {self.memo.get('result_misses', 0)} misses, "
+                    f"{self.memo.get('result_evictions', 0)} evictions, "
+                    f"{self.memo.get('result_invalidations', 0)} "
+                    f"invalidations"
+                )
         return "\n".join(lines)
 
 
@@ -318,6 +340,15 @@ class TranslationContext:
         #: LRU-bounded; see :meth:`cached_networks`
         self._network_memo: dict[tuple, tuple] = {}
         self._network_memo_cap = 256
+        # -- translation result cache (canonical SF-SQL fingerprint) ---
+        #: hex digest of everything the pipeline reads from the catalog;
+        #: part of every result-cache key (docs/CACHING.md)
+        self.schema_fingerprint = schema_fingerprint(database.catalog)
+        #: finished-translation LRU; disabled when the config's
+        #: ``result_cache_size`` is 0.  See :meth:`cached_result`.
+        self._result_cache = ResultCache(
+            config.result_cache_size, config.result_cache_bytes
+        )
 
     def _build_schema_paths(
         self, c: float
@@ -383,6 +414,10 @@ class TranslationContext:
             self._tree_sim_memo.clear()
             self._condition_memo.clear()
             self._network_memo.clear()
+            # finished translations bake in condition evidence, so they
+            # go stale with the data too (docs/CACHING.md, trigger 1)
+            self._result_cache.clear()
+            self.stats.result_invalidations += 1
             self._data_version = self.database.data_version
             self.stats.invalidations += 1
 
@@ -438,8 +473,11 @@ class TranslationContext:
             self._relation_aliases[key] = current + (clean,)
             # aliases change name similarity, which the tree-sim memo bakes
             # in — and through it the mappings baked into memoized networks
+            # and the finished translations of the result cache
             self._tree_sim_memo.clear()
             self._network_memo.clear()
+            self._result_cache.clear()
+            self.stats.result_invalidations += 1
         self.name_index.add_names(key, [clean])
 
     def add_attribute_alias(
@@ -466,6 +504,8 @@ class TranslationContext:
             self._attribute_aliases[(rkey, akey)] = current + (clean,)
             self._tree_sim_memo.clear()
             self._network_memo.clear()
+            self._result_cache.clear()
+            self.stats.result_invalidations += 1
         self.name_index.add_names(rkey, [clean])
 
     def relation_aliases(self, relation_key: str) -> tuple[str, ...]:
@@ -575,6 +615,56 @@ class TranslationContext:
             while len(self._network_memo) > self._network_memo_cap:
                 oldest = next(iter(self._network_memo))
                 del self._network_memo[oldest]
+
+    # ------------------------------------------------------------------
+    # translation result cache
+    # ------------------------------------------------------------------
+    def result_cache_key(self, key: tuple) -> tuple:
+        """The translator's partial key completed to the full tuple of
+        the consistency contract: (canonical SF-SQL fingerprint, top_k,
+        view set, schema fingerprint, data_version).
+
+        The translator calls this once per query (right after
+        :meth:`ensure_current`), so lookup and store happen under the
+        same data epoch: a ``data_version`` bump racing a translation
+        strands the in-flight entry under the old version instead of
+        publishing a stale result under the new one.
+        """
+        with self._lock:
+            return key + (self.schema_fingerprint, self._data_version)
+
+    def cached_result(self, key: tuple) -> Optional[tuple]:
+        """Finished-translation payload for one canonical key, or None.
+
+        The payload is the immutable tuple stored by
+        :meth:`remember_result` — the translator materialises fresh
+        :class:`~repro.core.translator.Translation` objects from it on
+        every hit (their ``stats`` field is per-call).  Lookup is an
+        LRU touch; hits and misses land in :class:`ContextStats`, so
+        ``--stats``, ``TranslationStats.memo`` deltas and the service
+        snapshot all report cache effectiveness for free.
+        """
+        with self._lock:
+            payload = self._result_cache.lookup(key)
+            if payload is not None:
+                self.stats.result_hits += 1
+            else:
+                self.stats.result_misses += 1
+            return payload
+
+    def remember_result(self, key: tuple, payload: tuple, cost: int) -> None:
+        """Admit one finished translation set (admission checks — full
+        rung, no degradation, no faults — are the translator's job;
+        bounding and eviction accounting happen here)."""
+        with self._lock:
+            self.stats.result_evictions += self._result_cache.store(
+                key, payload, cost
+            )
+
+    def result_cache_entries(self) -> int:
+        """Current entry count (introspection/tests)."""
+        with self._lock:
+            return len(self._result_cache)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

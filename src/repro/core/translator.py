@@ -41,6 +41,7 @@ from .mapper import RelationTreeMapper, TreeMappings
 from .mtjn import GenerationStats, MTJNGenerator, network_signature
 from .query_log import QueryLog, views_from_sql
 from .relation_tree import RelationTree, TreeKey, build_relation_trees
+from .rescache import fingerprint_parsed
 from .resilience import LADDER, Budget, BudgetExceeded
 from .similarity import SimilarityEvaluator
 from .triples import ExtractionResult, JoinFragment, extract
@@ -71,6 +72,9 @@ class Translation:
     #: (one of resilience.LADDER; for set operations, the weaker of the
     #: two operands' rungs)
     rung: str = "full"
+    #: True when this interpretation was served from the context's
+    #: translation result cache instead of running the pipeline
+    cached: bool = False
 
     @property
     def is_degraded(self) -> bool:
@@ -220,6 +224,78 @@ class SchemaFreeTranslator:
         )
         return advised
 
+    # ------------------------------------------------------------------
+    # translation result cache (policy in docs/CACHING.md)
+    # ------------------------------------------------------------------
+    def _result_cache_key(
+        self,
+        query: ast.Node,
+        raw_text: Optional[str],
+        k: int,
+        start_rung: str,
+    ) -> Optional[tuple]:
+        """The full consistency-contract key for this call, or None when
+        the call is not cacheable.
+
+        Not cacheable: the cache is disabled, a fault injector is
+        attached (injected faults must keep firing on every call), or
+        the start rung is pinned below ``full`` (a pinned caller asked
+        for a *cheap* translation; serving the cached full-strength one
+        would change the rung the breaker machinery observes).
+        """
+        if (
+            self.config.result_cache_size <= 0
+            or self.faults is not None
+            or start_rung != "full"
+        ):
+            return None
+        with self._stage_guard("cache"), self._timed("cache"):
+            view_parts = tuple(
+                (view.name, view.signature, view.source, view.strength)
+                for view in self.view_graph.views
+            )
+            return self.context.result_cache_key(
+                (fingerprint_parsed(query, raw_text), k, view_parts)
+            )
+
+    def _result_cache_lookup(self, key: tuple) -> Optional[tuple]:
+        with self._timed("cache"), \
+                self.tracer.span("cache.lookup") as span:
+            payload = self.context.cached_result(key)
+            if span.enabled:
+                span.set(
+                    hit=payload is not None,
+                    entries=self.context.result_cache_entries(),
+                )
+            return payload
+
+    def _result_cache_store(
+        self, key: tuple, translations: list[Translation]
+    ) -> None:
+        """Admission control: only complete, full-strength results enter.
+
+        A degraded, partial, or diagnostic-carrying translation is the
+        budget/fault machinery talking — caching it would replay one
+        call's bad luck at full strength forever.  Payloads are
+        immutable tuples, never the Translation objects themselves
+        (``translate`` reassigns ``.stats`` per call).
+        """
+        if not translations or self.last_degradation:
+            return
+        for translation in translations:
+            if (
+                translation.rung != "full"
+                or translation.degradation
+                or translation.diagnostic is not None
+            ):
+                return
+        with self._timed("cache"):
+            payload = tuple(
+                (t.query, t.weight, t.network, t.rung) for t in translations
+            )
+            cost = sum(len(render(t.query)) for t in translations)
+            self.context.remember_result(key, payload, cost)
+
     def translate(
         self,
         query: Union[str, ast.Node],
@@ -288,17 +364,45 @@ class SchemaFreeTranslator:
             )
         with root:
             try:
+                raw_text = query if isinstance(query, str) else None
                 if isinstance(query, str):
                     self._fire("parse", meter)
                     with self._stage_guard("parse"), self._timed("parse"), \
                             self.tracer.span("parse"):
                         query = parse(query)
                 k = top_k or self.config.top_k
+                cache_key = self._result_cache_key(
+                    query, raw_text, k, start_rung
+                )
+                if cache_key is not None:
+                    hit = self._result_cache_lookup(cache_key)
+                    if hit is not None:
+                        translations = [
+                            Translation(
+                                query=q,
+                                weight=weight,
+                                network=network,
+                                rung=rung,
+                                stats=stats,
+                                cached=True,
+                            )
+                            for q, weight, network, rung in hit
+                        ]
+                        if root.enabled:
+                            root.set(
+                                cached=True,
+                                rung=translations[0].rung,
+                                results=len(translations),
+                                weight=round(translations[0].weight, 6),
+                            )
+                        return translations
                 translations = self._translate_query(
                     query, {}, k, meter, degrade, start_rung
                 )
                 for translation in translations:
                     translation.stats = stats
+                if cache_key is not None:
+                    self._result_cache_store(cache_key, translations)
                 if root.enabled and translations:
                     root.set(
                         rung=translations[0].rung,

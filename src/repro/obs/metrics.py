@@ -391,6 +391,32 @@ def record_translation(
         conditions.inc(chits, result="hit")
     if cmisses:
         conditions.inc(cmisses, result="miss")
+    for metric, help_text, key in (
+        (
+            "repro_cache_hits_total",
+            "Translation result cache hits (canonical-fingerprint key)",
+            "result_hits",
+        ),
+        (
+            "repro_cache_misses_total",
+            "Translation result cache misses",
+            "result_misses",
+        ),
+        (
+            "repro_cache_evictions_total",
+            "Result cache entries evicted by the LRU entry/byte bounds",
+            "result_evictions",
+        ),
+        (
+            "repro_cache_invalidations_total",
+            "Result cache invalidation events (data_version bump, "
+            "vocabulary alias registration, schema evolution)",
+            "result_invalidations",
+        ),
+    ):
+        delta = stats.memo.get(key, 0)
+        if delta:
+            registry.counter(metric, help_text).inc(delta)
     search = registry.counter(
         "repro_mtjn_search_total",
         "MTJN generator search events, by kind (frontier pushes, "

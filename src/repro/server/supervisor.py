@@ -112,6 +112,10 @@ class SupervisorConfig:
     restart_window: float = 60.0
     #: real seconds to wait for a worker's ready frame in start()
     worker_ready_timeout: float = 60.0
+    #: translation result cache entries per worker database (0 disables;
+    #: forwarded to :class:`~repro.server.worker.WorkerSpec`, consistency
+    #: contract in docs/CACHING.md)
+    cache_size: int = 256
     #: per-shard breaker: crashes/timeouts trip it, pinning the rung
     breaker: BreakerConfig = field(default_factory=BreakerConfig)
     #: honour %-prefixed chaos directives in workers (tests only)
@@ -138,6 +142,8 @@ class ServerResponse:
     retries: int = 0
     shed: bool = False
     probe: bool = False
+    #: the worker answered from its translation result cache
+    cached: bool = False
     worker_breaker_state: Optional[str] = None
     shard_breaker_state: Optional[str] = None
     worker_pid: Optional[int] = None
@@ -159,6 +165,7 @@ class ServerResponse:
             "sql": self.sql,
             "rung": self.rung,
             "retries": self.retries,
+            "cached": self.cached,
             "worker_pid": self.worker_pid,
             "shard_breaker_state": self.shard_breaker_state,
             "error": None if self.error is None else str(self.error),
@@ -316,6 +323,7 @@ class Supervisor:
                 deadline=self.config.deadline,
                 max_candidates=self.config.max_candidates,
                 max_expansions=self.config.max_expansions,
+                cache_size=self.config.cache_size,
                 chaos_hooks=self.config.chaos_hooks,
             )
             self._shards[name] = _Shard(
@@ -615,6 +623,7 @@ class Supervisor:
                 degradation=tuple(frame.get("degradation", ())),
                 retries=int(frame.get("retries", 0)),
                 probe=pending.probe,
+                cached=bool(frame.get("cached")),
                 worker_breaker_state=frame.get("breaker_state"),
                 shard_breaker_state=shard.breaker.state,
                 worker_pid=worker.pid,
@@ -626,7 +635,10 @@ class Supervisor:
             else:
                 self.stats.failed += 1
             self._count_request(
-                pending.database, response.outcome, response.elapsed
+                pending.database,
+                response.outcome,
+                response.elapsed,
+                cached=response.cached if ok else None,
             )
             span = pending.span
             span.event("completed", outcome=response.outcome)
@@ -646,7 +658,11 @@ class Supervisor:
                 self._done.notify_all()
 
     def _count_request(
-        self, shard: str, outcome: str, elapsed: Optional[float] = None
+        self,
+        shard: str,
+        outcome: str,
+        elapsed: Optional[float] = None,
+        cached: Optional[bool] = None,
     ) -> None:
         if self.metrics is None:
             return
@@ -654,6 +670,16 @@ class Supervisor:
             "repro_server_requests_total",
             "Requests finished by the supervisor, by shard and outcome",
         ).inc(1, shard=shard, outcome=outcome)
+        if cached is not None:
+            # workers keep their own registries in their own processes;
+            # the supervisor mirrors hit/miss from the result frame so
+            # /metrics shows cache behaviour without cross-process scrapes
+            self.metrics.counter(
+                "repro_cache_hits_total" if cached else
+                "repro_cache_misses_total",
+                "Translation result cache hits (canonical-fingerprint key)"
+                if cached else "Translation result cache misses",
+            ).inc(1, shard=shard)
         if elapsed is not None:
             self.metrics.histogram(
                 "repro_server_request_seconds",

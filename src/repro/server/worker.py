@@ -94,6 +94,9 @@ class WorkerSpec:
     deadline: Optional[float] = None
     max_candidates: Optional[int] = None
     max_expansions: Optional[int] = None
+    #: translation result cache entries per database (0 disables);
+    #: see docs/CACHING.md for the consistency contract
+    cache_size: int = 256
     #: honour ``%``-prefixed chaos directives (tests/harnesses only)
     chaos_hooks: bool = False
 
@@ -134,6 +137,7 @@ def _response_payload(request_id: int, response) -> dict[str, Any]:
         "degradation": list(first.degradation) if first is not None else [],
         "retries": response.retries,
         "breaker_state": response.breaker_state,
+        "cached": response.cached,
         "elapsed": round(response.elapsed, 6),
         "error": (
             encode_error(response.error) if response.error is not None else None
@@ -188,6 +192,9 @@ def worker_main(conn, spec: WorkerSpec) -> None:
     # workers before the supervisor has drained them
     signal.signal(signal.SIGINT, signal.SIG_IGN)
 
+    from dataclasses import replace
+
+    from ..core.config import DEFAULT_CONFIG
     from ..service import QueryService, ServiceConfig
 
     built_at = time.monotonic()
@@ -204,6 +211,9 @@ def worker_main(conn, spec: WorkerSpec) -> None:
             max_candidates=spec.max_candidates,
             max_expansions=spec.max_expansions,
             top_k=spec.top_k,
+            translator=replace(
+                DEFAULT_CONFIG, result_cache_size=spec.cache_size
+            ),
         ),
     )
     send_frame(

@@ -153,6 +153,11 @@ class ServiceResponse:
         return bool(self.translations) and self.translations[0].is_degraded
 
     @property
+    def cached(self) -> bool:
+        """True when the answer came from the translation result cache."""
+        return bool(self.translations) and self.translations[0].cached
+
+    @property
     def outcome(self) -> str:
         """One-word summary: ok / degraded / shed / failed."""
         if self.shed:
@@ -178,6 +183,7 @@ class ServiceResponse:
             "rung": self.rung,
             "retries": self.retries,
             "breaker_state": self.breaker_state,
+            "cached": self.cached,
             "sql": self.sql,
             "error": None if self.error is None else str(self.error),
             "elapsed": round(self.elapsed, 6),
