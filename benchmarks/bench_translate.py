@@ -47,6 +47,7 @@ Run from the repository root::
 from __future__ import annotations
 
 import argparse
+import gc
 import json
 import os
 import time
@@ -128,16 +129,30 @@ def run_cold(
 
 
 def run_warm(database: Database, queries: list[str]) -> tuple[float, list, dict]:
-    """One shared translator; timed after a full warming pass."""
+    """One shared translator; timed after a full warming pass.
+
+    Median-of-5: this number is compared *across runs* by the
+    ``--max-regression`` baseline gate, so it needs to be robust both
+    to scheduler hiccups (which a single sample isn't) and to
+    lucky-fast windows (which a min-of-N converges to) — the median is
+    the one statistic stable against both tails.  Ratio gates measured
+    *within* one run pair their own samples instead
+    (``run_warm_resilient``, ``run_artifact_cold``).
+    """
     translator = SchemaFreeTranslator(database)
     translator.translate_many(queries, top_k=TOP_K)  # warm the context
-    started = time.perf_counter()
-    results = translator.translate_many(queries, top_k=TOP_K)
-    elapsed = time.perf_counter() - started
-    stats = translator.last_translation_stats
-    as_dict = stats.as_dict() if stats is not None else {}
+    times: list[float] = []
+    results: list = []
+    as_dict: dict = {}
+    for _ in range(5):
+        gc.collect()  # keep earlier passes' garbage out of the timing
+        started = time.perf_counter()
+        results = translator.translate_many(queries, top_k=TOP_K)
+        times.append(time.perf_counter() - started)
+        stats = translator.last_translation_stats
+        as_dict = stats.as_dict() if stats is not None else {}
     check_generator_invariant(as_dict)
-    return elapsed, results, as_dict
+    return sorted(times)[len(times) // 2], results, as_dict
 
 
 def run_warm_traced(
@@ -217,6 +232,74 @@ def run_warm_resilient(
     bare.close()
     armored.close()
     return bare_seconds, armored_seconds, results
+
+
+def run_artifact_cold(
+    factory: Callable[[], Database], queries: list[str]
+) -> tuple[float, float, list, float]:
+    """Cold start through a :mod:`repro.artifacts` file.
+
+    A builder process's context is warmed on the workload and published
+    as an artifact; then a *fresh* backend (built again from the
+    factory, process-level string caches cleared — the stand-in for a
+    brand-new worker process) attaches the artifact and serves the
+    workload once, timed.  Returns (attach seconds, serving seconds,
+    results, warm reference seconds); the gate compares attach + serve
+    against the warm reference — this is the ratio that makes
+    per-request process fan-out viable.
+
+    Attach + serve is measured five times (each trial a fresh backend
+    with the string caches cleared, so every trial is honestly cold)
+    and the fastest trial reported.  The denominator is measured here
+    too, not taken from the earlier warm pass: each artifact trial is
+    bracketed by a warm pass over a separately warmed stack, so the
+    ratio is a paired comparison inside one time window — the
+    ``run_warm_resilient`` trick — and a drifting machine skews both
+    sides equally instead of just one.
+    """
+    import tempfile
+
+    from repro.artifacts import ArtifactStore, build_artifact, load_context
+
+    builder = factory()
+    with tempfile.TemporaryDirectory() as directory:
+        store = ArtifactStore(directory)
+        path = build_artifact(
+            builder, store, warmup=queries, warmup_top_k=TOP_K
+        )
+        warm_database = factory()
+        warm_translator = SchemaFreeTranslator(warm_database)
+        warm_translator.translate_many(queries, top_k=TOP_K)  # warm it
+        warm_seconds = float("inf")
+        best: tuple[float, float, list] | None = None
+        for _ in range(5):
+            database = factory()
+            clear_string_caches()
+            # earlier passes left a heap's worth of garbage; collect
+            # outside the timed region so its pauses don't land inside
+            # a tens-of-milliseconds measurement
+            gc.collect()
+            started = time.perf_counter()
+            context = load_context(path, database)
+            load_seconds = time.perf_counter() - started
+            translator = SchemaFreeTranslator(database, context=context)
+            started = time.perf_counter()
+            results = translator.translate_many(queries, top_k=TOP_K)
+            serve_seconds = time.perf_counter() - started
+            if best is not None:
+                check_identical(best[2], results)  # trials must agree
+            if best is None or load_seconds + serve_seconds < (
+                best[0] + best[1]
+            ):
+                best = (load_seconds, serve_seconds, results)
+            # warm bracket second: the artifact serve just repopulated
+            # the process-global string caches, so this measures a
+            # genuinely hot stack, not one paying cache rebuild
+            gc.collect()
+            started = time.perf_counter()
+            warm_translator.translate_many(queries, top_k=TOP_K)
+            warm_seconds = min(warm_seconds, time.perf_counter() - started)
+    return best + (warm_seconds,)
 
 
 def repeat_mix(queries: list[str]) -> list[str]:
@@ -301,6 +384,19 @@ def bench_workload(name: str) -> dict:
     )
     check_identical(warm_results, resilient_results)
     (
+        artifact_load_seconds,
+        artifact_serve_seconds,
+        artifact_results,
+        artifact_warm_seconds,
+    ) = run_artifact_cold(factory, queries)
+    check_identical(warm_results, artifact_results)
+    artifact_cold_seconds = artifact_load_seconds + artifact_serve_seconds
+    artifact_cold_ratio = (
+        artifact_cold_seconds / artifact_warm_seconds
+        if artifact_warm_seconds > 0
+        else float("inf")
+    )
+    (
         uncached_seconds,
         cached_seconds,
         fresh_results,
@@ -342,6 +438,10 @@ def bench_workload(name: str) -> dict:
         "resilient_seconds": round(resilient_seconds, 4),
         "resilient_overhead": round(resilient_overhead, 4),
         "speedup": round(speedup, 2),
+        "artifact_load_seconds": round(artifact_load_seconds, 4),
+        "artifact_cold_seconds": round(artifact_cold_seconds, 4),
+        "artifact_warm_seconds": round(artifact_warm_seconds, 4),
+        "artifact_cold_ratio": round(artifact_cold_ratio, 2),
         "repeated_uncached_seconds": round(uncached_seconds, 4),
         "repeated_cached_seconds": round(cached_seconds, 4),
         "cache_speedup": round(cache_speedup, 2),
@@ -356,6 +456,8 @@ def bench_workload(name: str) -> dict:
         f"sqlite-reflected {reflected_seconds:7.3f}s  "
         f"resilient {resilient_seconds:7.3f}s ({resilient_overhead:+6.1%})  "
         f"speedup {speedup:5.2f}x  "
+        f"artifact-cold {artifact_cold_seconds:7.3f}s "
+        f"({artifact_cold_ratio:.2f}x warm)  "
         f"result-cache {cache_speedup:5.2f}x "
         f"({cache_hit_rate:.0%} hits on the repeat mix)"
     )
@@ -428,6 +530,16 @@ def main(argv=None) -> int:
         "for 2%%)",
     )
     parser.add_argument(
+        "--max-artifact-cold-ratio",
+        type=float,
+        default=None,
+        metavar="FACTOR",
+        help="fail when cold translation through a repro.artifacts file "
+        "(attach + one workload pass on a fresh backend) exceeds this "
+        "multiple of the warm pass on any workload (e.g. 1.5 — the "
+        "ratchet holding artifact-based cold start eliminated)",
+    )
+    parser.add_argument(
         "--min-cache-speedup",
         type=float,
         default=None,
@@ -469,6 +581,18 @@ def main(argv=None) -> int:
                 f"(> {args.max_resilient_overhead:.0%} aggregated over "
                 f"{', '.join(report)})"
             )
+    if args.max_artifact_cold_ratio is not None:
+        for name, row in report.items():
+            print(
+                f"{name:>14}: artifact-cold ratio "
+                f"{row['artifact_cold_ratio']:.2f}x warm"
+            )
+            if row["artifact_cold_ratio"] > args.max_artifact_cold_ratio:
+                failures.append(
+                    f"{name}: artifact-loaded cold translation is "
+                    f"{row['artifact_cold_ratio']:.2f}x warm "
+                    f"(> {args.max_artifact_cold_ratio:.1f}x)"
+                )
     if args.min_cache_speedup is not None:
         for name, row in report.items():
             if row["cache_speedup"] < args.min_cache_speedup:

@@ -1,6 +1,6 @@
 """CI entry point for the fault-tolerance chaos harness.
 
-Three phases, one report (``CHAOS_report.json``):
+Four phases, one report (``CHAOS_report.json``):
 
 * **parity** — with no faults injected, ``ResilientBackend(SqliteBackend)``
   must translate every workload query to *byte-identical* SQL as the bare
@@ -14,7 +14,13 @@ Three phases, one report (``CHAOS_report.json``):
 * **evolution** — each workload replays across the standard schema
   mutations (rename table/column, split, merge, drop FK) and the report
   carries a per-mutation-class translation-stability score.  Stability
-  below 1.0 is a measurement, not a failure; a query with no verdict is.
+  below 1.0 is a measurement, not a failure; a query with no verdict is;
+* **artifacts** — a published translation-context artifact is mutated
+  every way a disk can betray it (truncations at several depths, seeded
+  byte flips, a future format version) and each mutant must surface as
+  a typed :class:`~repro.artifacts.ArtifactError` whose fallback
+  context translates the workload byte-identically to a fresh build —
+  a wrong answer or an unhandled exception fails the phase.
 
 Run from the repository root::
 
@@ -229,13 +235,87 @@ def run_evolution() -> dict:
     return {"ok": ok, "workloads": entries}
 
 
+def run_artifacts(artifact_dir: Path) -> dict:
+    """Phase 4: artifact corruption never changes an answer.
+
+    Every mutant of a published artifact must either load (the pristine
+    copy) or surface as a typed :class:`ArtifactError` whose fallback
+    context translates byte-identically to a fresh build."""
+    import random
+    import struct
+
+    from repro.artifacts import (
+        ArtifactError,
+        ArtifactStore,
+        build_artifact,
+        load_or_build_context,
+    )
+
+    factory, workload = WORKLOADS["textbook"]
+    queries = [q.sf_sql or q.gold_sql for q in workload][:6]
+    store = ArtifactStore(str(artifact_dir))
+    path = build_artifact(factory(), store, warmup=queries)
+    image = Path(path).read_bytes()
+    baseline = [
+        SchemaFreeTranslator(factory()).translate_best(query).sql
+        for query in queries
+    ]
+
+    mutants: dict[str, bytes] = {"pristine": image}
+    for fraction in (0.0, 0.05, 0.3, 0.7, 0.98):
+        mutants[f"truncate-{fraction}"] = image[: int(len(image) * fraction)]
+    rng = random.Random(0xA27)  # seeded: the same flips every run
+    for position in sorted(rng.sample(range(len(image)), 12)):
+        flipped = bytearray(image)
+        flipped[position] ^= 0x55
+        mutants[f"flip-{position}"] = bytes(flipped)
+    skewed = bytearray(image)
+    struct.pack_into("<H", skewed, 8, 0xFFFF)  # a future format version
+    mutants["version-skew"] = bytes(skewed)
+
+    entries = {}
+    ok = True
+    for label, data in mutants.items():
+        target = artifact_dir / f"mutant-{label}.rpra"
+        target.write_bytes(data)
+        database = factory()
+        try:
+            context, error = load_or_build_context(database, str(target))
+            translator = SchemaFreeTranslator(database, context=context)
+            answers = [
+                translator.translate_best(query).sql for query in queries
+            ]
+        except Exception as exc:  # an unhandled mutant is the failure being hunted — recorded so the run survives
+            entries[label] = {"verdict": f"unhandled:{type(exc).__name__}"}
+            ok = False
+            print(f"artifacts {label:>16}: UNHANDLED {type(exc).__name__}")
+            continue
+        identical = answers == baseline
+        verdict = (
+            "loaded"
+            if error is None
+            else f"fallback:{type(error).__name__}"
+        )
+        if label == "pristine" and error is not None:
+            ok = False  # the untouched file must load
+        if error is not None and not isinstance(error, ArtifactError):
+            ok = False  # fallback must be *typed*
+        if not identical:
+            ok = False
+            verdict += ":WRONG-ANSWER"
+        entries[label] = {"verdict": verdict, "identical": identical}
+        flag = "ok" if identical else "FAIL"
+        print(f"artifacts {label:>16}: {verdict:<28} {flag}")
+    return {"ok": ok, "mutants": entries}
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--phases",
         nargs="+",
-        choices=["parity", "matrix", "evolution"],
-        default=["parity", "matrix", "evolution"],
+        choices=["parity", "matrix", "evolution", "artifacts"],
+        default=["parity", "matrix", "evolution", "artifacts"],
         help="phases to run (default: all)",
     )
     parser.add_argument(
@@ -253,6 +333,9 @@ def main(argv=None) -> int:
         report["matrix"] = run_matrix()
     if "evolution" in args.phases:
         report["evolution"] = run_evolution()
+    if "artifacts" in args.phases:
+        with tempfile.TemporaryDirectory(prefix="repro-chaos-art-") as tmp:
+            report["artifacts"] = run_artifacts(Path(tmp))
 
     ok = all(phase["ok"] for phase in report.values())
     payload = {"ok": ok, **report}

@@ -1,6 +1,6 @@
 """CI entry point for the serving-layer chaos harness.
 
-Five phases, one report (``SERVER_report.json``), all driven against
+Six phases, one report (``SERVER_report.json``), all driven against
 *real* worker processes supervised on a deterministic virtual clock
 (``auto_watchdog=False`` + manual ticks, so timeout and backoff
 decisions never race wall time):
@@ -28,7 +28,12 @@ decisions never race wall time):
 * **drain** — a drain started while requests are queued and in flight
   must complete every admitted request (zero loss), refuse new work
   with a typed :class:`~repro.server.errors.ServerDraining`, and
-  produce a final snapshot.
+  produce a final snapshot;
+* **artifact** — with an artifact directory configured, the supervisor
+  must publish exactly one translation-context artifact per shard
+  (docs/ARTIFACTS.md) that *every* worker attaches — including the
+  replacement spawned after a ``kill -9``, which must report the shared
+  artifact in its ready frame and serve the workload byte-identically.
 
 Run from the repository root::
 
@@ -368,12 +373,79 @@ def run_drain() -> dict:
     return {"ok": ok, "checks": checks, "stats": snapshot.get("stats", {})}
 
 
+def run_artifact() -> dict:
+    """Phase 6: one artifact build serves the whole worker fleet.
+
+    The supervisor publishes (or finds) one artifact per shard before
+    spawning workers; every worker — first generation and the
+    replacement after a ``kill -9`` alike — must attach it (reported in
+    its ready frame and the snapshot) and serve byte-identically."""
+    import tempfile
+
+    from repro.artifacts import ArtifactStore
+
+    checks: dict[str, bool] = {}
+    with tempfile.TemporaryDirectory(prefix="repro-server-art-") as tmp:
+        supervisor, clock = make_supervisor(
+            workers_per_shard=2, artifact_dir=tmp
+        )
+        with supervisor:
+            checks["one_artifact_per_shard"] = len(
+                ArtifactStore(tmp).list()
+            ) == len(SHARDS)
+            checks["no_build_failures"] = not [
+                event
+                for event in supervisor.events
+                if event[0] == "artifact-failed"
+            ]
+            snapshot = supervisor.snapshot()
+            checks["every_worker_attached"] = all(
+                worker["artifacts"] == [name]
+                for name, shard in snapshot["shards"].items()
+                for worker in shard["workers"]
+            )
+            before = serve_workload(supervisor)
+            victim = supervisor.worker_pids("movies")[0]
+            os.kill(victim, signal.SIGKILL)
+            # tick until the death is noticed AND a second-generation
+            # worker reports ready — only then is the fleet whole again
+            deadline = time.monotonic() + 60.0
+            replacements: list[dict] = []
+            while time.monotonic() < deadline:
+                clock.advance(0.5)
+                supervisor.tick()
+                workers = supervisor.snapshot()["shards"]["movies"][
+                    "workers"
+                ]
+                replacements = [
+                    worker
+                    for worker in workers
+                    if worker["generation"] > 0
+                    and worker["state"] == "ready"
+                ]
+                if replacements:
+                    break
+                time.sleep(0.02)
+            checks["restarted_within_budget"] = bool(replacements)
+            checks["replacement_starts_from_artifact"] = bool(
+                replacements
+            ) and all(
+                worker["artifacts"] == ["movies"] for worker in replacements
+            )
+            after = serve_workload(supervisor)
+            checks["byte_identical_after_restart"] = after == before
+    ok = all(checks.values())
+    print(f"artifact: {json.dumps(checks)}")
+    return {"ok": ok, "checks": checks}
+
+
 PHASES = {
     "parity": run_parity,
     "cached": run_cached,
     "crash": run_crash,
     "hang": run_hang,
     "drain": run_drain,
+    "artifact": run_artifact,
 }
 
 

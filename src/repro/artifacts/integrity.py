@@ -1,0 +1,35 @@
+"""Checksum verification for artifact files.
+
+One digest covers everything after the fixed file prelude — the JSON
+header *and* every payload section — so a flipped bit anywhere in the
+file fails verification before a single pickled byte is interpreted.
+SHA-256 via :mod:`hashlib`; the digest is computed over the mapped
+buffer in one pass (the artifact is at most a few megabytes, so the
+verify cost is microseconds against a ~200 ms fresh context build).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from .errors import ArtifactCorrupt
+
+#: bytes of the SHA-256 digest stored in the file prelude
+DIGEST_SIZE = 32
+
+
+def digest(payload: bytes | memoryview) -> bytes:
+    """SHA-256 of *payload* (header JSON + sections)."""
+    return hashlib.sha256(payload).digest()
+
+
+def verify(path: str, stored: bytes, payload: bytes | memoryview) -> None:
+    """Raise :class:`ArtifactCorrupt` unless *payload* hashes to
+    *stored* — called once per load, before any section is decoded."""
+    actual = digest(payload)
+    if actual != stored:
+        raise ArtifactCorrupt(
+            path,
+            f"checksum mismatch: stored {stored.hex()[:16]}…, "
+            f"computed {actual.hex()[:16]}…",
+        )

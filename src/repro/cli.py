@@ -142,6 +142,7 @@ class Shell:
         trace_ring: Optional[RingBufferExporter] = None,
         metrics: Optional[MetricsRegistry] = None,
         cache_size: int = DEFAULT_CACHE_SIZE,
+        context=None,  # Optional[repro.core.context.TranslationContext]
     ) -> None:
         import dataclasses
 
@@ -152,7 +153,7 @@ class Shell:
             DEFAULT_CONFIG, result_cache_size=max(0, cache_size)
         )
         self.translator = SchemaFreeTranslator(
-            database, config, tracer=tracer
+            database, config, context=context, tracer=tracer
         )
         self.top_k = top_k
         self.show_stats = show_stats
@@ -603,6 +604,15 @@ def run_serve(argv: Optional[list[str]] = None, out=None) -> int:
     parser.add_argument("--heartbeat-timeout", type=float, default=5.0)
     parser.add_argument("--max-restarts", type=int, default=5)
     parser.add_argument("--restart-window", type=float, default=60.0)
+    parser.add_argument(
+        "--artifact-dir",
+        metavar="DIR",
+        default=None,
+        help="directory of shared translation-context artifacts; the "
+        "supervisor builds (or finds) one per shard and every worker — "
+        "including crash replacements — attaches it instead of "
+        "rebuilding (docs/ARTIFACTS.md)",
+    )
     # deterministic chaos directives for harnesses; not a user feature
     parser.add_argument(
         "--chaos-hooks", action="store_true", help=argparse.SUPPRESS
@@ -638,6 +648,7 @@ def run_serve(argv: Optional[list[str]] = None, out=None) -> int:
             max_restarts=args.max_restarts,
             restart_window=args.restart_window,
             chaos_hooks=args.chaos_hooks,
+            artifact_dir=args.artifact_dir,
         ),
         metrics=registry,
     )
@@ -820,6 +831,19 @@ def run_import(argv: Optional[list[str]] = None, out=None) -> int:
         help="cap rows read per column for translation statistics "
         "(default: whole column)",
     )
+    parser.add_argument(
+        "--precompute-context",
+        action="store_true",
+        help="build and store a translation-context artifact at import "
+        "time so the first query (in any process) starts warm",
+    )
+    parser.add_argument(
+        "--artifact-dir",
+        metavar="DIR",
+        default=None,
+        help="artifact store directory for --precompute-context "
+        "(default: <file>.artifacts next to the database file)",
+    )
     args = parser.parse_args(argv)
     if out is None:
         out = sys.stdout
@@ -849,13 +873,40 @@ def run_import(argv: Optional[list[str]] = None, out=None) -> int:
         f"{len(catalog.foreign_keys)} foreign keys",
         file=out,
     )
+    context = None
+    if args.precompute_context:
+        import dataclasses as _dataclasses
+
+        from .artifacts import ArtifactStore, ensure_artifact, load_context
+        from .core.config import DEFAULT_CONFIG as _DEFAULT_CONFIG
+
+        directory = args.artifact_dir or args.file + ".artifacts"
+        # the shell's translator config (the cache-size delta is outside
+        # the artifact key, so any repro process can share this file)
+        shell_config = _dataclasses.replace(
+            _DEFAULT_CONFIG, result_cache_size=DEFAULT_CACHE_SIZE
+        )
+        try:
+            path = ensure_artifact(backend, ArtifactStore(directory))
+            context = load_context(path, backend, shell_config)
+        except ReproError as exc:
+            # advisory: a failed precompute costs a cold first query,
+            # never the import itself
+            print(f"warning: context precompute failed: {exc}", file=out)
+        else:
+            print(f"context artifact ready: {path}", file=out)
     if args.schema:
         shell = Shell(backend)
         for relation in catalog:
             shell._schema(relation.name, out)
         return EXIT_OK
 
-    shell = Shell(backend, top_k=max(1, args.top_k), show_stats=args.stats)
+    shell = Shell(
+        backend,
+        top_k=max(1, args.top_k),
+        show_stats=args.stats,
+        context=context,
+    )
     if args.execute is not None:
         shell.run_command(args.execute, out=out)
         return exit_code_for(shell.last_error)
@@ -864,6 +915,125 @@ def run_import(argv: Optional[list[str]] = None, out=None) -> int:
         f"Schema-free SQL shell — imported {args.file!r} "
         f"({len(catalog)} relations). Type .help for commands.",
     )
+
+
+def run_artifacts(argv: Optional[list[str]] = None, out=None) -> int:
+    """The ``repro artifacts`` subcommand: build / list / gc the
+    persistent translation-context artifact store (docs/ARTIFACTS.md).
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro artifacts",
+        description="Manage persistent translation-context artifacts",
+    )
+    sub = parser.add_subparsers(dest="verb", required=True)
+
+    build = sub.add_parser(
+        "build", help="build and publish one database's artifact"
+    )
+    source = build.add_mutually_exclusive_group()
+    source.add_argument(
+        "--dataset", choices=sorted(DATASETS), default="movies"
+    )
+    source.add_argument(
+        "--sqlite", metavar="FILE", help="a SQLite file to reflect"
+    )
+    source.add_argument(
+        "--load", metavar="DIR", help="a saved database directory"
+    )
+    build.add_argument("--artifact-dir", metavar="DIR", required=True)
+    build.add_argument(
+        "--warm-workload",
+        action="store_true",
+        help="translate the dataset's bundled workload during the build "
+        "so the artifact also carries similarity/network memos",
+    )
+
+    lister = sub.add_parser("list", help="list published artifacts")
+    lister.add_argument("--artifact-dir", metavar="DIR", required=True)
+
+    gc = sub.add_parser(
+        "gc", help="LRU-evict artifacts beyond the disk budget"
+    )
+    gc.add_argument("--artifact-dir", metavar="DIR", required=True)
+    gc.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        help="byte budget to enforce (default: the store's default)",
+    )
+
+    args = parser.parse_args(argv)
+    if out is None:
+        out = sys.stdout
+
+    from .artifacts import ArtifactReader, ArtifactStore, ensure_artifact
+    from .errors import ReproError as _ReproError
+
+    store = ArtifactStore(args.artifact_dir)
+    if args.verb == "build":
+        if args.sqlite:
+            from .backends import SqliteBackend
+
+            backend = SqliteBackend(args.sqlite)
+        elif args.load:
+            from .engine.io import load_database
+
+            backend = load_database(args.load)
+        else:
+            backend = DATASETS[args.dataset]()
+        warmup: list[str] = []
+        if args.warm_workload and not args.sqlite and not args.load:
+            from .workloads import (
+                COURSE_QUERIES,
+                SOPHISTICATED_QUERIES,
+                TEXTBOOK_QUERIES,
+            )
+
+            bundles = {
+                "movies": TEXTBOOK_QUERIES + SOPHISTICATED_QUERIES,
+                "courses": COURSE_QUERIES,
+                "courses-alt": COURSE_QUERIES,
+            }
+            warmup = [
+                q.sf_sql or q.gold_sql for q in bundles.get(args.dataset, [])
+            ]
+        try:
+            path = ensure_artifact(backend, store, warmup=warmup)
+        except _ReproError as exc:
+            print(f"error: {exc}", file=out)
+            return EXIT_INTERNAL
+        print(path, file=out)
+        return EXIT_OK
+
+    if args.verb == "list":
+        entries = store.list()
+        if not entries:
+            print("(no artifacts)", file=out)
+            return EXIT_OK
+        for entry in entries:
+            try:
+                reader = ArtifactReader(entry.path)
+                detail = (
+                    f"schema {reader.schema_fingerprint[:12]}… "
+                    f"data_version {reader.data_version} "
+                    f"samples {len(reader.header.get('sample_index', ()))}"
+                )
+            except _ReproError as exc:
+                detail = f"UNREADABLE: {exc.args[0]}"
+            print(
+                f"{entry.key}  {entry.size} bytes  {detail}",
+                file=out,
+            )
+        return EXIT_OK
+
+    evicted = store.gc(args.max_bytes)
+    kept = store.list()
+    print(
+        f"evicted {len(evicted)} artifact(s), kept {len(kept)} "
+        f"({sum(e.size for e in kept)} bytes)",
+        file=out,
+    )
+    return EXIT_OK
 
 
 def main(argv: Optional[list[str]] = None) -> int:
@@ -875,6 +1045,8 @@ def main(argv: Optional[list[str]] = None) -> int:
         return run_import(argv[1:])
     if argv and argv[0] == "serve":
         return run_serve(argv[1:])
+    if argv and argv[0] == "artifacts":
+        return run_artifacts(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro", description="Schema-free SQL interactive shell"
     )

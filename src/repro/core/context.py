@@ -73,6 +73,9 @@ class ContextStats:
     sample_builds: int = 0
     #: sample lookups answered from the cache
     sample_hits: int = 0
+    #: samples decoded from an attached artifact (repro.artifacts) —
+    #: neither a backend build nor an in-memory hit
+    sample_loads: int = 0
     #: whole-tree similarity memo hits / misses
     tree_sim_hits: int = 0
     tree_sim_misses: int = 0
@@ -259,6 +262,70 @@ class NameIndex:
 
 
 # ---------------------------------------------------------------------------
+# the buildable / mutable state split
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ContextSchemaState:
+    """The *buildable* half of a context: everything derived purely from
+    the catalog (plus the config constants baked into the path table).
+
+    Immutable for the database's lifetime, identical for every process
+    that opens the same database, and therefore exactly what a
+    :mod:`repro.artifacts` file persists.  A context built fresh and a
+    context restored from this state are indistinguishable to the
+    translation pipeline.
+    """
+
+    relations: tuple[Relation, ...]
+    neighbors: dict[str, tuple[Relation, ...]]
+    fk_edges: tuple[tuple[str, str, ForeignKey, tuple], ...]
+    name_index: NameIndex
+    schema_paths: dict[str, dict[str, float]]
+    schema_parents: dict[str, dict[str, str]]
+    schema_components: dict[str, int]
+    schema_fingerprint: str
+
+
+@dataclass
+class ContextMemoState:
+    """A snapshot of the *mutable* memo half of a context.
+
+    Every entry is a pure function of (schema, data epoch, config, key),
+    so seeding a fresh context with another context's memo state can
+    change timings but never outcomes — the property the artifact
+    round-trip tests pin byte-for-byte.  The result cache and the
+    vocabulary aliases are deliberately absent: results bake in
+    admission-time serving state, and aliases are runtime vocabulary
+    (docs/ARTIFACTS.md, "what is not persisted").
+    """
+
+    samples: dict[tuple[str, str], list[Any]] = field(default_factory=dict)
+    tree_sims: dict[tuple[TreeFingerprint, str], tuple[float, dict]] = field(
+        default_factory=dict
+    )
+    conditions: dict[tuple, str] = field(default_factory=dict)
+    networks: dict[tuple, tuple] = field(default_factory=dict)
+
+
+class SampleSource:
+    """Read-only provider of column samples decoded on first use.
+
+    The artifact loader implements this over an ``mmap``-backed buffer
+    (:class:`repro.artifacts.format.LazySampleTable`); the context only
+    requires ``get`` — returning the decoded sample for a (relation
+    key, attribute key) pair or ``None`` — and ``keys``.
+    """
+
+    def get(self, key: tuple[str, str]):  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def keys(self):  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+# ---------------------------------------------------------------------------
 # the context
 # ---------------------------------------------------------------------------
 
@@ -285,73 +352,196 @@ class TranslationContext:
     def __init__(
         self, database: "Backend", config: TranslatorConfig = DEFAULT_CONFIG
     ) -> None:
+        self._init_runtime(database, config)
+        self._apply_schema_state(self._build_schema_state())
+        self.stats.neighbor_builds += len(self.relations)
+        self._init_data_state(ContextMemoState())
+
+    @classmethod
+    def from_artifact(
+        cls,
+        database: "Backend",
+        config: TranslatorConfig,
+        schema_state: ContextSchemaState,
+        memos: Optional[ContextMemoState] = None,
+        sample_source: Optional[SampleSource] = None,
+    ) -> "TranslationContext":
+        """A context restored from persisted state instead of built.
+
+        *Callers must have verified the key already* — the artifact
+        loader (:func:`repro.artifacts.load_context`) only gets here
+        after matching (schema fingerprint, data_version, config digest)
+        against the live backend, so the restored schema state is
+        structurally identical to what :meth:`_build_schema_state`
+        would produce.  Mutable serving state (result cache, aliases,
+        stats, lock) starts as fresh as a built context's; the memo
+        tables start from the artifact's snapshot and grow normally
+        from there.  ``sample_source`` supplies buffer-backed column
+        samples decoded on first use, so attaching is O(header) rather
+        than O(data).
+        """
+        context = cls.__new__(cls)
+        context._init_runtime(database, config)
+        context._apply_schema_state(schema_state)
+        context._init_data_state(memos or ContextMemoState(), sample_source)
+        return context
+
+    def _init_runtime(
+        self, database: "Backend", config: TranslatorConfig
+    ) -> None:
+        """Per-process serving state: never persisted, never shared."""
         self.database = database
         self.config = config
         self.stats = ContextStats()
         self._lock = threading.Lock()
         self._data_version = database.data_version
-        # -- schema-derived (immutable for the database's lifetime) ----
-        self.relations: tuple[Relation, ...] = tuple(database.catalog)
-        self._neighbors: dict[str, tuple[Relation, ...]] = {}
-        for relation in self.relations:
-            self._neighbors[relation.key] = tuple(
-                database.catalog.neighbors(relation.name)
-            )
-            self.stats.neighbor_builds += 1
-        #: (source key, target key, fk, fk.key) per FK-PK pair, with all
-        #: normalization pre-applied for the extended view graph
-        self.fk_edges: tuple[tuple[str, str, ForeignKey, tuple], ...] = tuple(
-            (
-                normalize(fk.source_relation),
-                normalize(fk.target_relation),
-                fk,
-                fk.key,
-            )
-            for fk in database.catalog.foreign_keys
-        )
-        self.name_index = NameIndex(database.catalog, config.qgram)
-        # -- all-pairs FK join paths on the schema skeleton (§5.1) -----
-        # Strongest-path weights (c ** hops), predecessor maps, and
-        # connected components over the undirected FK skeleton, built
-        # once per database.  Plain dicts of strings/floats/ints so the
-        # table can ride a future serialized context artifact unchanged.
-        # Every extended-view-graph edge weight is >= c and lifts a
-        # skeleton edge, so skeleton unreachability is a sound negative
-        # oracle for Algorithm 3 whenever the extended graph contains no
-        # synthesised (non-FK) view edges.
-        (
-            self.schema_paths,
-            self.schema_parents,
-            self.schema_components,
-        ) = self._build_schema_paths(config.c)
-        # -- data-derived (invalidated on Database mutation) -----------
-        self._samples: dict[tuple[str, str], list[Any]] = {}
-        self._tree_sim_memo: dict[
-            tuple[TreeFingerprint, str], tuple[float, dict]
-        ] = {}
-        self._condition_memo: dict[tuple, str] = {}
         # -- vocabulary aliases (schema evolution, testing.evolution) --
         #: relation key -> extra names scored alongside the real name
         self._relation_aliases: dict[str, tuple[str, ...]] = {}
         #: (relation key, attribute key) -> extra attribute names
         self._attribute_aliases: dict[tuple[str, str], tuple[str, ...]] = {}
-        # -- generated-network memo (terminal-relation signature) ------
-        #: signature -> (ExtendedViewGraph, tuple[JoinNetwork, ...]),
-        #: LRU-bounded; see :meth:`cached_networks`
-        self._network_memo: dict[tuple, tuple] = {}
         self._network_memo_cap = 256
         # -- translation result cache (canonical SF-SQL fingerprint) ---
-        #: hex digest of everything the pipeline reads from the catalog;
-        #: part of every result-cache key (docs/CACHING.md)
-        self.schema_fingerprint = schema_fingerprint(database.catalog)
         #: finished-translation LRU; disabled when the config's
         #: ``result_cache_size`` is 0.  See :meth:`cached_result`.
         self._result_cache = ResultCache(
             config.result_cache_size, config.result_cache_bytes
         )
 
+    def _build_schema_state(self) -> ContextSchemaState:
+        """Derive the buildable half from the live catalog (the path a
+        :mod:`repro.artifacts` file short-circuits)."""
+        catalog = self.database.catalog
+        relations: tuple[Relation, ...] = tuple(catalog)
+        neighbors = {
+            relation.key: tuple(catalog.neighbors(relation.name))
+            for relation in relations
+        }
+        # (source key, target key, fk, fk.key) per FK-PK pair, with all
+        # normalization pre-applied for the extended view graph
+        fk_edges = tuple(
+            (
+                normalize(fk.source_relation),
+                normalize(fk.target_relation),
+                fk,
+                fk.key,
+            )
+            for fk in catalog.foreign_keys
+        )
+        # -- all-pairs FK join paths on the schema skeleton (§5.1) -----
+        # Strongest-path weights (c ** hops), predecessor maps, and
+        # connected components over the undirected FK skeleton, built
+        # once per database.  Plain dicts of strings/floats/ints so the
+        # table rides the serialized context artifact unchanged.
+        # Every extended-view-graph edge weight is >= c and lifts a
+        # skeleton edge, so skeleton unreachability is a sound negative
+        # oracle for Algorithm 3 whenever the extended graph contains no
+        # synthesised (non-FK) view edges.
+        paths, parents, components = self._build_schema_paths(
+            relations, fk_edges, self.config.c
+        )
+        return ContextSchemaState(
+            relations=relations,
+            neighbors=neighbors,
+            fk_edges=fk_edges,
+            name_index=NameIndex(catalog, self.config.qgram),
+            schema_paths=paths,
+            schema_parents=parents,
+            schema_components=components,
+            #: hex digest of everything the pipeline reads from the
+            #: catalog; part of every result-cache key (docs/CACHING.md)
+            #: and of the artifact key (docs/ARTIFACTS.md)
+            schema_fingerprint=schema_fingerprint(catalog),
+        )
+
+    def _apply_schema_state(self, state: ContextSchemaState) -> None:
+        # -- schema-derived (immutable for the database's lifetime) ----
+        self.relations = state.relations
+        self._neighbors = state.neighbors
+        self.fk_edges = state.fk_edges
+        self.name_index = state.name_index
+        self.schema_paths = state.schema_paths
+        self.schema_parents = state.schema_parents
+        self.schema_components = state.schema_components
+        self.schema_fingerprint = state.schema_fingerprint
+
+    def _init_data_state(
+        self,
+        memos: ContextMemoState,
+        sample_source: Optional[SampleSource] = None,
+    ) -> None:
+        # -- data-derived (invalidated on Database mutation) -----------
+        self._samples = dict(memos.samples)
+        self._sample_source = sample_source
+        self._tree_sim_memo = dict(memos.tree_sims)
+        self._condition_memo = dict(memos.conditions)
+        # -- generated-network memo (terminal-relation signature) ------
+        #: signature -> (ExtendedViewGraph, tuple[JoinNetwork, ...]),
+        #: LRU-bounded; see :meth:`cached_networks`
+        self._network_memo = dict(memos.networks)
+
+    def seed_memos(self, memos: ContextMemoState) -> None:
+        """Merge a persisted memo snapshot into the live tables.
+
+        Split from :meth:`from_artifact` because decoding the memo
+        section needs the live context to exist first — memoized
+        extended view graphs reference it — so the loader constructs
+        the context from the schema state, then seeds.  Existing
+        entries win: they were computed against this very epoch.
+        """
+        with self._lock:
+            for key, sample in memos.samples.items():
+                self._samples.setdefault(key, sample)
+            for key, value in memos.tree_sims.items():
+                self._tree_sim_memo.setdefault(key, value)
+            for key, status in memos.conditions.items():
+                self._condition_memo.setdefault(key, status)
+            for key, entry in memos.networks.items():
+                if len(self._network_memo) >= self._network_memo_cap:
+                    break
+                self._network_memo.setdefault(key, entry)
+
+    def export_state(self) -> tuple[ContextSchemaState, ContextMemoState]:
+        """A consistent snapshot of both halves for artifact writing.
+
+        Lazily-sourced samples are materialised first so the exported
+        memo state stands alone; the memo dicts are shallow-copied under
+        the lock, so a concurrent translator can keep serving while the
+        artifact builder pickles.
+        """
+        with self._lock:
+            source = self._sample_source
+            pending = (
+                [k for k in source.keys() if k not in self._samples]
+                if source is not None
+                else []
+            )
+        for key in pending:
+            self.column_sample(*key)
+        schema_state = ContextSchemaState(
+            relations=self.relations,
+            neighbors=self._neighbors,
+            fk_edges=self.fk_edges,
+            name_index=self.name_index,
+            schema_paths=self.schema_paths,
+            schema_parents=self.schema_parents,
+            schema_components=self.schema_components,
+            schema_fingerprint=self.schema_fingerprint,
+        )
+        with self._lock:
+            memos = ContextMemoState(
+                samples=dict(self._samples),
+                tree_sims=dict(self._tree_sim_memo),
+                conditions=dict(self._condition_memo),
+                networks=dict(self._network_memo),
+            )
+        return schema_state, memos
+
+    @staticmethod
     def _build_schema_paths(
-        self, c: float
+        relations: tuple[Relation, ...],
+        fk_edges: tuple[tuple[str, str, ForeignKey, tuple], ...],
+        c: float,
     ) -> tuple[
         dict[str, dict[str, float]],
         dict[str, dict[str, str]],
@@ -361,9 +551,9 @@ class TranslationContext:
         strongest-path weight ``c ** hops`` between relations *a* and
         *b*, ``parents[a][b]`` the predecessor of *b* on that path, and
         ``components[a]`` the connected-component id of *a*."""
-        adjacency: dict[str, list[str]] = {r.key: [] for r in self.relations}
+        adjacency: dict[str, list[str]] = {r.key: [] for r in relations}
         seen_pairs: set[tuple[str, str]] = set()
-        for source_key, target_key, _fk, _fk_key in self.fk_edges:
+        for source_key, target_key, _fk, _fk_key in fk_edges:
             if source_key == target_key:
                 continue
             for a, b in ((source_key, target_key), (target_key, source_key)):
@@ -374,7 +564,7 @@ class TranslationContext:
         parents: dict[str, dict[str, str]] = {}
         components: dict[str, int] = {}
         component = 0
-        for relation in self.relations:
+        for relation in relations:
             start = relation.key
             hops = {start: 0}
             parent: dict[str, str] = {}
@@ -411,6 +601,9 @@ class TranslationContext:
             if self.database.data_version == self._data_version:
                 return
             self._samples.clear()
+            # an attached artifact sample table belongs to the previous
+            # data epoch — the rescache contract applied to the source
+            self._sample_source = None
             self._tree_sim_memo.clear()
             self._condition_memo.clear()
             self._network_memo.clear()
@@ -532,6 +725,15 @@ class TranslationContext:
             if cached is not None:
                 self.stats.sample_hits += 1
                 return cached
+            if self._sample_source is not None:
+                loaded = self._sample_source.get(key)
+                if loaded is not None:
+                    # decoded from an attached artifact: identical bytes
+                    # to what a fresh build would produce for this epoch
+                    sample = list(loaded)
+                    self._samples[key] = sample
+                    self.stats.sample_loads += 1
+                    return sample
             # build under the lock: serialises the (cheap, deterministic)
             # sample construction so concurrent workers never build the
             # same column twice and the build counter stays exact

@@ -49,6 +49,7 @@ STAGES = (
     "budget",
     "admission",
     "backend",
+    "artifact",
 )
 
 

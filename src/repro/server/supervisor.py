@@ -124,6 +124,14 @@ class SupervisorConfig:
     start_method: str = "spawn"
     #: run the background watchdog thread (disable for manual ticks)
     auto_watchdog: bool = True
+    #: directory for shared translation-context artifacts; when set,
+    #: the supervisor builds (or finds) one artifact per shard at
+    #: construction and every worker — including every *replacement*
+    #: worker after a crash — attaches from it instead of rebuilding
+    #: (docs/ARTIFACTS.md).  ``None`` keeps the legacy cold rebuild.
+    artifact_dir: Optional[str] = None
+    #: LRU disk budget for ``artifact_dir`` (bytes)
+    artifact_budget: int = 256 << 20
 
 
 @dataclass
@@ -262,6 +270,9 @@ class _Worker:
         self.ping_id: Optional[int] = None
         self.ping_sent_at: Optional[float] = None
         self.build_seconds: Optional[float] = None
+        #: database names this worker attached from the shared artifact
+        #: (ready-frame "artifacts"; empty = cold build / legacy worker)
+        self.artifacts: list[str] = []
 
     @property
     def pid(self) -> Optional[int]:
@@ -314,6 +325,12 @@ class Supervisor:
         self._mp = multiprocessing.get_context(self.config.start_method)
         self._lock = threading.RLock()
         self._done = threading.Condition(self._lock)
+        #: deterministic event trace, e.g. ("crash", shard, pid),
+        #: ("timeout", shard, reason), ("restart", shard, attempt),
+        #: ("shard-down", shard), ("artifact-failed", shard, reason),
+        #: ("drain",) — created before the shards so artifact
+        #: preparation can record failures
+        self.events: list[tuple] = []
         self._shards: dict[str, _Shard] = {}
         for name, spec in databases.items():
             worker_spec = WorkerSpec(
@@ -325,6 +342,7 @@ class Supervisor:
                 max_expansions=self.config.max_expansions,
                 cache_size=self.config.cache_size,
                 chaos_hooks=self.config.chaos_hooks,
+                artifacts=self._ensure_shard_artifacts(name, spec),
             )
             self._shards[name] = _Shard(
                 name,
@@ -336,15 +354,61 @@ class Supervisor:
         self._next_id = 0
         self._ping_id = 0
         self.stats = ServerStats()
-        #: deterministic event trace, e.g. ("crash", shard, pid),
-        #: ("timeout", shard, reason), ("restart", shard, attempt),
-        #: ("shard-down", shard), ("drain",)
-        self.events: list[tuple] = []
         self._started = False
         self._draining = False
         self._closed = False
         self._watchdog: Optional[threading.Thread] = None
         self._stop = threading.Event()
+
+    # ------------------------------------------------------------------
+    # shared context artifacts
+    # ------------------------------------------------------------------
+    def _ensure_shard_artifacts(
+        self, name: str, spec: DatabaseSpec
+    ) -> Optional[dict[str, str]]:
+        """Build (or find) the shard's shared context artifact.
+
+        Paid once at supervisor construction instead of once per worker
+        per generation: every worker the shard ever spawns — including
+        replacements after crashes — attaches the same file.  Failure
+        to build is logged as an event and degrades to the legacy cold
+        rebuild; it never stops the fleet from starting.
+        """
+        if self.config.artifact_dir is None:
+            return None
+        from dataclasses import replace as _replace
+
+        from ..artifacts import ArtifactStore, ensure_artifact
+        from ..core.config import DEFAULT_CONFIG
+        from .worker import build_backend
+
+        store = ArtifactStore(
+            self.config.artifact_dir, self.config.artifact_budget
+        )
+        # mirror the worker's translator config exactly (the cache-size
+        # fields are excluded from the artifact key's config digest,
+        # but mirroring keeps this correct if that set ever narrows)
+        translator = _replace(
+            DEFAULT_CONFIG, result_cache_size=self.config.cache_size
+        )
+        backend = None
+        try:
+            backend = build_backend(spec)
+            path = ensure_artifact(
+                backend,
+                store,
+                translator,
+                tracer=self.tracer,
+                metrics=self.metrics,
+            )
+            return {name: path}
+        except Exception as exc:  # last-ditch: serving beats artifacts
+            self.events.append(("artifact-failed", name, str(exc)))
+            return None
+        finally:
+            close = getattr(backend, "close", None)
+            if close is not None:
+                close()
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -750,6 +814,7 @@ class Supervisor:
         if op == "ready":
             with self._lock:
                 worker.build_seconds = frame.get("build_seconds")
+                worker.artifacts = list(frame.get("artifacts", ()))
                 if worker.state == _STARTING:
                     worker.state = _READY
                 worker.ready_event.set()
@@ -1212,6 +1277,7 @@ class Supervisor:
                         "restart_times": [
                             round(t, 6) for t in shard.restart_times
                         ],
+                        "artifact": (shard.spec.artifacts or {}).get(name),
                         "workers": [
                             {
                                 "slot": w.slot,
@@ -1219,6 +1285,7 @@ class Supervisor:
                                 "pid": w.pid,
                                 "state": w.state,
                                 "build_seconds": w.build_seconds,
+                                "artifacts": list(w.artifacts),
                             }
                             for w in shard.workers
                         ],

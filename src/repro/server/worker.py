@@ -99,6 +99,11 @@ class WorkerSpec:
     cache_size: int = 256
     #: honour ``%``-prefixed chaos directives (tests/harnesses only)
     chaos_hooks: bool = False
+    #: database name -> path of a shared repro.artifacts file; the
+    #: supervisor builds (or finds) one artifact per shard and every
+    #: worker attaches read-only instead of rebuilding its context.
+    #: ``None`` entries and load failures fall back to a fresh build.
+    artifacts: Optional[dict[str, str]] = None
 
 
 def build_backend(spec: DatabaseSpec):
@@ -214,8 +219,10 @@ def worker_main(conn, spec: WorkerSpec) -> None:
             translator=replace(
                 DEFAULT_CONFIG, result_cache_size=spec.cache_size
             ),
+            artifacts=dict(spec.artifacts or {}),
         ),
     )
+    artifact_info = service.snapshot().get("artifacts", {})
     send_frame(
         conn,
         {
@@ -224,6 +231,14 @@ def worker_main(conn, spec: WorkerSpec) -> None:
             "shard": spec.shard,
             "databases": sorted(backends),
             "build_seconds": round(time.monotonic() - built_at, 6),
+            # which databases attached their context from the shared
+            # artifact (vs fell back to a fresh build) — the chaos
+            # harness asserts replacements start from the artifact
+            "artifacts": sorted(
+                name
+                for name, info in artifact_info.items()
+                if info.get("loaded")
+            ),
         },
     )
     from collections import deque

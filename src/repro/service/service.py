@@ -109,6 +109,10 @@ class ServiceConfig:
     #: admitted request starts processing (e.g. to block workers and
     #: exercise admission control deterministically)
     request_hook: Optional[Callable[["ServiceRequest"], None]] = None
+    #: database name -> path of a repro.artifacts file to attach the
+    #: context from; a bad/mis-keyed artifact falls back to a fresh
+    #: build (docs/ARTIFACTS.md), never failing service construction
+    artifacts: Mapping[str, str] = field(default_factory=dict)
 
 
 @dataclass(frozen=True)
@@ -224,10 +228,31 @@ class _DatabaseState:
         config: ServiceConfig,
         clock: Callable[[], float],
         on_transition: Optional[Callable[[str, str, str, str], None]] = None,
+        tracer=None,  # Optional[repro.obs.Tracer]
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.name = name
         self.database = database
-        self.context = TranslationContext(database, config.translator)
+        self.artifact_path = config.artifacts.get(name)
+        self.artifact_error = None
+        if self.artifact_path is not None:
+            from ..artifacts import load_or_build_context
+
+            self.context, self.artifact_error = load_or_build_context(
+                database,
+                self.artifact_path,
+                config.translator,
+                tracer=tracer if tracer is not None else NULL_TRACER,
+                metrics=metrics,
+            )
+        else:
+            self.context = TranslationContext(database, config.translator)
+        #: True when the context was attached from the artifact file
+        #: rather than built — surfaced in snapshots and worker ready
+        #: frames so the chaos harness can assert fleet-wide sharing
+        self.artifact_loaded = (
+            self.artifact_path is not None and self.artifact_error is None
+        )
         self.breaker = CircuitBreaker(
             config.breaker, clock=clock, name=name, on_transition=on_transition
         )
@@ -268,6 +293,8 @@ class QueryService:
                 self.config,
                 self.clock,
                 self._on_breaker_transition if metrics is not None else None,
+                self.tracer,
+                metrics,
             )
             for name, db in databases.items()
         }
@@ -348,6 +375,19 @@ class QueryService:
             "memo": {
                 name: state.context.stats.as_dict()
                 for name, state in self._states.items()
+            },
+            "artifacts": {
+                name: {
+                    "path": state.artifact_path,
+                    "loaded": state.artifact_loaded,
+                    "error": (
+                        str(state.artifact_error)
+                        if state.artifact_error is not None
+                        else None
+                    ),
+                }
+                for name, state in self._states.items()
+                if state.artifact_path is not None
             },
             "backends": {
                 name: {
